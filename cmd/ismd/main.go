@@ -1,0 +1,94 @@
+// Command ismd runs a networked Instrumentation System Manager: it
+// listens for LIS connections over the TCP transfer protocol, performs
+// causal ordering, prints live statistics, and optionally spools the
+// merged trace to disk. Pair it with cmd/lisnode, which runs
+// instrumented application nodes that forward to this manager — the
+// deployment of Figure 2 across real processes.
+//
+// Usage:
+//
+//	ismd [-addr 127.0.0.1:7311] [-spool trace.bin] [-miso] [-stats 2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/ism"
+	"prism/internal/isruntime/tp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7311", "listen address")
+	spool := flag.String("spool", "", "spool merged trace to this file")
+	miso := flag.Bool("miso", false, "use MISO input buffering (default SISO)")
+	statsEvery := flag.Duration("stats", 2*time.Second, "statistics print interval")
+	flag.Parse()
+
+	cfg := ism.Config{Buffering: ism.SISO, Ordered: true}
+	if *miso {
+		cfg.Buffering = ism.MISO
+	}
+	var spoolFile *os.File
+	if *spool != "" {
+		f, err := os.Create(*spool)
+		if err != nil {
+			log.Fatalf("ismd: %v", err)
+		}
+		defer f.Close()
+		cfg.Spool = f
+		spoolFile = f
+	}
+
+	manager := ism.New(cfg, event.NewRealClock())
+	ln, err := tp.Listen(*addr)
+	if err != nil {
+		log.Fatalf("ismd: %v", err)
+	}
+	log.Printf("ismd: %s ISM listening on %s", cfg.Buffering, ln.Addr())
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			log.Printf("ismd: LIS connected")
+			manager.Serve(conn)
+		}
+	}()
+
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	for {
+		select {
+		case <-ticker.C:
+			st := manager.Stats()
+			log.Printf("ismd: arrived=%d dispatched=%d held=%d holdback=%.3f mean-latency=%s",
+				st.Arrived, st.Dispatched, st.Held, st.HoldBackRatio,
+				time.Duration(st.MeanLatencyNs))
+		case <-interrupt:
+			log.Printf("ismd: shutting down")
+			manager.Broadcast(tp.CtlShutdown, 0)
+			ln.Close()
+			manager.Drain()
+			if err := manager.Close(); err != nil {
+				log.Printf("ismd: close: %v", err)
+			}
+			st := manager.Stats()
+			fmt.Printf("final: arrived=%d dispatched=%d out-of-order=%d hold-back=%.3f\n",
+				st.Arrived, st.Dispatched, st.OutOfOrder, st.HoldBackRatio)
+			if spoolFile != nil {
+				fmt.Printf("trace spooled to %s\n", spoolFile.Name())
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command isrepro regenerates the tables and figures of "A Structured
+// Approach to Instrumentation System Development and Evaluation"
+// (Waheed & Rover, SC'95) from this repository's models and runtime.
+//
+// Usage:
+//
+//	isrepro [-quick] [-csv] [-seed N] <experiment|group|all|list> ...
+//
+// Experiments are identified by the paper's artifact numbers (table1,
+// table3, fig5a, fig9left, ...) or by groups (fig5, fig9, fig11,
+// tables, validation, ablations). 'list' prints the catalogue;
+// 'all' runs everything. -quick trades fidelity for speed (small
+// horizons, r=5 instead of the paper's r=50); -csv emits data instead
+// of rendered tables/plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"prism/internal/experiments"
+	"prism/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced horizons and replications (seconds instead of minutes)")
+	csv := flag.Bool("csv", false, "emit CSV data instead of rendered artifacts")
+	seed := flag.Uint64("seed", 0, "seed offset for all experiments")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	suite := experiments.Suite(experiments.Options{Quick: *quick, Seed: *seed})
+
+	if flag.Arg(0) == "list" {
+		fmt.Println("experiments:")
+		ids := suite.IDs()
+		for _, id := range ids {
+			e, _ := suite.Get(id)
+			fmt.Printf("  %-18s %s\n", id, e.Title)
+		}
+		fmt.Println("groups:")
+		groups := experiments.Groups()
+		var names []string
+		for g := range groups {
+			names = append(names, g)
+		}
+		sort.Strings(names)
+		for _, g := range names {
+			fmt.Printf("  %-18s -> %v\n", g, groups[g])
+		}
+		return
+	}
+
+	var ids []string
+	seen := map[string]bool{}
+	for _, arg := range flag.Args() {
+		resolved, err := experiments.Resolve(suite, arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, id := range resolved {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+
+	for _, id := range ids {
+		artifact, err := suite.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "isrepro: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := report.CSV(os.Stdout, artifact); err != nil {
+				fmt.Fprintf(os.Stderr, "isrepro: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if err := report.Render(os.Stdout, artifact); err != nil {
+			fmt.Fprintf(os.Stderr, "isrepro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: isrepro [-quick] [-csv] [-seed N] <experiment|group|all|list> ...
+
+Regenerates the tables and figures of the SC'95 instrumentation-system
+paper. Try:
+
+  isrepro list            catalogue of experiments and groups
+  isrepro -quick fig5     the three Figure 5 panels, fast
+  isrepro table8          the tool-classification table
+  isrepro -quick all      everything, reduced fidelity
+
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,118 @@
+// Command lisnode runs one instrumented application node: a synthetic
+// workload of processes emitting instrumentation events through a
+// configurable Local Instrumentation Server that forwards to a remote
+// ISM (cmd/ismd) over TCP.
+//
+// Usage:
+//
+//	lisnode [-ism 127.0.0.1:7311] [-node 0] [-procs 4] [-rate 200]
+//	        [-policy buffered|forwarding|daemon] [-buffer 64]
+//	        [-duration 10s] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/lis"
+	"prism/internal/isruntime/tp"
+	"prism/internal/rng"
+)
+
+func main() {
+	ismAddr := flag.String("ism", "127.0.0.1:7311", "ISM address")
+	node := flag.Int("node", 0, "node id")
+	procs := flag.Int("procs", 4, "application processes on this node")
+	rate := flag.Float64("rate", 200, "events per second per process")
+	policy := flag.String("policy", "buffered", "LIS policy: buffered, forwarding or daemon")
+	buffer := flag.Int("buffer", 64, "local buffer capacity (buffered) / pipe depth (daemon)")
+	duration := flag.Duration("duration", 10*time.Second, "run time")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	conn, err := tp.Dial(*ismAddr)
+	if err != nil {
+		log.Fatalf("lisnode: %v", err)
+	}
+	defer conn.Close()
+
+	var server lis.LIS
+	switch *policy {
+	case "buffered":
+		server, err = lis.NewBuffered(int32(*node), *buffer, conn)
+	case "forwarding":
+		server, err = lis.NewForwarding(int32(*node), conn)
+	case "daemon":
+		var d *lis.Daemon
+		d, err = lis.NewDaemon(int32(*node), conn, *buffer, 16)
+		if err == nil {
+			for p := 0; p < *procs; p++ {
+				d.AttachProcess(int32(p))
+			}
+			server = d
+		}
+	default:
+		log.Fatalf("lisnode: unknown policy %q", *policy)
+	}
+	if err != nil {
+		log.Fatalf("lisnode: %v", err)
+	}
+
+	clock := event.NewRealClock()
+	root := rng.New(*seed)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Obey ISM control signals (gang flush, pause/resume, shutdown).
+	var shuttingDown atomic.Bool
+	go func() {
+		if err := lis.ControlLoop(conn, server); err != nil && !shuttingDown.Load() {
+			log.Printf("lisnode: control loop: %v", err)
+		}
+	}()
+	for p := 0; p < *procs; p++ {
+		sensor := event.NewSensor(int32(*node), int32(p), clock, server)
+		stream := root.Split()
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			tag := uint16(0)
+			for {
+				gap := time.Duration(stream.ExpMean(1000 / *rate)) * time.Millisecond
+				select {
+				case <-stop:
+					return
+				case <-time.After(gap):
+				}
+				switch stream.Intn(4) {
+				case 0:
+					sensor.User(tag, int64(proc))
+				case 1:
+					sensor.Sample(1, int64(stream.Intn(100)))
+				case 2:
+					sensor.BlockIn(tag)
+				default:
+					sensor.BlockOut(tag)
+				}
+				tag++
+			}
+		}(p)
+	}
+
+	log.Printf("lisnode: node %d, %d processes, %s LIS -> %s", *node, *procs, *policy, *ismAddr)
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	shuttingDown.Store(true)
+	if err := server.Close(); err != nil {
+		log.Printf("lisnode: close: %v", err)
+	}
+	st := server.Stats()
+	fmt.Printf("node %d done: captured=%d forwarded=%d flushes=%d dropped=%d\n",
+		*node, st.Captured, st.Forwarded, st.Flushes, st.Dropped)
+}

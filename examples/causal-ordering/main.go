@@ -1,0 +1,129 @@
+// Causal ordering: the Vista case study as a runnable program.
+//
+// Bufferless forwarding LISes (one per node, "only one system call per
+// event" — §3.3) emit message-passing events that reach the ISM out of
+// order through a deliberately skewed transport. The SISO ISM's data
+// processor reconstructs causal order with logical time-stamps and
+// feeds an animation tool; the example verifies the output stream and
+// prints the hold-back statistics the Vista evaluation is about.
+//
+// Run with: go run ./examples/causal-ordering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"prism/internal/isruntime/env"
+	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/ism"
+	"prism/internal/isruntime/lis"
+	"prism/internal/isruntime/tp"
+	"prism/internal/trace"
+)
+
+const nodes = 3
+
+// skewConn wraps a tp.Conn and delays each message by a random amount
+// on its own goroutine, so messages overtake each other — the network
+// skew that makes event ordering necessary.
+type skewConn struct {
+	tp.Conn
+	wg sync.WaitGroup
+}
+
+func (c *skewConn) Send(m tp.Message) error {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		time.Sleep(time.Duration(rand.Intn(3000)) * time.Microsecond)
+		_ = c.Conn.Send(m)
+	}()
+	return nil
+}
+
+func main() {
+	clock := event.NewRealClock()
+	manager := ism.New(ism.Config{Buffering: ism.SISO, Ordered: true}, clock)
+	environment := env.New(manager)
+	feed := env.NewAnimationFeed("animation", 4096)
+	if err := environment.Attach(feed); err != nil {
+		log.Fatal(err)
+	}
+
+	// Forwarding LISes over skewed pipes.
+	sensors := make([]*event.Sensor, nodes)
+	skews := make([]*skewConn, nodes)
+	for n := 0; n < nodes; n++ {
+		local, remote := tp.Pipe(256)
+		manager.Serve(remote)
+		sc := &skewConn{Conn: local}
+		skews[n] = sc
+		server, err := lis.NewForwarding(int32(n), sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sensors[n] = event.NewSensor(int32(n), 0, clock, server)
+	}
+
+	// A ring of messages: node n sends tag t to node (n+1)%nodes,
+	// which receives it, does work, and passes it on.
+	fmt.Println("== event-forwarding LIS with skewed delivery ==")
+	const rounds = 40
+	var tag uint16
+	for r := 0; r < rounds; r++ {
+		for n := 0; n < nodes; n++ {
+			next := (n + 1) % nodes
+			sensors[n].User(tag, 0)
+			sensors[n].Send(tag, int32(next))
+			sensors[next].Recv(tag, int32(n))
+			tag++
+		}
+	}
+
+	// Let the skewed sends land, then drain the ISM.
+	for _, sc := range skews {
+		sc.wg.Wait()
+	}
+	deadline := time.After(5 * time.Second)
+	expected := uint64(rounds * nodes * 3)
+	for manager.Stats().Dispatched < expected {
+		select {
+		case <-deadline:
+			log.Fatalf("only %d of %d events dispatched", manager.Stats().Dispatched, expected)
+		default:
+			time.Sleep(time.Millisecond)
+			manager.Drain()
+		}
+	}
+	if err := environment.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the dispatched stream really is causally ordered.
+	var stream []trace.Record
+	for r := range feed.Frames() {
+		stream = append(stream, r)
+	}
+	if err := trace.CheckCausal(stream); err != nil {
+		log.Fatalf("causality violated: %v", err)
+	}
+
+	st := manager.Stats()
+	fmt.Printf("events: %d arrived, %d dispatched in causal order\n", st.Arrived, st.Dispatched)
+	fmt.Printf("out-of-order arrivals: %d (hold-back ratio %.3f, Falcon's metric)\n",
+		st.OutOfOrder, st.HoldBackRatio)
+	fmt.Printf("input buffering: peak %d records held awaiting predecessors\n", st.MaxHeld)
+	fmt.Printf("data processing latency: mean %s, max %s\n",
+		time.Duration(int64(st.MeanLatencyNs)), time.Duration(st.MaxLatencyNs))
+	fmt.Printf("animation feed: %d frames delivered, %d dropped by the lagging display\n",
+		len(stream), feed.Dropped())
+	fmt.Println("=> the SISO ISM reconstructed causal order from skewed arrivals with logical time-stamps (§3.3).")
+
+	if err := manager.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package analyze provides ParaGraph-style off-line analysis of
+// merged instrumentation traces. PICL's instrumentation exists to feed
+// exactly this kind of consumer: "when combined with a tool such as
+// ParaGraph, it supports program performance analysis and animation"
+// (§3.1). The analyses here are the classic ones: per-node activity
+// profiles from block nesting, message statistics from matched
+// send/receive pairs, and a space-time (Gantt) diagram of the
+// execution.
+package analyze
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"prism/internal/trace"
+)
+
+// NodeProfile summarizes one node's activity over the trace span.
+type NodeProfile struct {
+	Node     int32
+	Events   int
+	Sends    int
+	Recvs    int
+	Samples  int
+	BusyNs   int64   // time inside instrumented blocks
+	Busy     float64 // BusyNs / trace span
+	MaxDepth int     // deepest block nesting observed
+}
+
+// MessageStat aggregates the messages on one (source, destination)
+// edge.
+type MessageStat struct {
+	From, To  int32
+	Count     int
+	MeanLatNs float64
+	MaxLatNs  int64
+	Unmatched int // sends with no matching receive in the trace
+}
+
+// Report is the result of analyzing a merged trace.
+type Report struct {
+	SpanNs   int64
+	Nodes    []NodeProfile
+	Messages []MessageStat
+	// start/end retained for the timeline renderer.
+	startNs, endNs int64
+	records        []trace.Record
+}
+
+// Analyze computes a Report from a time-sorted merged trace. Block
+// in/out events define busy intervals per (node, process); send/recv
+// pairs are matched FIFO per (from, to, tag).
+func Analyze(rs []trace.Record) (*Report, error) {
+	if len(rs) == 0 {
+		return nil, errors.New("analyze: empty trace")
+	}
+	if err := trace.Validate(rs); err != nil {
+		return nil, err
+	}
+	start, end := rs[0].Time, rs[0].Time
+	for _, r := range rs {
+		if r.Time < start {
+			start = r.Time
+		}
+		if r.Time > end {
+			end = r.Time
+		}
+	}
+	span := end - start
+	if span == 0 {
+		span = 1
+	}
+
+	type procKey struct {
+		node, proc int32
+	}
+	profiles := map[int32]*NodeProfile{}
+	prof := func(node int32) *NodeProfile {
+		p := profiles[node]
+		if p == nil {
+			p = &NodeProfile{Node: node}
+			profiles[node] = p
+		}
+		return p
+	}
+	depth := map[procKey]int{}
+	blockStart := map[procKey]int64{}
+
+	type msgKey struct {
+		from, to int32
+		tag      uint16
+	}
+	pendingSends := map[msgKey][]int64{}
+	msgAgg := map[[2]int32]*MessageStat{}
+	edge := func(from, to int32) *MessageStat {
+		k := [2]int32{from, to}
+		m := msgAgg[k]
+		if m == nil {
+			m = &MessageStat{From: from, To: to}
+			msgAgg[k] = m
+		}
+		return m
+	}
+
+	for _, r := range rs {
+		p := prof(r.Node)
+		p.Events++
+		key := procKey{r.Node, r.Process}
+		switch r.Kind {
+		case trace.KindBlockIn:
+			if depth[key] == 0 {
+				blockStart[key] = r.Time
+			}
+			depth[key]++
+			if depth[key] > p.MaxDepth {
+				p.MaxDepth = depth[key]
+			}
+		case trace.KindBlockOut:
+			depth[key]--
+			if depth[key] == 0 {
+				p.BusyNs += r.Time - blockStart[key]
+			}
+		case trace.KindSend:
+			p.Sends++
+			mk := msgKey{from: r.Node, to: int32(r.Payload), tag: r.Tag}
+			pendingSends[mk] = append(pendingSends[mk], r.Time)
+		case trace.KindRecv:
+			p.Recvs++
+			mk := msgKey{from: int32(r.Payload), to: r.Node, tag: r.Tag}
+			q := pendingSends[mk]
+			if len(q) == 0 {
+				return nil, fmt.Errorf("analyze: receive at t=%d on node %d has no matching send", r.Time, r.Node)
+			}
+			sendT := q[0]
+			pendingSends[mk] = q[1:]
+			m := edge(mk.from, mk.to)
+			lat := r.Time - sendT
+			m.Count++
+			m.MeanLatNs += (float64(lat) - m.MeanLatNs) / float64(m.Count)
+			if lat > m.MaxLatNs {
+				m.MaxLatNs = lat
+			}
+		case trace.KindSample:
+			p.Samples++
+		}
+	}
+	// Count unmatched sends on their edges.
+	for mk, q := range pendingSends {
+		if len(q) > 0 {
+			edge(mk.from, mk.to).Unmatched += len(q)
+		}
+	}
+
+	rep := &Report{SpanNs: end - start, startNs: start, endNs: end,
+		records: append([]trace.Record(nil), rs...)}
+	for _, p := range profiles {
+		p.Busy = float64(p.BusyNs) / float64(span)
+		rep.Nodes = append(rep.Nodes, *p)
+	}
+	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].Node < rep.Nodes[j].Node })
+	for _, m := range msgAgg {
+		rep.Messages = append(rep.Messages, *m)
+	}
+	sort.Slice(rep.Messages, func(i, j int) bool {
+		if rep.Messages[i].From != rep.Messages[j].From {
+			return rep.Messages[i].From < rep.Messages[j].From
+		}
+		return rep.Messages[i].To < rep.Messages[j].To
+	})
+	return rep, nil
+}
+
+// Node returns the profile for one node.
+func (r *Report) Node(node int32) (NodeProfile, bool) {
+	for _, p := range r.Nodes {
+		if p.Node == node {
+			return p, true
+		}
+	}
+	return NodeProfile{}, false
+}
+
+// BusiestNode returns the node with the highest busy fraction.
+func (r *Report) BusiestNode() NodeProfile {
+	best := r.Nodes[0]
+	for _, p := range r.Nodes[1:] {
+		if p.Busy > best.Busy {
+			best = p
+		}
+	}
+	return best
+}
+
+// LoadImbalance returns max busy / mean busy across nodes (1 = perfect
+// balance); 0 when no node was ever busy.
+func (r *Report) LoadImbalance() float64 {
+	var sum, max float64
+	for _, p := range r.Nodes {
+		sum += p.Busy
+		if p.Busy > max {
+			max = p.Busy
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := sum / float64(len(r.Nodes))
+	return max / mean
+}
+
+// Timeline renders a space-time diagram: one row per node, buckets
+// columns wide; '#' marks buckets where the node was inside an
+// instrumented block, 's'/'r' mark sends/receives, '.' is idle.
+func (r *Report) Timeline(buckets int) string {
+	if buckets < 1 {
+		buckets = 60
+	}
+	span := r.endNs - r.startNs
+	if span == 0 {
+		span = 1
+	}
+	bucketOf := func(t int64) int {
+		b := int(float64(t-r.startNs) / float64(span) * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		return b
+	}
+	rows := map[int32][]byte{}
+	for _, p := range r.Nodes {
+		rows[p.Node] = []byte(strings.Repeat(".", buckets))
+	}
+	type procKey struct {
+		node, proc int32
+	}
+	depth := map[procKey]int{}
+	open := map[procKey]int64{}
+	mark := func(node int32, from, to int64) {
+		row := rows[node]
+		for b := bucketOf(from); b <= bucketOf(to); b++ {
+			if row[b] == '.' {
+				row[b] = '#'
+			}
+		}
+	}
+	for _, rec := range r.records {
+		key := procKey{rec.Node, rec.Process}
+		switch rec.Kind {
+		case trace.KindBlockIn:
+			if depth[key] == 0 {
+				open[key] = rec.Time
+			}
+			depth[key]++
+		case trace.KindBlockOut:
+			depth[key]--
+			if depth[key] == 0 {
+				mark(rec.Node, open[key], rec.Time)
+			}
+		case trace.KindSend:
+			rows[rec.Node][bucketOf(rec.Time)] = 's'
+		case trace.KindRecv:
+			rows[rec.Node][bucketOf(rec.Time)] = 'r'
+		}
+	}
+	var nodes []int32
+	for n := range rows {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "space-time diagram (%d buckets over %.3f ms)\n", buckets, float64(span)/1e6)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "node %2d |%s|\n", n, rows[n])
+	}
+	b.WriteString("legend: # busy  s send  r recv  . idle\n")
+	return b.String()
+}
+
+// Summary renders the report as text.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace span: %.3f ms, %d nodes\n", float64(r.SpanNs)/1e6, len(r.Nodes))
+	for _, p := range r.Nodes {
+		fmt.Fprintf(&b, "node %2d: %5d events, busy %5.1f%%, %d sends, %d recvs, %d samples\n",
+			p.Node, p.Events, p.Busy*100, p.Sends, p.Recvs, p.Samples)
+	}
+	for _, m := range r.Messages {
+		fmt.Fprintf(&b, "edge %d->%d: %d messages, mean latency %.3f ms (max %.3f), %d unmatched\n",
+			m.From, m.To, m.Count, m.MeanLatNs/1e6, float64(m.MaxLatNs)/1e6, m.Unmatched)
+	}
+	fmt.Fprintf(&b, "load imbalance (max/mean busy): %.2f\n", r.LoadImbalance())
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package analyze_test
+
+import (
+	"fmt"
+
+	"prism/internal/analyze"
+	"prism/internal/trace"
+)
+
+// Example analyzes a tiny two-node trace: node 0 computes then sends a
+// message that node 1 receives and processes.
+func Example() {
+	records := []trace.Record{
+		{Node: 0, Kind: trace.KindBlockIn, Time: 0},
+		{Node: 0, Kind: trace.KindBlockOut, Time: 4_000_000}, // 4 ms busy
+		{Node: 0, Kind: trace.KindSend, Tag: 1, Payload: 1, Time: 4_500_000},
+		{Node: 1, Kind: trace.KindRecv, Tag: 1, Payload: 0, Time: 5_000_000},
+		{Node: 1, Kind: trace.KindBlockIn, Time: 5_000_000},
+		{Node: 1, Kind: trace.KindBlockOut, Time: 10_000_000},
+	}
+	report, err := analyze.Analyze(records)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range report.Nodes {
+		fmt.Printf("node %d: busy %.0f%%, %d sends, %d recvs\n",
+			p.Node, p.Busy*100, p.Sends, p.Recvs)
+	}
+	m := report.Messages[0]
+	fmt.Printf("message 0->1 latency: %.1f ms\n", m.MeanLatNs/1e6)
+	fmt.Printf("busiest: node %d\n", report.BusiestNode().Node)
+	// Output:
+	// node 0: busy 40%, 1 sends, 0 recvs
+	// node 1: busy 50%, 0 sends, 1 recvs
+	// message 0->1 latency: 0.5 ms
+	// busiest: node 1
+}

@@ -1,0 +1,376 @@
+// Package core implements the paper's primary contribution: the
+// structured approach to instrumentation system development and
+// evaluation (Figure 1), together with the IS classification scheme of
+// §2.4 and the machine-readable specification tables the case studies
+// are described by (Tables 1, 4 and 6), the metric tables (Tables 2, 5
+// and 7), and the representative-tool feature registry (Table 8).
+//
+// The approach is two-level: "on a higher-level, requirements of the
+// IS are either determined by the developer or specified by the tool
+// users. These requirements are transformed to detailed lower-level
+// system specifications, which are subsequently mapped to a model
+// representing the structure and dynamics of the IS. This model is
+// parameterized and evaluated with respect to chosen performance
+// metrics ... The evaluation results are then translated back to the
+// higher-level ... Finally, the model becomes the blueprint for actual
+// synthesis of the IS."
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AnalysisSupport classifies when tools consume instrumentation data
+// (§2.4: off-line versus on-line tool usage).
+type AnalysisSupport int
+
+// Analysis-support classes.
+const (
+	OffLine AnalysisSupport = iota
+	OnLine
+	OnAndOffLine
+)
+
+// String returns the class name as Table 8 prints it.
+func (a AnalysisSupport) String() string {
+	switch a {
+	case OffLine:
+		return "Off-line"
+	case OnLine:
+		return "On-line"
+	default:
+		return "On-/Off-line"
+	}
+}
+
+// SynthesisApproach classifies how the IS software comes to be
+// ("hard-coded into the rest of the environment or as a customizable
+// application-specific module", §1).
+type SynthesisApproach int
+
+// Synthesis classes.
+const (
+	HardCoded SynthesisApproach = iota
+	ApplicationSpecific
+)
+
+// String returns the class name.
+func (s SynthesisApproach) String() string {
+	if s == HardCoded {
+		return "Hard-coded"
+	}
+	return "Application-specific"
+}
+
+// ManagementApproach classifies the data-management policy regime
+// ("static, adaptive, or application-specific", §2.4).
+type ManagementApproach int
+
+// Management classes.
+const (
+	Static ManagementApproach = iota
+	Adaptive
+	AppSpecificManagement
+)
+
+// String returns the class name.
+func (m ManagementApproach) String() string {
+	switch m {
+	case Static:
+		return "Static"
+	case Adaptive:
+		return "Adaptive"
+	default:
+		return "Application-specific"
+	}
+}
+
+// ISSpec is the lower-level system specification of an IS, the schema
+// of the paper's Tables 1, 4 and 6.
+type ISSpec struct {
+	Name             string
+	Analysis         AnalysisSupport
+	Platform         string
+	LIS              string
+	ISM              string
+	TP               string
+	ManagementPolicy string
+}
+
+// Validate checks that the specification is complete.
+func (s ISSpec) Validate() error {
+	if s.Name == "" || s.Platform == "" || s.LIS == "" || s.ISM == "" ||
+		s.TP == "" || s.ManagementPolicy == "" {
+		return errors.New("core: incomplete IS specification")
+	}
+	return nil
+}
+
+// MetricSpec describes one evaluation metric, the schema of Tables 2,
+// 5 and 7: what it is, how it is calculated, how to read it.
+type MetricSpec struct {
+	Name           string
+	Calculation    string
+	Interpretation string
+}
+
+// Requirement is a higher-level qualitative requirement that the
+// structured approach starts from.
+type Requirement struct {
+	ID   string
+	Text string
+}
+
+// Phase names one stage of the Figure 1 development cycle.
+type Phase int
+
+// Development phases in order.
+const (
+	PhaseRequirements Phase = iota
+	PhaseSpecification
+	PhaseModeling
+	PhaseParameterization
+	PhaseEvaluation
+	PhaseFeedback
+	PhaseSynthesis
+	numPhases
+)
+
+var phaseNames = [...]string{
+	"requirements", "specification", "modeling", "parameterization",
+	"evaluation", "feedback", "synthesis",
+}
+
+// String returns the phase name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Cycle records one pass through the structured development approach:
+// the artifacts and notes produced at each phase, including feedback
+// iterations. It is deliberately a record, not an engine — the phases
+// are carried out by the case-study packages; Cycle keeps the audit
+// trail that makes the process inspectable.
+type Cycle struct {
+	System       string
+	Requirements []Requirement
+	Spec         ISSpec
+	notes        map[Phase][]string
+	completed    map[Phase]bool
+}
+
+// NewCycle starts a development cycle for the named system.
+func NewCycle(system string) *Cycle {
+	return &Cycle{
+		System:    system,
+		notes:     map[Phase][]string{},
+		completed: map[Phase]bool{},
+	}
+}
+
+// Require adds a higher-level requirement.
+func (c *Cycle) Require(id, text string) {
+	c.Requirements = append(c.Requirements, Requirement{ID: id, Text: text})
+	c.completed[PhaseRequirements] = true
+}
+
+// Specify records the lower-level specification. Requirements must
+// exist first: the approach flows downward.
+func (c *Cycle) Specify(spec ISSpec) error {
+	if !c.completed[PhaseRequirements] {
+		return errors.New("core: specify before requirements are stated")
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	c.Spec = spec
+	c.completed[PhaseSpecification] = true
+	return nil
+}
+
+// Note records a free-form artifact note at a phase (model
+// description, parameter choice, evaluation conclusion, feedback).
+func (c *Cycle) Note(p Phase, text string) error {
+	if p < 0 || p >= numPhases {
+		return fmt.Errorf("core: invalid phase %d", p)
+	}
+	order := []Phase{PhaseRequirements, PhaseSpecification}
+	for _, pre := range order {
+		if p > PhaseSpecification && !c.completed[pre] {
+			return fmt.Errorf("core: phase %s before %s is complete", p, pre)
+		}
+	}
+	c.notes[p] = append(c.notes[p], text)
+	c.completed[p] = true
+	return nil
+}
+
+// Notes returns the notes recorded at a phase.
+func (c *Cycle) Notes(p Phase) []string { return append([]string(nil), c.notes[p]...) }
+
+// Complete reports whether a phase has at least one artifact.
+func (c *Cycle) Complete(p Phase) bool { return c.completed[p] }
+
+// ReadyForSynthesis reports whether every phase preceding synthesis
+// has artifacts — the gate the structured approach exists to enforce
+// ("rapid prototyping and preliminary evaluation ... prior to the
+// investment in programming effort").
+func (c *Cycle) ReadyForSynthesis() bool {
+	for p := PhaseRequirements; p < PhaseSynthesis; p++ {
+		if p == PhaseFeedback {
+			continue // feedback is optional on a first pass
+		}
+		if !c.completed[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the cycle state, one phase per line.
+func (c *Cycle) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "development cycle: %s\n", c.System)
+	for p := PhaseRequirements; p < numPhases; p++ {
+		mark := " "
+		if c.completed[p] {
+			mark = "x"
+		}
+		fmt.Fprintf(&b, "  [%s] %-16s (%d notes)\n", mark, p.String(), len(c.notes[p]))
+	}
+	return b.String()
+}
+
+// Artifact is the evaluated output of one experiment: a table or a
+// figure's data, ready for rendering by package report.
+type Artifact struct {
+	ID    string // experiment id, e.g. "fig5", "table3"
+	Title string
+	Kind  ArtifactKind
+	// Table content (Kind == Table).
+	Headers []string
+	Rows    [][]string
+	// Figure content (Kind == Figure).
+	XLabel, YLabel string
+	Series         []Series
+	// Diagram content (Kind == Diagram): preformatted ASCII art for
+	// the paper's architecture figures.
+	Text string
+	// Notes carry interpretation, calibration and caveats.
+	Notes []string
+}
+
+// ArtifactKind discriminates tables, data figures and architecture
+// diagrams.
+type ArtifactKind int
+
+// Artifact kinds.
+const (
+	Table ArtifactKind = iota
+	Figure
+	Diagram
+)
+
+// Series is one named curve of a figure, with optional confidence
+// bands.
+type Series struct {
+	Name     string
+	X, Y     []float64
+	YLo, YHi []float64 // optional, same length as Y when present
+}
+
+// Validate checks internal consistency of an artifact.
+func (a *Artifact) Validate() error {
+	if a.ID == "" || a.Title == "" {
+		return errors.New("core: artifact needs id and title")
+	}
+	switch a.Kind {
+	case Table:
+		for i, row := range a.Rows {
+			if len(row) != len(a.Headers) {
+				return fmt.Errorf("core: artifact %s row %d has %d cells, want %d",
+					a.ID, i, len(row), len(a.Headers))
+			}
+		}
+	case Figure:
+		for _, s := range a.Series {
+			if len(s.X) != len(s.Y) {
+				return fmt.Errorf("core: artifact %s series %q x/y length mismatch", a.ID, s.Name)
+			}
+			if s.YLo != nil && (len(s.YLo) != len(s.Y) || len(s.YHi) != len(s.Y)) {
+				return fmt.Errorf("core: artifact %s series %q band length mismatch", a.ID, s.Name)
+			}
+		}
+	case Diagram:
+		if a.Text == "" {
+			return fmt.Errorf("core: artifact %s diagram is empty", a.ID)
+		}
+	default:
+		return fmt.Errorf("core: artifact %s has unknown kind", a.ID)
+	}
+	return nil
+}
+
+// Experiment binds an experiment id to the function that regenerates
+// its artifact. Suite collects them per study.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Artifact, error)
+}
+
+// Suite is a registry of experiments keyed by id.
+type Suite struct {
+	exps map[string]Experiment
+	ids  []string
+}
+
+// NewSuite returns an empty suite.
+func NewSuite() *Suite { return &Suite{exps: map[string]Experiment{}} }
+
+// Register adds an experiment; duplicate ids are an error.
+func (s *Suite) Register(e Experiment) error {
+	if e.ID == "" || e.Run == nil {
+		return errors.New("core: experiment needs id and runner")
+	}
+	if _, dup := s.exps[e.ID]; dup {
+		return fmt.Errorf("core: duplicate experiment %q", e.ID)
+	}
+	s.exps[e.ID] = e
+	s.ids = append(s.ids, e.ID)
+	return nil
+}
+
+// IDs returns the registered experiment ids in registration order.
+func (s *Suite) IDs() []string { return append([]string(nil), s.ids...) }
+
+// Get returns the experiment with the given id.
+func (s *Suite) Get(id string) (Experiment, bool) {
+	e, ok := s.exps[id]
+	return e, ok
+}
+
+// Run executes one experiment and validates its artifact.
+func (s *Suite) Run(id string) (*Artifact, error) {
+	e, ok := s.exps[id]
+	if !ok {
+		known := append([]string(nil), s.ids...)
+		sort.Strings(known)
+		return nil, fmt.Errorf("core: unknown experiment %q (known: %s)",
+			id, strings.Join(known, ", "))
+	}
+	a, err := e.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: experiment %s: %w", id, err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validSpec() ISSpec {
+	return ISSpec{
+		Name:             "test",
+		Analysis:         OffLine,
+		Platform:         "simulated multicomputer",
+		LIS:              "library with local buffers",
+		ISM:              "trace file merger",
+		TP:               "parallel I/O",
+		ManagementPolicy: "static",
+	}
+}
+
+func TestClassificationStrings(t *testing.T) {
+	if OffLine.String() != "Off-line" || OnLine.String() != "On-line" || OnAndOffLine.String() != "On-/Off-line" {
+		t.Fatal("analysis names")
+	}
+	if HardCoded.String() != "Hard-coded" || ApplicationSpecific.String() != "Application-specific" {
+		t.Fatal("synthesis names")
+	}
+	if Static.String() != "Static" || Adaptive.String() != "Adaptive" || AppSpecificManagement.String() != "Application-specific" {
+		t.Fatal("management names")
+	}
+}
+
+func TestISSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := validSpec()
+	s.TP = ""
+	if s.Validate() == nil {
+		t.Fatal("incomplete spec accepted")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseRequirements.String() != "requirements" || PhaseSynthesis.String() != "synthesis" {
+		t.Fatal("phase names")
+	}
+	if Phase(99).String() == "" {
+		t.Fatal("unknown phase should render")
+	}
+}
+
+func TestCycleFlow(t *testing.T) {
+	c := NewCycle("picl")
+	// Spec before requirements is rejected.
+	if err := c.Specify(validSpec()); err == nil {
+		t.Fatal("spec accepted before requirements")
+	}
+	c.Require("R1", "off-line trace analysis with bounded perturbation")
+	if err := c.Specify(validSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Later phases require specification.
+	if err := c.Note(PhaseModeling, "M/G/1 buffer model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Note(PhaseParameterization, "l=10..100, alpha in {0.0008,0.007,2}"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReadyForSynthesis() {
+		t.Fatal("ready without evaluation")
+	}
+	if err := c.Note(PhaseEvaluation, "FAOF preferable on flushing frequency"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ReadyForSynthesis() {
+		t.Fatal("not ready after all phases")
+	}
+	if err := c.Note(PhaseFeedback, "choose FAOF"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Notes(PhaseModeling); len(got) != 1 || got[0] != "M/G/1 buffer model" {
+		t.Fatalf("notes %v", got)
+	}
+	if !strings.Contains(c.Summary(), "picl") {
+		t.Fatal("summary missing system name")
+	}
+	if err := c.Note(Phase(42), "x"); err == nil {
+		t.Fatal("invalid phase accepted")
+	}
+}
+
+func TestCycleGateBlocksEarlyModeling(t *testing.T) {
+	c := NewCycle("x")
+	if err := c.Note(PhaseModeling, "premature"); err == nil {
+		t.Fatal("modeling accepted before requirements/spec")
+	}
+}
+
+func TestArtifactValidate(t *testing.T) {
+	good := &Artifact{
+		ID: "t", Title: "T", Kind: Table,
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Artifact{ID: "t", Title: "T", Kind: Table,
+		Headers: []string{"a"}, Rows: [][]string{{"1", "2"}}}
+	if bad.Validate() == nil {
+		t.Fatal("ragged table accepted")
+	}
+	if (&Artifact{Title: "x", Kind: Table}).Validate() == nil {
+		t.Fatal("missing id accepted")
+	}
+	fig := &Artifact{ID: "f", Title: "F", Kind: Figure,
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if fig.Validate() == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	fig2 := &Artifact{ID: "f", Title: "F", Kind: Figure,
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1},
+			YLo: []float64{0}, YHi: []float64{2, 3}}}}
+	if fig2.Validate() == nil {
+		t.Fatal("mismatched bands accepted")
+	}
+	if (&Artifact{ID: "x", Title: "x", Kind: ArtifactKind(9)}).Validate() == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if (&Artifact{ID: "d", Title: "D", Kind: Diagram}).Validate() == nil {
+		t.Fatal("empty diagram accepted")
+	}
+	if err := (&Artifact{ID: "d", Title: "D", Kind: Diagram, Text: "x"}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagrams(t *testing.T) {
+	ds := Diagrams()
+	if len(ds) != 8 {
+		t.Fatalf("diagrams %d", len(ds))
+	}
+	wantIDs := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
+		"fig6": true, "fig7": true, "fig8": true, "fig10": true}
+	for _, d := range ds {
+		if !wantIDs[d.ID] {
+			t.Fatalf("unexpected diagram %s", d.ID)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.ID, err)
+		}
+		if d.Kind != Diagram || len(d.Notes) == 0 {
+			t.Fatalf("%s: bad shape", d.ID)
+		}
+	}
+}
+
+func TestSuite(t *testing.T) {
+	s := NewSuite()
+	ok := Experiment{ID: "e1", Title: "E1", Run: func() (*Artifact, error) {
+		return &Artifact{ID: "e1", Title: "E1", Kind: Table}, nil
+	}}
+	if err := s.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ok); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := s.Register(Experiment{ID: "", Run: ok.Run}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, found := s.Get("e1"); !found {
+		t.Fatal("Get failed")
+	}
+	if ids := s.IDs(); len(ids) != 1 || ids[0] != "e1" {
+		t.Fatalf("ids %v", ids)
+	}
+	a, err := s.Run("e1")
+	if err != nil || a.ID != "e1" {
+		t.Fatalf("run: %v %v", a, err)
+	}
+	if _, err := s.Run("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	// Failing experiment propagates.
+	s.Register(Experiment{ID: "bad", Title: "B", Run: func() (*Artifact, error) {
+		return nil, errors.New("boom")
+	}})
+	if _, err := s.Run("bad"); err == nil {
+		t.Fatal("error swallowed")
+	}
+	// Invalid artifact rejected.
+	s.Register(Experiment{ID: "ragged", Title: "R", Run: func() (*Artifact, error) {
+		return &Artifact{ID: "ragged", Title: "R", Kind: Table,
+			Headers: []string{"a"}, Rows: [][]string{{"1", "2"}}}, nil
+	}})
+	if _, err := s.Run("ragged"); err == nil {
+		t.Fatal("invalid artifact accepted")
+	}
+}
+
+func TestRegistryMatchesPaper(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 10 {
+		t.Fatalf("registry rows %d", len(reg))
+	}
+	byName := map[string]ToolProfile{}
+	for _, p := range reg {
+		byName[p.Tool] = p
+	}
+	picl := byName["PICL"]
+	if picl.Analysis != OffLine || picl.Synthesis != HardCoded || picl.Management != Static {
+		t.Fatalf("PICL row %+v", picl)
+	}
+	paradyn := byName["Paradyn"]
+	if paradyn.Analysis != OnLine || paradyn.Management != Adaptive ||
+		paradyn.Evaluation != "Adaptive cost model" {
+		t.Fatalf("Paradyn row %+v", paradyn)
+	}
+	falcon := byName["Falcon/Issos/ChaosMON"]
+	if falcon.Management != AppSpecificManagement {
+		t.Fatalf("Falcon row %+v", falcon)
+	}
+	if _, ok := byName["PRISM (this repository)"]; !ok {
+		t.Fatal("PRISM row missing")
+	}
+}
+
+func TestTable8Artifact(t *testing.T) {
+	a := Table8()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "table8" || len(a.Rows) != 10 || len(a.Headers) != 7 {
+		t.Fatalf("table8 shape: %d rows %d headers", len(a.Rows), len(a.Headers))
+	}
+}
+
+func TestSpecAndMetricTables(t *testing.T) {
+	st := SpecTable("table1", "Table 1", validSpec())
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 1 || st.Rows[0][0] != "Off-line" {
+		t.Fatalf("spec table %v", st.Rows)
+	}
+	mt := MetricTable("table2", "Table 2", []MetricSpec{
+		{Name: "m", Calculation: "c", Interpretation: "i"},
+	})
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Rows) != 1 || mt.Rows[0][2] != "i" {
+		t.Fatalf("metric table %v", mt.Rows)
+	}
+}

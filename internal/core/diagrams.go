@@ -1,0 +1,188 @@
+package core
+
+// ASCII renderings of the paper's architecture figures, so every
+// numbered figure — not only the data plots — is regenerable by the
+// experiment suite. The structure of each diagram mirrors the
+// corresponding package layout of this repository; see the per-diagram
+// note.
+
+// Diagrams returns the architecture-figure artifacts keyed by id.
+func Diagrams() []*Artifact {
+	return []*Artifact{
+		{
+			ID:    "fig1",
+			Title: "Figure 1: Two levels of a structured IS development approach",
+			Kind:  Diagram,
+			Text: `
+  Higher-level qualitative considerations
+  +------------------+        feedback from the evaluation process
+  | IS Requirements  | <--------------------------------------------+
+  +--------+---------+                                              |
+           v                                                        |
+  +------------------+                                     +--------+------+
+  | System           |                                     | IS Evaluation |
+  | Specifications   |                                     +--------^------+
+  +--------+---------+                                              |
+  ---------|--------------------------------------------------------|------
+           v      Lower-level quantitative considerations           |
+  +------------------+     +-------------------+     +--------------+-----+
+  | IS Model         | --> | Parameterization  | --> | Model Calculations |
+  +--------+---------+     +-------------------+     +--------------------+
+           |
+           v
+  +------------------+
+  | IS Synthesis     |
+  +------------------+`,
+			Notes: []string{
+				"Implemented by core.Cycle: Require -> Specify -> Note(modeling/parameterization/evaluation) -> ReadyForSynthesis.",
+			},
+		},
+		{
+			ID:    "fig2",
+			Title: "Figure 2: Components of a typical instrumentation system supporting an integrated tool environment",
+			Kind:  Diagram,
+			Text: `
+  Target parallel/distributed system          Integrated parallel tool environment
+  +--------------------------------+   +---------------------------------------------+
+  | concurrent system nodes        |   | Instrumentation System Manager (ISM)        |
+  |  +------+  +------+  +------+  |   |  +--------+   +---------------+   +-------+ |
+  |  | app  |  | app  |  | app  |  |   |  | input  |-->| instrumentation|-->|output | |
+  |  |procs |  |procs |  |procs |  |   |  | buffers|   | data processor |   |buffers| |
+  |  +--+---+  +--+---+  +--+---+  |   |  +---^----+   +-------+-------+   +---+---+ |
+  |     v         v         v      |   |      |                |               |     |
+  |  +------+  +------+  +------+  | TP|      |         +------v------+        v     |
+  |  | LIS  |  | LIS  |  | LIS  |--+-->|------+         | storage     |   +-------+  |
+  |  +------+  +------+  +------+  |   |                | hierarchy   |   | tools |  |
+  |   local interconnection network|   |                +-------------+   +---+---+  |
+  +--------------------------------+   |   control <------------------- user interactions
+                                       +---------------------------------------------+`,
+			Notes: []string{
+				"Implemented by isruntime: event (sensors) -> lis -> tp -> ism (input stages, orderer, spool/storage) -> env (tools).",
+			},
+		},
+		{
+			ID:    "fig3",
+			Title: "Figure 3: Basic components and technologies for a typical integrated parallel tool environment",
+			Kind:  Diagram,
+			Text: `
+  concurrent processes --- instrumentation data ---> [ integration technology ] --- data ---> tools
+        ^                                              (centralized location)                  |
+        +----------------------- control --------------------------------------- control <----+
+
+  capture mechanisms     transfer mechanisms     presentation        types of tools
+  - debugger based       - RPC                   - X/Motif           - performance evaluation
+  - OS based             - sockets               - Tcl/Tk            - debugging
+  - compiler based       - pipes                 - OpenGL            - steering
+  - library based                                                    - visualization`,
+			Notes: []string{
+				"This repository's capture is library based, the TP offers channel (pipe) and TCP (socket) transports, and env provides the four tool classes.",
+			},
+		},
+		{
+			ID:    "fig4",
+			Title: "Figure 4: Model for a concurrent LIS and ISM developed from the PICL IS",
+			Kind:  Diagram,
+			Text: `
+  Concurrent computer system (P processors)
+   p0        p1        p2   ...   pP-1        <- instrumented programs
+    |         |         |           |            events ~ Poisson(alpha)
+    v         v         v           v
+  [l recs] [l recs] [l recs]    [l recs]      <- local buffers, capacity l
+    \         |         |          /             (distributed service facility)
+     \        |         |         /   flush = f(l) = c0 + c1*l
+      v       v         v        v
+  +---------------------------------------+
+  | main instrumentation data buffer      |   <- front-end host (host service facility)
+  +-------------------+-------------------+
+                      v
+              [ disk-based buffer ]           <- next storage-hierarchy level`,
+			Notes: []string{
+				"Analytics in internal/picl + internal/queueing; the host levels in isruntime/storage.",
+			},
+		},
+		{
+			ID:    "fig6",
+			Title: "Figure 6: An overview of the Paradyn IS",
+			Kind:  Diagram,
+			Text: `
+  Node 0                        Node P-1
+  +--------------------+        +--------------------+
+  | p0 p1 ... pn-1     |  ...   | p0 p1 ... pn-1     |   <- application processes
+  |  \  |      /       |        |  \  |      /       |
+  |   v v     v        |        |   v v     v        |
+  |  [ Paradyn daemon ]|        |  [ Paradyn daemon ]|   <- LIS, one per node
+  +---------+----------+        +---------+----------+
+            \                             /
+             v                           v
+        +---------------------------------------+
+        |      main Paradyn process (ISM)       |   <- host workstation
+        +---------------------------------------+`,
+			Notes: []string{
+				"Live counterpart: isruntime/lis.Daemon per node serving bounded pipes, forwarding to one ism.ISM.",
+			},
+		},
+		{
+			ID:    "fig7",
+			Title: "Figure 7: Paradyn instrumentation system model in terms of the LIS components and the ISM",
+			Kind:  Diagram,
+			Text: `
+  node i:   p0   p1  ...  pn-1        <- application processes
+             |    |        |
+             v    v        v
+           [====][====]  [====]       <- per-process kernel pipes (bounded buffers)
+             \    |        /
+              v   v       v
+            (  Pd_i daemon  )         <- one server per node (LIS)
+                   |
+                   v      network delays (random arrival sequence)
+              \ \  |  / /
+               v v v v v
+            ( main Paradyn )          <- single-server ISM queue
+               process`,
+			Notes: []string{
+				"Simulated by internal/rocc (queueing of sweeps through CPU and network).",
+			},
+		},
+		{
+			ID:    "fig8",
+			Title: "Figure 8: The resource occupancy (ROCC) model for the Paradyn IS",
+			Kind:  Diagram,
+			Text: `
+  processes generating requests             system resources
+  +--------------------------+         +----------------------+
+  | instrumented application |--CPU--->|  [ CPU ]  quantum q  |--+
+  | processes                |         |   round-robin queue  |  |
+  +--------------------------+         +----------------------+  |
+  | instrumentation system   |--CPU--->|                      |  | time out /
+  | process (daemon)         |--net--->|  [ Network ] FCFS    |  | completion
+  +--------------------------+         |    queue             |  |
+  | other user processes     |--CPU--->|                      |  |
+  +--------------------------+         +----------------------+  |
+        ^                                                        |
+        +---- triggering of subsequent request ------------------+`,
+			Notes: []string{
+				"internal/rocc.CPU implements the preemptive round-robin resource; sim.Resource the FCFS network.",
+			},
+		},
+		{
+			ID:    "fig10",
+			Title: "Figure 10: Models for the SISO and MISO configurations of the Vista ISM",
+			Kind:  Diagram,
+			Text: `
+  SISO                                        MISO
+  from all processes                          from process 0 ... P-1
+        |                                        |   |   |
+        v                                        v   v   v
+  [ single input (priority) queue ]          [q0] [q1] ... [qP-1]   <- per-process
+        |                                        \   |   /             input queues
+        v                                         v  v  v
+  ( data processor )  service ~ Normal        ( data processor )
+        |                                            |
+        v                                            v
+  [ output FIFO queue ] --> tool              [ output FIFO queue ] --> tool`,
+			Notes: []string{
+				"Simulated by internal/vista; the live counterparts are ism's SISO/MISO input stages.",
+			},
+		},
+	}
+}

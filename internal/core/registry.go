@@ -1,0 +1,168 @@
+package core
+
+// The representative-tool registry behind Table 8: "Summary of IS
+// features of some representative parallel tools" (§4). Each profile
+// records the classification of one published instrumentation system
+// along the §2.4 dimensions. PRISM (this repository's synthesized IS)
+// is included as a tenth row, classified by the same scheme.
+
+// ToolProfile classifies one parallel tool's instrumentation system.
+type ToolProfile struct {
+	Tool       string
+	Analysis   AnalysisSupport
+	LIS        string
+	ISM        string
+	Synthesis  SynthesisApproach
+	Management ManagementApproach
+	Evaluation string // evaluation approach; "—" when none documented
+}
+
+// Registry returns the Table 8 tool profiles in the paper's row order,
+// with PRISM appended.
+func Registry() []ToolProfile {
+	return []ToolProfile{
+		{
+			Tool:       "PICL",
+			Analysis:   OffLine,
+			LIS:        "Local buffers using runtime library",
+			ISM:        "Trace file",
+			Synthesis:  HardCoded,
+			Management: Static,
+			Evaluation: "—",
+		},
+		{
+			Tool:       "AIMS",
+			Analysis:   OffLine,
+			LIS:        "Library",
+			ISM:        "Trace file",
+			Synthesis:  HardCoded,
+			Management: Static,
+			Evaluation: "—",
+		},
+		{
+			Tool:       "Pablo",
+			Analysis:   OffLine,
+			LIS:        "Library",
+			ISM:        "Trace file",
+			Synthesis:  HardCoded,
+			Management: Adaptive,
+			Evaluation: "—",
+		},
+		{
+			Tool:       "Paradyn",
+			Analysis:   OnLine,
+			LIS:        "Local daemon",
+			ISM:        "Main Paradyn process",
+			Synthesis:  ApplicationSpecific,
+			Management: Adaptive,
+			Evaluation: "Adaptive cost model",
+		},
+		{
+			Tool:       "Falcon/Issos/ChaosMON",
+			Analysis:   OnAndOffLine,
+			LIS:        "Resident monitor",
+			ISM:        "Central monitor",
+			Synthesis:  ApplicationSpecific,
+			Management: AppSpecificManagement,
+			Evaluation: "Evaluation of the factors that affect perturbation",
+		},
+		{
+			Tool:       "ParAide (TAM)",
+			Analysis:   OnAndOffLine,
+			LIS:        "Library",
+			ISM:        "Event trace server",
+			Synthesis:  HardCoded,
+			Management: Static,
+			Evaluation: "Accountable invasiveness",
+		},
+		{
+			Tool:       "SPI",
+			Analysis:   OnAndOffLine,
+			LIS:        "Library",
+			ISM:        "Event-Action machines",
+			Synthesis:  ApplicationSpecific,
+			Management: AppSpecificManagement,
+			Evaluation: "Accountable invasiveness",
+		},
+		{
+			Tool:       "VIZIR",
+			Analysis:   OnAndOffLine,
+			LIS:        "Library",
+			ISM:        "VIZIR front-end",
+			Synthesis:  HardCoded,
+			Management: Static,
+			Evaluation: "—",
+		},
+		{
+			Tool:       "Vista (P'RISM)",
+			Analysis:   OnAndOffLine,
+			LIS:        "Library with event forwarding, no local buffers",
+			ISM:        "Data processor with causal ordering",
+			Synthesis:  ApplicationSpecific,
+			Management: Static,
+			Evaluation: "Structured modeling and evaluation (this paper)",
+		},
+		{
+			Tool:       "PRISM (this repository)",
+			Analysis:   OnAndOffLine,
+			LIS:        "Buffered (FOF/FAOF), daemon, or forwarding",
+			ISM:        "SISO/MISO manager with causal ordering and spooling",
+			Synthesis:  ApplicationSpecific,
+			Management: Adaptive,
+			Evaluation: "Structured modeling, simulation and live measurement",
+		},
+	}
+}
+
+// Table8 renders the registry as the Table 8 artifact.
+func Table8() *Artifact {
+	a := &Artifact{
+		ID:    "table8",
+		Title: "Table 8: Summary of IS features of some representative parallel tools",
+		Kind:  Table,
+		Headers: []string{
+			"Tool", "Analysis/Visualization", "LIS", "ISM",
+			"Synthesis", "Management", "Evaluation",
+		},
+	}
+	for _, p := range Registry() {
+		a.Rows = append(a.Rows, []string{
+			p.Tool, p.Analysis.String(), p.LIS, p.ISM,
+			p.Synthesis.String(), p.Management.String(), p.Evaluation,
+		})
+	}
+	a.Notes = append(a.Notes,
+		"Rows 1-9 transcribe the paper's Table 8; the PRISM row classifies this repository's synthesized IS by the same scheme.")
+	return a
+}
+
+// SpecTable renders an ISSpec as a Tables 1/4/6-style artifact.
+func SpecTable(id, title string, spec ISSpec) *Artifact {
+	return &Artifact{
+		ID:    id,
+		Title: title,
+		Kind:  Table,
+		Headers: []string{
+			"Analysis Requirements", "Platform", "LIS", "ISM", "TP", "Management Policy",
+		},
+		Rows: [][]string{{
+			spec.Analysis.String(), spec.Platform, spec.LIS, spec.ISM,
+			spec.TP, spec.ManagementPolicy,
+		}},
+	}
+}
+
+// MetricTable renders metric specifications as a Tables 2/5/7-style
+// artifact.
+func MetricTable(id, title string, metrics []MetricSpec) *Artifact {
+	a := &Artifact{
+		ID:      id,
+		Title:   title,
+		Kind:    Table,
+		Headers: []string{"Metric", "Calculation", "Interpretation"},
+	}
+	for _, m := range metrics {
+		a.Rows = append(a.Rows, []string{m.Name, m.Calculation, m.Interpretation})
+	}
+	return a
+}

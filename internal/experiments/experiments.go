@@ -1,0 +1,173 @@
+// Package experiments assembles every table and figure of the paper's
+// evaluation into a runnable suite keyed by experiment id (see the
+// per-experiment index in DESIGN.md). Each experiment regenerates one
+// artifact; cmd/isrepro renders them, the root-level tests assert
+// their qualitative shapes, and bench_test.go times them.
+package experiments
+
+import (
+	"fmt"
+
+	"prism/internal/core"
+)
+
+// Options tunes experiment fidelity.
+type Options struct {
+	// Quick shrinks horizons and replication counts so the whole
+	// suite runs in seconds; full fidelity uses the paper's r=50
+	// replications and long horizons.
+	Quick bool
+	// Seed offsets all experiment seeds for sensitivity checks.
+	Seed uint64
+}
+
+// reps returns the replication count: the paper's 50, or a quick 5.
+func (o Options) reps() int {
+	if o.Quick {
+		return 5
+	}
+	return 50
+}
+
+// horizon scales a full-fidelity horizon down in quick mode.
+func (o Options) horizon(full float64) float64 {
+	if o.Quick {
+		return full / 10
+	}
+	return full
+}
+
+func (o Options) seed(base uint64) uint64 { return base + o.Seed }
+
+// Suite builds the full experiment registry.
+func Suite(o Options) *core.Suite {
+	s := core.NewSuite()
+	register := func(id, title string, run func() (*core.Artifact, error)) {
+		if err := s.Register(core.Experiment{ID: id, Title: title, Run: run}); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+	}
+
+	// PICL case study (§3.1).
+	register("table1", "Table 1: PICL IS specification", func() (*core.Artifact, error) {
+		return piclSpecTable(), nil
+	})
+	register("table2", "Table 2: PICL metrics", func() (*core.Artifact, error) {
+		return piclMetricTable(), nil
+	})
+	register("table3", "Table 3: FOF/FAOF management policy summary", func() (*core.Artifact, error) {
+		return table3(o)
+	})
+	register("fig5a", "Figure 5(a): flushing frequency, alpha=0.0008", func() (*core.Artifact, error) {
+		return fig5Panel(o, "fig5a", 0.0008)
+	})
+	register("fig5b", "Figure 5(b): flushing frequency, alpha=0.007", func() (*core.Artifact, error) {
+		return fig5Panel(o, "fig5b", 0.007)
+	})
+	register("fig5c", "Figure 5(c): flushing frequency, alpha=2", func() (*core.Artifact, error) {
+		return fig5Panel(o, "fig5c", 2)
+	})
+	register("valid-picl", "PICL validation: analytic vs simulated vs measured", func() (*core.Artifact, error) {
+		return validPICL(o)
+	})
+	register("abl-flushcost", "Ablation: PICL flush-cost model f(l)", func() (*core.Artifact, error) {
+		return ablFlushCost(o)
+	})
+	register("dist-stopping", "Table 3 distributions: stopping-time CDFs", func() (*core.Artifact, error) {
+		return stoppingDist(o)
+	})
+
+	// Paradyn case study (§3.2).
+	register("table4", "Table 4: Paradyn IS specification", func() (*core.Artifact, error) {
+		return paradynSpecTable(), nil
+	})
+	register("table5", "Table 5: Paradyn metrics", func() (*core.Artifact, error) {
+		return paradynMetricTable(), nil
+	})
+	register("fig9left", "Figure 9 (left): Pd interference vs sampling period", func() (*core.Artifact, error) {
+		return fig9Left(o)
+	})
+	register("fig9right", "Figure 9 (right): daemon CPU utilization vs #processes", func() (*core.Artifact, error) {
+		return fig9Right(o)
+	})
+	register("factorial-paradyn", "Paradyn 2^k*r factorial analysis", func() (*core.Artifact, error) {
+		return factorialParadyn(o)
+	})
+	register("adaptive-paradyn", "Extension: Paradyn adaptive cost model", func() (*core.Artifact, error) {
+		return adaptiveParadyn(o)
+	})
+	register("abl-quantum", "Ablation: ROCC round-robin quantum", func() (*core.Artifact, error) {
+		return ablQuantum(o)
+	})
+	register("ext-latency", "Extension: monitoring latency with multiple daemons", func() (*core.Artifact, error) {
+		return extLatency(o)
+	})
+	register("ext-ism", "Figure 7 end-to-end: central ISM stage", func() (*core.Artifact, error) {
+		return extISM(o)
+	})
+
+	// Vista case study (§3.3).
+	register("table6", "Table 6: Vista IS specification", func() (*core.Artifact, error) {
+		return vistaSpecTable(), nil
+	})
+	register("table7", "Table 7: Vista metrics", func() (*core.Artifact, error) {
+		return vistaMetricTable(), nil
+	})
+	register("fig11latency", "Figure 11 (left): data processing latency", func() (*core.Artifact, error) {
+		return fig11(o, true)
+	})
+	register("fig11buffer", "Figure 11 (right): average input buffer length", func() (*core.Artifact, error) {
+		return fig11(o, false)
+	})
+	register("factorial-vista", "Vista 2^k*r factorial + PCA analysis", func() (*core.Artifact, error) {
+		return factorialVista(o)
+	})
+	register("valid-vista", "Vista design decision: SISO vs MISO", func() (*core.Artifact, error) {
+		return validVista(o)
+	})
+	register("abl-disorder", "Ablation: Vista network-skew sensitivity", func() (*core.Artifact, error) {
+		return ablDisorder(o)
+	})
+
+	// Classification (§2.4, §4).
+	register("table8", "Table 8: IS features of representative tools", func() (*core.Artifact, error) {
+		return core.Table8(), nil
+	})
+
+	// Architecture figures (1-4, 6-8, 10) as diagrams.
+	for _, d := range core.Diagrams() {
+		d := d
+		register(d.ID, d.Title, func() (*core.Artifact, error) { return d, nil })
+	}
+	return s
+}
+
+// Groups maps composite ids (as the paper numbers them) to the
+// concrete experiment ids, so `isrepro fig5` runs all three panels.
+func Groups() map[string][]string {
+	return map[string][]string{
+		"fig5":  {"fig5a", "fig5b", "fig5c"},
+		"fig9":  {"fig9left", "fig9right"},
+		"fig11": {"fig11latency", "fig11buffer"},
+		"tables": {"table1", "table2", "table3", "table4", "table5",
+			"table6", "table7", "table8"},
+		"validation": {"valid-picl", "valid-vista", "factorial-paradyn", "factorial-vista"},
+		"ablations":  {"abl-flushcost", "abl-quantum", "abl-disorder"},
+		"extensions": {"adaptive-paradyn", "ext-latency", "ext-ism"},
+		"diagrams":   {"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10"},
+	}
+}
+
+// Resolve expands an id (or group id, or "all") into experiment ids.
+func Resolve(s *core.Suite, id string) ([]string, error) {
+	if id == "all" {
+		return s.IDs(), nil
+	}
+	if ids, ok := Groups()[id]; ok {
+		return ids, nil
+	}
+	if _, ok := s.Get(id); ok {
+		return []string{id}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment or group %q", id)
+}

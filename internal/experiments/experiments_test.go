@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"prism/internal/core"
+)
+
+func quickSuite(t *testing.T) *core.Suite {
+	t.Helper()
+	return Suite(Options{Quick: true})
+}
+
+func TestSuiteRegistersEverything(t *testing.T) {
+	s := quickSuite(t)
+	want := []string{
+		"table1", "table2", "table3", "fig5a", "fig5b", "fig5c",
+		"valid-picl", "abl-flushcost",
+		"table4", "table5", "fig9left", "fig9right",
+		"factorial-paradyn", "adaptive-paradyn", "abl-quantum",
+		"table6", "table7", "fig11latency", "fig11buffer",
+		"factorial-vista", "valid-vista", "abl-disorder", "table8",
+		"ext-latency", "ext-ism", "dist-stopping",
+		"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10",
+	}
+	got := map[string]bool{}
+	for _, id := range s.IDs() {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if len(s.IDs()) != len(want) {
+		t.Fatalf("unexpected experiment count %d, want %d", len(s.IDs()), len(want))
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := quickSuite(t)
+	ids, err := Resolve(s, "fig5")
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("fig5 group: %v %v", ids, err)
+	}
+	ids, err = Resolve(s, "table3")
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("single: %v %v", ids, err)
+	}
+	ids, err = Resolve(s, "all")
+	if err != nil || len(ids) != len(s.IDs()) {
+		t.Fatalf("all: %v %v", ids, err)
+	}
+	if _, err := Resolve(s, "bogus"); err == nil {
+		t.Fatal("bogus id accepted")
+	}
+}
+
+func TestSpecTablesRun(t *testing.T) {
+	s := quickSuite(t)
+	for _, id := range []string{"table1", "table2", "table4", "table5", "table6", "table7", "table8"} {
+		a, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.Kind != core.Table || len(a.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func TestTable3QualitativeContent(t *testing.T) {
+	a, err := quickSuite(t).Run("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 3 {
+		t.Fatalf("rows %d", len(a.Rows))
+	}
+	// The frequency row must show FAOF below FOF; parse loosely by
+	// checking the notes mention the bound relation.
+	joined := strings.Join(a.Notes, " ")
+	if !strings.Contains(joined, "omega_a") || !strings.Contains(joined, "omega_o") {
+		t.Fatalf("notes lack formulas: %v", a.Notes)
+	}
+}
+
+func TestFig5PanelShapes(t *testing.T) {
+	s := quickSuite(t)
+	for _, id := range []string{"fig5a", "fig5b", "fig5c"} {
+		a, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		series := map[string]core.Series{}
+		for _, sr := range a.Series {
+			series[sr.Name] = sr
+		}
+		fof := series["FOF analytic"]
+		faof := series["FAOF analytic"]
+		if len(fof.Y) != 10 || len(faof.Y) != 10 {
+			t.Fatalf("%s: missing analytic series", id)
+		}
+		for i := range fof.Y {
+			if faof.Y[i] >= fof.Y[i] {
+				t.Fatalf("%s: FAOF not below FOF at l=%v", id, fof.X[i])
+			}
+			if i > 0 && fof.Y[i] >= fof.Y[i-1] {
+				t.Fatalf("%s: FOF not decreasing", id)
+			}
+		}
+		// Simulated series should track analytic within 15% (quick mode).
+		sim := series["FOF simulated"]
+		for i := range sim.Y {
+			rel := (sim.Y[i] - fof.Y[i]) / fof.Y[i]
+			if rel > 0.15 || rel < -0.15 {
+				t.Fatalf("%s: sim/analytic FOF divergence %.2f at l=%v", id, rel, sim.X[i])
+			}
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	s := quickSuite(t)
+	left, err := s.Run("fig9left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := left.Series[0].Y
+	if ys[0] <= ys[len(ys)-1] {
+		t.Fatalf("interference not decreasing overall: %v", ys)
+	}
+	right, err := s.Run("fig9right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys = right.Series[0].Y
+	for i := 1; i < len(ys); i++ {
+		if ys[i] >= ys[i-1]*1.1 { // allow small noise, forbid growth
+			t.Fatalf("utilization grows at point %d: %v", i, ys)
+		}
+	}
+	if ys[0] < 2*ys[len(ys)-1] {
+		t.Fatalf("utilization decline too weak: %v", ys)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	s := quickSuite(t)
+	lat, err := s.Run("fig11latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var siso, miso core.Series
+	for _, sr := range lat.Series {
+		if sr.Name == "SISO" {
+			siso = sr
+		} else {
+			miso = sr
+		}
+	}
+	// At the fastest arrivals (x=10) SISO must be lower.
+	if siso.Y[0] >= miso.Y[0] {
+		t.Fatalf("SISO %v not below MISO %v at inter-arrival 10", siso.Y[0], miso.Y[0])
+	}
+	// Gap shrinks at x=100.
+	gapFast := miso.Y[0] - siso.Y[0]
+	gapSlow := miso.Y[len(miso.Y)-1] - siso.Y[len(siso.Y)-1]
+	if gapSlow >= gapFast {
+		t.Fatalf("gap did not shrink: fast %v slow %v", gapFast, gapSlow)
+	}
+
+	buf, err := s.Run("fig11buffer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range buf.Series {
+		if sr.Y[0] <= sr.Y[len(sr.Y)-1] {
+			t.Fatalf("%s buffer length not decreasing: %v", sr.Name, sr.Y)
+		}
+	}
+}
+
+func TestFactorialVistaDominantFactor(t *testing.T) {
+	a, err := quickSuite(t).Run("factorial-vista")
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(a.Notes, " ")
+	if !strings.Contains(notes, "latency <- interarrival") {
+		t.Fatalf("inter-arrival not dominant for latency: %v", a.Notes)
+	}
+	if !strings.Contains(notes, "buffer length <- interarrival") {
+		t.Fatalf("inter-arrival not dominant for buffer length: %v", a.Notes)
+	}
+}
+
+func TestFactorialParadynDominantFactors(t *testing.T) {
+	a, err := quickSuite(t).Run("factorial-paradyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claims are directional: utilization falls with the
+	// number of processes (procs dominates it), and interference
+	// falls as the sampling period grows. Check the signs from the
+	// rendered effect rows.
+	notes := strings.Join(a.Notes, " ")
+	if !strings.Contains(notes, "utilization <- procs") {
+		t.Fatalf("procs not dominant for utilization: %v", a.Notes)
+	}
+	var periodRow []string
+	for _, row := range a.Rows {
+		if row[0] == "period" {
+			periodRow = row
+		}
+	}
+	if periodRow == nil {
+		t.Fatal("missing period effect row")
+	}
+	if !strings.HasPrefix(periodRow[1], "-") {
+		t.Fatalf("period effect on interference should be negative: %v", periodRow)
+	}
+}
+
+func TestExtISM(t *testing.T) {
+	a, err := quickSuite(t).Run("ext-ism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := a.Series[0]
+	// ISM utilization falls as sampling slows.
+	if util.Y[0] <= util.Y[len(util.Y)-1] {
+		t.Fatalf("ISM utilization not decreasing: %v", util.Y)
+	}
+	e2e := a.Series[1]
+	for _, v := range e2e.Y {
+		if v <= 0 {
+			t.Fatalf("end-to-end latency missing: %v", e2e.Y)
+		}
+	}
+}
+
+func TestStoppingDistribution(t *testing.T) {
+	a, err := quickSuite(t).Run("dist-stopping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fof, faof := a.Series[0], a.Series[1]
+	for i := range fof.Y {
+		// CDFs in [0,1], monotone, FAOF dominating FOF.
+		if fof.Y[i] < 0 || fof.Y[i] > 1 || faof.Y[i] < 0 || faof.Y[i] > 1 {
+			t.Fatalf("CDF out of range at %d", i)
+		}
+		// Allow last-bit float jitter in the deep tails.
+		const eps = 1e-9
+		if i > 0 && (fof.Y[i] < fof.Y[i-1]-eps || faof.Y[i] < faof.Y[i-1]-eps) {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+		if faof.Y[i]+1e-12 < fof.Y[i] {
+			t.Fatalf("FAOF CDF below FOF at %d: %v < %v", i, faof.Y[i], fof.Y[i])
+		}
+	}
+}
+
+func TestValidationTables(t *testing.T) {
+	s := quickSuite(t)
+	for _, id := range []string{"valid-picl", "valid-vista"} {
+		a, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(a.Rows) < 4 {
+			t.Fatalf("%s: too few rows", id)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := quickSuite(t)
+	for _, id := range []string{"abl-flushcost", "abl-quantum", "abl-disorder"} {
+		a, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(a.Rows) < 3 {
+			t.Fatalf("%s: too few rows", id)
+		}
+	}
+}
+
+func TestExtLatencyCrossover(t *testing.T) {
+	a, err := quickSuite(t).Run("ext-latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != 3 {
+		t.Fatalf("series %d", len(a.Series))
+	}
+	one, two := a.Series[0], a.Series[1]
+	last := len(one.Y) - 1
+	if two.Y[last] >= one.Y[last] {
+		t.Fatalf("above threshold, 2 daemons (%v) should beat 1 (%v)", two.Y[last], one.Y[last])
+	}
+	// At the smallest process count the curves are comparable.
+	if two.Y[0] > one.Y[0]*3 {
+		t.Fatalf("below threshold, 2 daemons should not be much worse: %v vs %v", two.Y[0], one.Y[0])
+	}
+}
+
+func TestAdaptiveParadyn(t *testing.T) {
+	a, err := quickSuite(t).Run("adaptive-paradyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != core.Figure || len(a.Series) != 3 {
+		t.Fatalf("artifact shape: %+v", a)
+	}
+}

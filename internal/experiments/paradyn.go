@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prism/internal/core"
+	"prism/internal/paradyn"
+	"prism/internal/rng"
+	"prism/internal/rocc"
+	"prism/internal/stats"
+	"prism/internal/workload"
+)
+
+// ioBoundProfile is the lightly-loaded-CPU application mix of the
+// ext-latency experiment.
+func ioBoundProfile() workload.AppProfile {
+	return workload.AppProfile{
+		CPUBurst:        rng.Exponential{Rate: 1.0 / 4.0},
+		NetOp:           rng.Exponential{Rate: 1.0 / 2.0},
+		CommProbability: 0.2,
+		ThinkTime:       rng.Exponential{Rate: 1.0 / 200.0},
+	}
+}
+
+// meanCI is a small local helper for 90% intervals.
+func meanCI(vals []float64) stats.Interval { return stats.MeanCI(vals, 0.90) }
+
+func paradynBase(o Options) rocc.Config {
+	cfg := rocc.DefaultConfig()
+	cfg.Horizon = o.horizon(60_000)
+	cfg.Seed = o.seed(1)
+	return cfg
+}
+
+func paradynSpecTable() *core.Artifact {
+	return core.SpecTable("table4",
+		"Table 4: Specifications characterizing the Paradyn instrumentation system",
+		core.ISSpec{
+			Name:     "Paradyn",
+			Analysis: core.OnLine,
+			Platform: "Cluster of workstations; here: ROCC-simulated shared workstation node",
+			LIS: "Local daemon process for each node that collects samples from " +
+				"application processes and forwards data",
+			ISM:              "Main Paradyn process that accepts data from daemons and uses data for analysis",
+			TP:               "Unix-based interprocess communication (pipes)",
+			ManagementPolicy: "Adaptive management policy implemented by the tool developers",
+		})
+}
+
+func paradynMetricTable() *core.Artifact {
+	return core.MetricTable("table5",
+		"Table 5: Metrics for evaluating the Paradyn IS management policies",
+		[]core.MetricSpec{
+			{
+				Name:           "Pd interference",
+				Calculation:    "Resource occupancy (ROCC) model",
+				Interpretation: "Corresponds to direct perturbation of the program; lower is better",
+			},
+			{
+				Name:           "Utilization of Pd",
+				Calculation:    "Resource occupancy (ROCC) model",
+				Interpretation: "Nominal is best",
+			},
+		})
+}
+
+func pointsToSeries(name string, pts []paradyn.PointCI) core.Series {
+	s := core.Series{Name: name}
+	for _, p := range pts {
+		s.X = append(s.X, p.X)
+		s.Y = append(s.Y, p.Y.Mean)
+		s.YLo = append(s.YLo, p.Y.Lo)
+		s.YHi = append(s.YHi, p.Y.Hi)
+	}
+	return s
+}
+
+// fig9Left regenerates Figure 9 (left): Pd interference vs sampling
+// period, 50..500 ms, mean of r replications within 90% CIs.
+func fig9Left(o Options) (*core.Artifact, error) {
+	periods := []float64{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
+	pts, err := paradyn.Fig9Left(paradynBase(o), periods, o.reps())
+	if err != nil {
+		return nil, err
+	}
+	return &core.Artifact{
+		ID:     "fig9left",
+		Title:  "Figure 9 (left): Pd interference vs sampling period (ROCC model, 2^k*r design, 90% CI)",
+		Kind:   core.Figure,
+		XLabel: "Sampling period (ms)",
+		YLabel: "Interference (ms of daemon CPU over the run)",
+		Series: []core.Series{pointsToSeries("interference", pts)},
+		Notes: []string{
+			"Shape to match the paper: decreasing, superlinear drop at small periods, levels off at the daemon's housekeeping floor.",
+		},
+	}, nil
+}
+
+// fig9Right regenerates Figure 9 (right): daemon CPU utilization vs
+// number of application processes, 1..35.
+func fig9Right(o Options) (*core.Artifact, error) {
+	counts := []int{1, 2, 4, 8, 12, 16, 20, 25, 30, 35}
+	pts, err := paradyn.Fig9Right(paradynBase(o), counts, o.reps())
+	if err != nil {
+		return nil, err
+	}
+	return &core.Artifact{
+		ID:     "fig9right",
+		Title:  "Figure 9 (right): CPU utilization by the daemon vs number of application processes",
+		Kind:   core.Figure,
+		XLabel: "Number of application processes",
+		YLabel: "Daemon share of consumed CPU (%)",
+		Series: []core.Series{pointsToSeries("utilizationPd", pts)},
+		Notes: []string{
+			"Shape to match the paper: monotone decrease — round-robin scheduling starves the daemon as processes multiply (§3.2.3).",
+		},
+	}, nil
+}
+
+// factorialParadyn runs the paper's 2^2*r factorial design on the ROCC
+// model and reports effects and allocation of variation.
+func factorialParadyn(o Options) (*core.Artifact, error) {
+	base := paradynBase(o)
+	fr, err := paradyn.Factorial(base, 50, 500, 2, 32, o.reps())
+	if err != nil {
+		return nil, err
+	}
+	a := &core.Artifact{
+		ID:    "factorial-paradyn",
+		Title: fmt.Sprintf("Paradyn 2^2*%d factorial design: effects on interference and utilization (90%% CI)", o.reps()),
+		Kind:  core.Table,
+		Headers: []string{
+			"Effect", "Interference estimate", "Interference variation",
+			"Utilization estimate", "Utilization variation",
+		},
+	}
+	for _, ei := range fr.Interference.Effects {
+		eu, _ := fr.Utilization.EffectByName(ei.Name)
+		a.Rows = append(a.Rows, []string{
+			ei.Name,
+			ei.CI.String(), fmt.Sprintf("%.1f%%", ei.VariationShare*100),
+			eu.CI.String(), fmt.Sprintf("%.1f%%", eu.VariationShare*100),
+		})
+	}
+	a.Rows = append(a.Rows, []string{
+		"(error)",
+		"", fmt.Sprintf("%.1f%%", fr.Interference.ErrorShare*100),
+		"", fmt.Sprintf("%.1f%%", fr.Utilization.ErrorShare*100),
+	})
+	a.Notes = append(a.Notes,
+		fmt.Sprintf("Dominant factor: interference <- %s, utilization <- %s.",
+			fr.Interference.DominantFactor(), fr.Utilization.DominantFactor()))
+	return a, nil
+}
+
+// adaptiveParadyn exercises the adaptive cost model extension: a
+// closed loop retuning the sampling period toward a target overhead.
+func adaptiveParadyn(o Options) (*core.Artifact, error) {
+	base := paradynBase(o)
+	base.SamplingPeriod = 60
+	// Establish a reachable target midway between the overheads at a
+	// fast and a slow period.
+	hi, err := rocc.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	slow := base
+	slow.SamplingPeriod = 1500
+	lo, err := rocc.Run(slow)
+	if err != nil {
+		return nil, err
+	}
+	target := (hi.UtilizationPct + lo.UtilizationPct) / 2
+	model, err := paradyn.NewCostModel(target)
+	if err != nil {
+		return nil, err
+	}
+	segments := 15
+	if o.Quick {
+		segments = 8
+	}
+	steps, err := paradyn.AdaptiveRun(base, model, segments)
+	if err != nil {
+		return nil, err
+	}
+	var xs, periods, overheads []float64
+	for i, st := range steps {
+		xs = append(xs, float64(i))
+		periods = append(periods, st.Period)
+		overheads = append(overheads, st.OverheadPct)
+	}
+	targetLine := make([]float64, len(xs))
+	for i := range targetLine {
+		targetLine[i] = target
+	}
+	return &core.Artifact{
+		ID:     "adaptive-paradyn",
+		Title:  fmt.Sprintf("Adaptive cost model: overhead converging to the %.2f%% target", target),
+		Kind:   core.Figure,
+		XLabel: "Control segment",
+		YLabel: "Daemon overhead (%) / sampling period (ms/100)",
+		Series: []core.Series{
+			{Name: "overhead %", X: xs, Y: overheads},
+			{Name: "target %", X: xs, Y: targetLine},
+			{Name: "period/100", X: xs, Y: scale(periods, 0.01)},
+		},
+		Notes: []string{
+			"Implements the paper's §4 description of Paradyn's cost model: measured overhead feeds back into the sampling rate.",
+		},
+	}, nil
+}
+
+// ablQuantum sweeps the round-robin quantum, the scheduling
+// design-choice ablation of the ROCC model.
+func ablQuantum(o Options) (*core.Artifact, error) {
+	a := &core.Artifact{
+		ID:    "abl-quantum",
+		Title: "Ablation: ROCC metrics vs round-robin quantum (n=8 processes, period 200 ms)",
+		Kind:  core.Table,
+		Headers: []string{
+			"Quantum (ms)", "Interference (ms)", "Daemon utilization (%)",
+			"Monitoring latency (ms)", "Context switches",
+		},
+	}
+	for _, q := range []float64{1, 5, 10, 50} {
+		cfg := paradynBase(o)
+		cfg.Quantum = q
+		cfg.AppProcesses = 8
+		res, err := rocc.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a.Rows = append(a.Rows, []string{
+			fmt.Sprint(q),
+			fmt.Sprintf("%.1f", res.InterferenceMs),
+			fmt.Sprintf("%.2f", res.UtilizationPct),
+			fmt.Sprintf("%.2f", res.MonitoringLatencyMs),
+			fmt.Sprint(res.ContextSwitches),
+		})
+	}
+	a.Notes = append(a.Notes,
+		"Smaller quanta reduce the daemon's wait per CPU visit (lower monitoring latency) at the price of more context switches.")
+	return a, nil
+}
+
+// extLatency regenerates the §3.2.3 extension: monitoring latency
+// versus the number of application processes for 1 vs 2 vs 4 daemons,
+// in the Gu et al. regime (daemon round-trip-bound, CPU lightly
+// loaded). The expected shape: below a process-count threshold the
+// curves coincide (extra daemons only add interference); above it the
+// single daemon saturates and multiple daemons win by a large factor.
+func extLatency(o Options) (*core.Artifact, error) {
+	counts := []int{2, 8, 16, 24, 32, 40}
+	var series []core.Series
+	for _, d := range []int{1, 2, 4} {
+		s := core.Series{Name: fmt.Sprintf("%d daemon(s)", d)}
+		for _, n := range counts {
+			cfg := ioBound(o, n, d)
+			var vals []float64
+			for r := 0; r < o.reps(); r++ {
+				cfg.Seed = o.seed(uint64(r)*31 + uint64(n*10+d))
+				res, err := rocc.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, res.MonitoringLatencyMs)
+			}
+			iv := meanCI(vals)
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, iv.Mean)
+			s.YLo = append(s.YLo, iv.Lo)
+			s.YHi = append(s.YHi, iv.Hi)
+		}
+		series = append(series, s)
+	}
+	return &core.Artifact{
+		ID:     "ext-latency",
+		Title:  "Extension (Gu et al., cited in §3.2.3): monitoring latency vs processes, 1/2/4 daemons",
+		Kind:   core.Figure,
+		XLabel: "Number of application processes",
+		YLabel: "Monitoring latency (ms)",
+		Series: series,
+		Notes: []string{
+			"Multiple monitoring daemons reduce monitoring latency only above a process-count threshold; below it they just add interference.",
+		},
+	}, nil
+}
+
+// extISM regenerates the full Figure 7 path: daemons forward sample
+// batches across the network to the central "main Paradyn process",
+// modeled as a single-server queue. The artifact sweeps the sampling
+// period and reports the ISM's utilization and the end-to-end sample
+// latency (generation -> central service completion).
+func extISM(o Options) (*core.Artifact, error) {
+	periods := []float64{50, 100, 200, 300, 400, 500}
+	util := core.Series{Name: "ISM utilization (%)"}
+	e2e := core.Series{Name: "end-to-end latency (ms)"}
+	for _, p := range periods {
+		cfg := paradynBase(o)
+		cfg.SamplingPeriod = p
+		var utils, lats []float64
+		for r := 0; r < o.reps(); r++ {
+			cfg.Seed = o.seed(uint64(r)*53 + uint64(p))
+			res, err := rocc.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			utils = append(utils, res.ISMUtilization*100)
+			lats = append(lats, res.EndToEndLatencyMs)
+		}
+		u := meanCI(utils)
+		l := meanCI(lats)
+		util.X = append(util.X, p)
+		util.Y = append(util.Y, u.Mean)
+		util.YLo = append(util.YLo, u.Lo)
+		util.YHi = append(util.YHi, u.Hi)
+		e2e.X = append(e2e.X, p)
+		e2e.Y = append(e2e.Y, l.Mean)
+		e2e.YLo = append(e2e.YLo, l.Lo)
+		e2e.YHi = append(e2e.YHi, l.Hi)
+	}
+	return &core.Artifact{
+		ID:     "ext-ism",
+		Title:  "Figure 7 end-to-end: central ISM utilization and sample latency vs sampling period",
+		Kind:   core.Figure,
+		XLabel: "Sampling period (ms)",
+		YLabel: "ISM utilization (%) / end-to-end latency (ms)",
+		Series: []core.Series{util, e2e},
+		Notes: []string{
+			"The central main-process stage of Figure 7: batches cross the network after the daemon forwards them and queue at a single server.",
+		},
+	}, nil
+}
+
+// ioBound parameterizes the round-trip-bound daemon regime.
+func ioBound(o Options, n, daemons int) rocc.Config {
+	cfg := rocc.DefaultConfig()
+	cfg.Horizon = o.horizon(60_000)
+	cfg.AppProcesses = n
+	cfg.SamplingPeriod = 50
+	cfg.Daemons = daemons
+	cfg.App = ioBoundProfile()
+	cfg.PerSampleCPU = 0.3
+	cfg.PerSampleNet = 0.6
+	return cfg
+}
+
+func scale(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Package event provides the capture side of the synthesized
+// instrumentation system: clocks, sensors and probes. In the paper's
+// vocabulary (after Ogle et al., cited in §2.2.1) sensors and probes
+// are the LIS elements embedded in application code that turn program
+// activity into instrumentation-data records.
+//
+// Every captured record carries a timestamp from a Clock. Production
+// use takes the real monotonic clock; tests and simulations inject a
+// virtual clock so runs are deterministic.
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prism/internal/trace"
+)
+
+// Clock supplies capture timestamps in nanoseconds.
+type Clock interface {
+	Now() int64
+}
+
+// RealClock reads the process monotonic clock.
+type RealClock struct{ base time.Time }
+
+// NewRealClock returns a RealClock anchored at construction time, so
+// timestamps start near zero and traces from separate runs align.
+func NewRealClock() *RealClock { return &RealClock{base: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() int64 { return int64(time.Since(c.base)) }
+
+// VirtualClock is a settable clock for tests and simulation-coupled
+// runs. It is safe for concurrent use.
+type VirtualClock struct{ ns atomic.Int64 }
+
+// Now implements Clock.
+func (c *VirtualClock) Now() int64 { return c.ns.Load() }
+
+// Set moves the clock to the given nanosecond timestamp.
+func (c *VirtualClock) Set(ns int64) { c.ns.Store(ns) }
+
+// Advance moves the clock forward by d nanoseconds and returns the new
+// time.
+func (c *VirtualClock) Advance(d int64) int64 { return c.ns.Add(d) }
+
+// Sink consumes captured records; the LIS implementations in package
+// lis are the sinks of this package's sensors.
+type Sink interface {
+	// Capture accepts one record. Implementations may block (e.g. a
+	// full pipe under the daemon LIS, the blocking effect §3.2.3
+	// describes) but must not retain the record beyond the call.
+	Capture(trace.Record)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(trace.Record)
+
+// Capture implements Sink.
+func (f SinkFunc) Capture(r trace.Record) { f(r) }
+
+// Sensor captures events for one (node, process) source and stamps
+// them with capture time and a per-source sequence number (carried to
+// the ISM for causal reconstruction). It is safe for concurrent use by
+// the instrumented process's goroutines.
+type Sensor struct {
+	node, process int32
+	clock         Clock
+	sink          Sink
+	seq           atomic.Uint64
+	captured      atomic.Uint64
+	enabled       atomic.Bool
+}
+
+// NewSensor creates a sensor for the given source feeding sink.
+func NewSensor(node, process int32, clock Clock, sink Sink) *Sensor {
+	s := &Sensor{node: node, process: process, clock: clock, sink: sink}
+	s.enabled.Store(true)
+	return s
+}
+
+// Enable turns capture on or off; disabled sensors drop events with
+// near-zero cost, the mechanism behind dynamic instrumentation
+// (Paradyn inserts and removes instrumentation at runtime, §3.2).
+func (s *Sensor) Enable(on bool) { s.enabled.Store(on) }
+
+// Enabled reports whether the sensor is capturing.
+func (s *Sensor) Enabled() bool { return s.enabled.Load() }
+
+// Captured returns the number of records captured (not dropped).
+func (s *Sensor) Captured() uint64 { return s.captured.Load() }
+
+// NextSeq returns the next per-source sequence number without
+// consuming it.
+func (s *Sensor) NextSeq() uint64 { return s.seq.Load() }
+
+// Emit captures a record of the given kind. The record's Node,
+// Process, Time and Logical fields are overwritten; Logical carries
+// the capture sequence number until the ISM assigns Lamport stamps.
+func (s *Sensor) Emit(kind trace.Kind, tag uint16, payload int64) {
+	if !s.enabled.Load() {
+		return
+	}
+	r := trace.Record{
+		Node:    s.node,
+		Process: s.process,
+		Kind:    kind,
+		Tag:     tag,
+		Time:    s.clock.Now(),
+		Logical: s.seq.Add(1) - 1,
+		Payload: payload,
+	}
+	s.captured.Add(1)
+	s.sink.Capture(r)
+}
+
+// User captures a user-defined event.
+func (s *Sensor) User(tag uint16, payload int64) { s.Emit(trace.KindUser, tag, payload) }
+
+// Send captures a message-send event to the given destination node.
+func (s *Sensor) Send(tag uint16, dest int32) { s.Emit(trace.KindSend, tag, int64(dest)) }
+
+// Recv captures a message-receive event from the given source node.
+func (s *Sensor) Recv(tag uint16, src int32) { s.Emit(trace.KindRecv, tag, int64(src)) }
+
+// BlockIn captures entry to an instrumented block.
+func (s *Sensor) BlockIn(block uint16) { s.Emit(trace.KindBlockIn, block, 0) }
+
+// BlockOut captures exit from an instrumented block.
+func (s *Sensor) BlockOut(block uint16) { s.Emit(trace.KindBlockOut, block, 0) }
+
+// Sample captures a metric sample.
+func (s *Sensor) Sample(metric uint16, value int64) { s.Emit(trace.KindSample, metric, value) }
+
+// Mark captures a phase marker.
+func (s *Sensor) Mark(tag uint16) { s.Emit(trace.KindMark, tag, 0) }
+
+// Counter is a monotonically increasing metric a probe can sample,
+// e.g. bytes sent or procedure entry counts. It is safe for concurrent
+// use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable metric a probe can sample, e.g. queue depth.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Probe periodically samples a metric through a sensor — the Paradyn
+// capture mechanism ("instrumentation is inserted dynamically in the
+// program during runtime to generate samples of that metric value",
+// §3.2). Run drives it from a ticker or simulated scheduler.
+type Probe struct {
+	Metric uint16
+	Read   func() int64
+	Sensor *Sensor
+
+	mu       sync.Mutex
+	interval time.Duration
+	samples  uint64
+}
+
+// NewProbe creates a probe that samples read via sensor.
+func NewProbe(metric uint16, read func() int64, sensor *Sensor, interval time.Duration) *Probe {
+	return &Probe{Metric: metric, Read: read, Sensor: sensor, interval: interval}
+}
+
+// Interval returns the current sampling interval.
+func (p *Probe) Interval() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.interval
+}
+
+// SetInterval changes the sampling interval; the Paradyn IS backs off
+// sampling over time ("the rate of sampling of data progressively
+// decreases over time", §3.2) via this hook.
+func (p *Probe) SetInterval(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.interval = d
+}
+
+// SampleOnce reads the metric and emits one sample record.
+func (p *Probe) SampleOnce() {
+	p.mu.Lock()
+	p.samples++
+	p.mu.Unlock()
+	p.Sensor.Sample(p.Metric, p.Read())
+}
+
+// Samples returns the number of samples taken.
+func (p *Probe) Samples() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.samples
+}
+
+// Run samples until stop is closed, waiting Interval() between
+// samples. It is the real-time driver; simulations call SampleOnce on
+// their own schedule.
+func (p *Probe) Run(stop <-chan struct{}) {
+	for {
+		d := p.Interval()
+		select {
+		case <-stop:
+			return
+		case <-time.After(d):
+			p.SampleOnce()
+		}
+	}
+}

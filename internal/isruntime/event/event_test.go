@@ -1,0 +1,227 @@
+package event
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"prism/internal/trace"
+)
+
+type captureSink struct {
+	mu   sync.Mutex
+	recs []trace.Record
+}
+
+func (c *captureSink) Capture(r trace.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recs = append(c.recs, r)
+}
+
+func (c *captureSink) all() []trace.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]trace.Record(nil), c.recs...)
+}
+
+func TestVirtualClock(t *testing.T) {
+	var c VirtualClock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at 0")
+	}
+	c.Set(100)
+	if c.Now() != 100 {
+		t.Fatal("Set failed")
+	}
+	if c.Advance(50) != 150 || c.Now() != 150 {
+		t.Fatal("Advance failed")
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("real clock not advancing: %d then %d", a, b)
+	}
+}
+
+func TestSensorStampsAndSequences(t *testing.T) {
+	var clock VirtualClock
+	sink := &captureSink{}
+	s := NewSensor(3, 7, &clock, sink)
+	clock.Set(1000)
+	s.User(1, 42)
+	clock.Set(2000)
+	s.Send(9, 5)
+	clock.Set(3000)
+	s.Recv(9, 5)
+	recs := sink.all()
+	if len(recs) != 3 {
+		t.Fatalf("captured %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Node != 3 || r.Process != 7 {
+			t.Fatalf("source wrong: %+v", r)
+		}
+		if r.Logical != uint64(i) {
+			t.Fatalf("sequence %d on record %d", r.Logical, i)
+		}
+	}
+	if recs[0].Time != 1000 || recs[1].Time != 2000 || recs[2].Time != 3000 {
+		t.Fatalf("timestamps %v", recs)
+	}
+	if recs[0].Kind != trace.KindUser || recs[0].Payload != 42 {
+		t.Fatalf("user record %+v", recs[0])
+	}
+	if recs[1].Kind != trace.KindSend || recs[1].Payload != 5 || recs[1].Tag != 9 {
+		t.Fatalf("send record %+v", recs[1])
+	}
+	if recs[2].Kind != trace.KindRecv {
+		t.Fatalf("recv record %+v", recs[2])
+	}
+	if s.Captured() != 3 || s.NextSeq() != 3 {
+		t.Fatalf("counters: captured %d nextseq %d", s.Captured(), s.NextSeq())
+	}
+}
+
+func TestSensorDisable(t *testing.T) {
+	var clock VirtualClock
+	sink := &captureSink{}
+	s := NewSensor(0, 0, &clock, sink)
+	s.Enable(false)
+	if s.Enabled() {
+		t.Fatal("still enabled")
+	}
+	s.User(1, 1)
+	s.Mark(2)
+	if len(sink.all()) != 0 || s.Captured() != 0 {
+		t.Fatal("disabled sensor captured")
+	}
+	s.Enable(true)
+	s.BlockIn(4)
+	s.BlockOut(4)
+	recs := sink.all()
+	if len(recs) != 2 || recs[0].Kind != trace.KindBlockIn || recs[1].Kind != trace.KindBlockOut {
+		t.Fatalf("re-enabled capture: %v", recs)
+	}
+	// Sequence numbers must stay contiguous across the disabled gap.
+	if recs[0].Logical != 0 || recs[1].Logical != 1 {
+		t.Fatalf("sequence gap: %v", recs)
+	}
+}
+
+func TestSensorConcurrentEmit(t *testing.T) {
+	var clock VirtualClock
+	sink := &captureSink{}
+	s := NewSensor(0, 0, &clock, sink)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const each = 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.User(1, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	recs := sink.all()
+	if len(recs) != goroutines*each {
+		t.Fatalf("captured %d", len(recs))
+	}
+	// All sequence numbers distinct and within range.
+	seen := make([]bool, goroutines*each)
+	for _, r := range recs {
+		if r.Logical >= uint64(len(seen)) || seen[r.Logical] {
+			t.Fatalf("bad sequence %d", r.Logical)
+		}
+		seen[r.Logical] = true
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-2)
+	if c.Value() != 3 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	var g Gauge
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge %d", g.Value())
+	}
+}
+
+func TestProbeSampling(t *testing.T) {
+	var clock VirtualClock
+	sink := &captureSink{}
+	s := NewSensor(1, 0, &clock, sink)
+	var cnt Counter
+	p := NewProbe(99, cnt.Value, s, time.Millisecond)
+	cnt.Add(7)
+	p.SampleOnce()
+	cnt.Add(3)
+	p.SampleOnce()
+	recs := sink.all()
+	if len(recs) != 2 {
+		t.Fatalf("samples %d", len(recs))
+	}
+	if recs[0].Kind != trace.KindSample || recs[0].Tag != 99 || recs[0].Payload != 7 {
+		t.Fatalf("sample 0: %+v", recs[0])
+	}
+	if recs[1].Payload != 10 {
+		t.Fatalf("sample 1: %+v", recs[1])
+	}
+	if p.Samples() != 2 {
+		t.Fatalf("probe count %d", p.Samples())
+	}
+}
+
+func TestProbeIntervalAdaptation(t *testing.T) {
+	p := NewProbe(1, func() int64 { return 0 }, nil, 100*time.Millisecond)
+	if p.Interval() != 100*time.Millisecond {
+		t.Fatal("initial interval")
+	}
+	p.SetInterval(time.Second)
+	if p.Interval() != time.Second {
+		t.Fatal("SetInterval")
+	}
+}
+
+func TestProbeRunStops(t *testing.T) {
+	var clock VirtualClock
+	sink := &captureSink{}
+	s := NewSensor(0, 0, &clock, sink)
+	p := NewProbe(1, func() int64 { return 1 }, s, 200*time.Microsecond)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		p.Run(stop)
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("probe did not stop")
+	}
+	if p.Samples() == 0 {
+		t.Fatal("probe never sampled")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got trace.Record
+	SinkFunc(func(r trace.Record) { got = r }).Capture(trace.Record{Tag: 5})
+	if got.Tag != 5 {
+		t.Fatal("SinkFunc did not forward")
+	}
+}

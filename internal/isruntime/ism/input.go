@@ -1,0 +1,129 @@
+package ism
+
+import "sync"
+
+// Input buffer stages. The SISO stage is one FIFO shared by all
+// sources; the MISO stage keeps one FIFO per source and scans sources
+// round-robin on pop — the per-buffer maintenance work that makes MISO
+// "incur more overhead, especially in accessing memory ... under high
+// arrival rate conditions" (§3.3.2).
+type inputStage interface {
+	// push enqueues an envelope from the given source node. When the
+	// stage is at capacity the oldest record of the target buffer is
+	// dropped (monitoring favors fresh data over stale backlog).
+	push(node int32, e envelope)
+	// pop dequeues the next envelope, reporting false when empty.
+	pop() (envelope, bool)
+	// empty reports whether no envelopes are queued.
+	empty() bool
+	// dropped returns the number of records displaced by overflow.
+	dropped() uint64
+}
+
+type sisoStage struct {
+	mu    sync.Mutex
+	buf   []envelope
+	cap   int
+	drops uint64
+}
+
+func newSISOStage(capacity int) *sisoStage {
+	return &sisoStage{cap: capacity}
+}
+
+func (s *sisoStage) push(_ int32, e envelope) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) >= s.cap {
+		s.buf = s.buf[1:]
+		s.drops++
+	}
+	s.buf = append(s.buf, e)
+}
+
+func (s *sisoStage) pop() (envelope, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) == 0 {
+		return envelope{}, false
+	}
+	e := s.buf[0]
+	s.buf = s.buf[1:]
+	return e, true
+}
+
+func (s *sisoStage) empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf) == 0
+}
+
+func (s *sisoStage) dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+type misoStage struct {
+	mu     sync.Mutex
+	order  []int32
+	queues map[int32][]envelope
+	cap    int
+	next   int // round-robin cursor
+	total  int
+	drops  uint64
+}
+
+func newMISOStage(capacityPerSource int) *misoStage {
+	return &misoStage{queues: map[int32][]envelope{}, cap: capacityPerSource}
+}
+
+func (s *misoStage) push(node int32, e envelope) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[node]
+	if !ok {
+		s.order = append(s.order, node)
+	}
+	if len(q) >= s.cap {
+		q = q[1:]
+		s.drops++
+		s.total--
+	}
+	s.queues[node] = append(q, e)
+	s.total++
+}
+
+func (s *misoStage) pop() (envelope, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total == 0 {
+		return envelope{}, false
+	}
+	// Round-robin scan across per-source buffers.
+	n := len(s.order)
+	for i := 0; i < n; i++ {
+		node := s.order[(s.next+i)%n]
+		q := s.queues[node]
+		if len(q) > 0 {
+			e := q[0]
+			s.queues[node] = q[1:]
+			s.total--
+			s.next = (s.next + i + 1) % n
+			return e, true
+		}
+	}
+	return envelope{}, false
+}
+
+func (s *misoStage) empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total == 0
+}
+
+func (s *misoStage) dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}

@@ -1,0 +1,433 @@
+// Package ism implements the Instrumentation System Manager: "the LIS
+// forwards instrumentation data from the concurrent system nodes to a
+// logically centralized location called the Instrumentation System
+// Manager, which manages the data in real-time. The functions of the
+// ISM include temporary buffering of data, storing of data on a
+// mass-storage device, and pre-processing of data for analysis and/or
+// visualization tools (e.g., causal ordering)." (§2.2.2)
+//
+// The manager supports the two input-buffer configurations the Vista
+// case study evaluates (§3.3.2): SISO (single input buffer shared by
+// all sources) and MISO (one input buffer per source), a pluggable
+// data processor performing causal ordering with logical timestamps,
+// an output buffer dispatching to subscribed tools, and optional
+// spooling to a trace file for off-line use.
+package ism
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/tp"
+	"prism/internal/trace"
+)
+
+// Buffering selects the ISM input-buffer configuration.
+type Buffering int
+
+// Input-buffer configurations of §3.3.2.
+const (
+	// SISO uses a single input buffer for all sources ("Single
+	// Input buffer, Single Output buffer").
+	SISO Buffering = iota
+	// MISO uses one input buffer per source ("Multiple Input
+	// buffers, Single Output buffer"), the Falcon arrangement.
+	MISO
+)
+
+// String returns the configuration mnemonic.
+func (b Buffering) String() string {
+	if b == SISO {
+		return "SISO"
+	}
+	return "MISO"
+}
+
+// Config parameterizes an ISM.
+type Config struct {
+	// Buffering selects SISO or MISO input buffers.
+	Buffering Buffering
+	// InputCapacity bounds each input buffer (records). Zero means
+	// a generous default.
+	InputCapacity int
+	// Spool, when non-nil, receives every dispatched record in the
+	// binary trace format (the off-line storage path of Figure 2).
+	Spool io.Writer
+	// Ordered enables the causal-ordering data processor. When
+	// false, records are dispatched in arrival order (a pure
+	// merge-only off-line ISM, as in the PICL Table 1 spec).
+	Ordered bool
+	// OutputCapacity, when positive, interposes a bounded output
+	// buffer between the data processor and the tools (the "Single
+	// Output buffer" of the SISO/MISO configurations, §3.3.2): a
+	// dispatcher goroutine drains it, so slow tools exert
+	// backpressure on the processor only when the buffer fills.
+	// Zero keeps synchronous dispatch on the processor goroutine.
+	OutputCapacity int
+}
+
+// Stats is a snapshot of ISM activity and performance.
+type Stats struct {
+	Arrived       uint64  // records received from LISes
+	Dispatched    uint64  // records delivered to the output buffer
+	OutOfOrder    uint64  // arrivals that had to be held back
+	Held          int     // currently held records
+	MaxHeld       int     // maximum simultaneously held records
+	HoldBackRatio float64 // OutOfOrder / Arrived (Falcon's metric, §3.3.2)
+	MeanLatencyNs float64 // mean arrival->output-buffer latency
+	MaxLatencyNs  int64
+	ControlsSeen  uint64 // control messages processed
+	// OutputQueued is the current output-buffer occupancy (0 with
+	// synchronous dispatch).
+	OutputQueued int
+	// Delivered counts records handed to subscribers.
+	Delivered uint64
+	// InputDropped counts records displaced by input-stage overflow
+	// (monitoring favors fresh data over stale backlog).
+	InputDropped uint64
+}
+
+type envelope struct {
+	rec     trace.Record
+	arrival int64
+}
+
+// ISM is a running instrumentation system manager. Create with New,
+// feed it by serving LIS connections (Serve) or direct injection
+// (Inject), and consume via Subscribe or the spool.
+type ISM struct {
+	cfg   Config
+	clock event.Clock
+
+	input inputStage
+	avail chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+
+	pushed    atomic.Uint64
+	processed atomic.Uint64
+
+	out       chan trace.Record
+	outDone   chan struct{}
+	outPushed atomic.Uint64
+	delivered atomic.Uint64
+
+	mu        sync.Mutex
+	orderer   *trace.Orderer
+	subs      []subscriber
+	spool     *trace.Writer
+	stats     Stats
+	latSum    float64
+	latN      uint64
+	closed    bool
+	serveWG   sync.WaitGroup
+	lisConns  []tp.Conn
+	flushAcks chan struct{}
+}
+
+type subscriber struct {
+	name string
+	fn   func(trace.Record)
+}
+
+// New creates and starts an ISM.
+func New(cfg Config, clock event.Clock) *ISM {
+	if cfg.InputCapacity <= 0 {
+		cfg.InputCapacity = 1 << 16
+	}
+	if clock == nil {
+		clock = event.NewRealClock()
+	}
+	m := &ISM{
+		cfg:   cfg,
+		clock: clock,
+		avail: make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if cfg.Buffering == SISO {
+		m.input = newSISOStage(cfg.InputCapacity)
+	} else {
+		m.input = newMISOStage(cfg.InputCapacity)
+	}
+	if cfg.Ordered {
+		m.orderer = trace.NewOrderer()
+	}
+	if cfg.Spool != nil {
+		m.spool = trace.NewWriter(cfg.Spool)
+	}
+	if cfg.OutputCapacity > 0 {
+		m.out = make(chan trace.Record, cfg.OutputCapacity)
+		m.outDone = make(chan struct{})
+		go m.dispatchOutput()
+	}
+	go m.run()
+	return m
+}
+
+// dispatchOutput drains the output buffer to the subscribed tools.
+func (m *ISM) dispatchOutput() {
+	defer close(m.outDone)
+	for r := range m.out {
+		m.emit(r)
+	}
+}
+
+// emit hands one record to the spool and every subscriber.
+func (m *ISM) emit(r trace.Record) {
+	m.mu.Lock()
+	spool := m.spool
+	subs := m.subs
+	m.mu.Unlock()
+	if spool != nil {
+		m.mu.Lock()
+		_ = spool.Write(r)
+		m.mu.Unlock()
+	}
+	for _, s := range subs {
+		s.fn(r)
+	}
+	m.delivered.Add(1)
+}
+
+// Subscribe registers a tool sink; every dispatched record is passed
+// to fn in causal (or arrival) order on the processor goroutine.
+// Subscribers must be registered before data flows for complete
+// streams; late subscribers see only subsequent records.
+func (m *ISM) Subscribe(name string, fn func(trace.Record)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, subscriber{name: name, fn: fn})
+}
+
+// Serve reads messages from a LIS connection until EOF, feeding the
+// input stage. It returns immediately; readers run on their own
+// goroutines. The connection is remembered so Broadcast can reach it.
+func (m *ISM) Serve(conn tp.Conn) {
+	m.mu.Lock()
+	m.lisConns = append(m.lisConns, conn)
+	m.mu.Unlock()
+	m.serveWG.Add(1)
+	go func() {
+		defer m.serveWG.Done()
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			m.Inject(msg)
+		}
+	}()
+}
+
+// Broadcast sends a control signal to every served LIS connection —
+// the ISM-to-LIS control path of Figure 2 (e.g. CtlFlush for a gang
+// flush, CtlShutdown for orderly termination).
+func (m *ISM) Broadcast(ctl tp.Control, arg int64) {
+	m.mu.Lock()
+	conns := append([]tp.Conn(nil), m.lisConns...)
+	m.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(tp.ControlMessage(-1, ctl, arg))
+	}
+}
+
+// GangFlush broadcasts CtlFlush to every served LIS and waits (up to
+// timeout) for each connection to acknowledge with CtlFlushDone — the
+// ISM-coordinated FAOF sweep over the transfer protocol. It returns
+// the number of acknowledgements received.
+func (m *ISM) GangFlush(timeout time.Duration) int {
+	m.mu.Lock()
+	want := len(m.lisConns)
+	m.flushAcks = make(chan struct{}, want)
+	m.mu.Unlock()
+	m.Broadcast(tp.CtlFlush, 0)
+	got := 0
+	deadline := time.After(timeout)
+	for got < want {
+		select {
+		case <-m.flushAcks:
+			got++
+		case <-deadline:
+			return got
+		}
+	}
+	return got
+}
+
+// Inject feeds one message directly into the ISM (used by in-process
+// deployments and tests).
+func (m *ISM) Inject(msg tp.Message) {
+	switch msg.Type {
+	case tp.MsgControl:
+		m.mu.Lock()
+		m.stats.ControlsSeen++
+		acks := m.flushAcks
+		m.mu.Unlock()
+		if msg.Control == tp.CtlFlushDone && acks != nil {
+			select {
+			case acks <- struct{}{}:
+			default:
+			}
+		}
+	case tp.MsgData:
+		now := m.clock.Now()
+		for _, r := range msg.Records {
+			m.pushed.Add(1)
+			m.input.push(msg.Node, envelope{rec: r, arrival: now})
+			m.signal()
+		}
+	}
+}
+
+func (m *ISM) signal() {
+	select {
+	case m.avail <- struct{}{}:
+	default:
+	}
+}
+
+func (m *ISM) run() {
+	defer close(m.done)
+	for {
+		env, ok := m.input.pop()
+		if !ok {
+			select {
+			case <-m.avail:
+				continue
+			case <-m.stop:
+				// Final drain.
+				for {
+					env, ok := m.input.pop()
+					if !ok {
+						return
+					}
+					m.process(env)
+				}
+			}
+		}
+		m.process(env)
+	}
+}
+
+func (m *ISM) process(env envelope) {
+	defer m.processed.Add(1)
+	if m.orderer == nil {
+		m.deliver([]trace.Record{env.rec}, env.arrival, false)
+		return
+	}
+	out := m.addOrdered(env.rec)
+	m.deliver(out, env.arrival, len(out) == 0)
+}
+
+func (m *ISM) addOrdered(r trace.Record) []trace.Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The sensor carried the capture sequence in Logical; the orderer
+	// reassigns Logical as a Lamport stamp on dispatch.
+	seq := r.Logical
+	r.Logical = 0
+	return m.orderer.Add(r, seq)
+}
+
+func (m *ISM) deliver(rs []trace.Record, arrival int64, outOfOrder bool) {
+	now := m.clock.Now()
+	m.mu.Lock()
+	m.stats.Arrived++
+	if outOfOrder {
+		m.stats.OutOfOrder++
+	}
+	if m.orderer != nil {
+		m.stats.Held = m.orderer.Held()
+		m.stats.MaxHeld = m.orderer.MaxHeld()
+	}
+	lat := now - arrival
+	if len(rs) > 0 {
+		// Latency is attributed to the arriving record that caused
+		// dispatch; held records' latency is folded in when released.
+		m.latSum += float64(lat)
+		m.latN++
+		if lat > m.stats.MaxLatencyNs {
+			m.stats.MaxLatencyNs = lat
+		}
+	}
+	m.stats.Dispatched += uint64(len(rs))
+	m.mu.Unlock()
+
+	for _, r := range rs {
+		if m.out != nil {
+			m.outPushed.Add(1)
+			m.out <- r // backpressure when the output buffer is full
+			continue
+		}
+		m.emit(r)
+	}
+}
+
+// Stats returns a snapshot of ISM statistics.
+func (m *ISM) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	if st.Arrived > 0 {
+		st.HoldBackRatio = float64(st.OutOfOrder) / float64(st.Arrived)
+	}
+	if m.latN > 0 {
+		st.MeanLatencyNs = m.latSum / float64(m.latN)
+	}
+	st.Delivered = m.delivered.Load()
+	if m.out != nil {
+		st.OutputQueued = int(m.outPushed.Load() - st.Delivered)
+	}
+	st.InputDropped = m.input.dropped()
+	return st
+}
+
+// Drain blocks until every record injected so far has been processed.
+// It is a test and shutdown aid; production tools consume the live
+// stream. Records injected concurrently with Drain may or may not be
+// covered.
+func (m *ISM) Drain() {
+	target := m.pushed.Load()
+	// Records displaced by input-stage overflow are never processed;
+	// count them against the target or overload would hang Drain.
+	for m.processed.Load()+m.input.dropped() < target {
+		m.signal()
+		time.Sleep(50 * time.Microsecond)
+	}
+	if m.out != nil {
+		outTarget := m.outPushed.Load()
+		for m.delivered.Load() < outTarget {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Close stops the processor after draining buffered input, flushes the
+// spool, and returns. Serve goroutines exit when their connections
+// close (the caller owns the connections).
+func (m *ISM) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+	if m.out != nil {
+		close(m.out)
+		<-m.outDone
+	}
+	var err error
+	m.mu.Lock()
+	if m.spool != nil {
+		err = m.spool.Flush()
+	}
+	m.mu.Unlock()
+	return err
+}

@@ -1,0 +1,198 @@
+package lis
+
+import (
+	"testing"
+	"time"
+
+	"prism/internal/isruntime/tp"
+	"prism/internal/trace"
+)
+
+func TestControlLoopFlushAndAck(t *testing.T) {
+	lisSide, ismSide := tp.Pipe(16)
+	b, err := NewBuffered(0, 100, lisSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Capture(rec(1))
+	b.Capture(rec(2))
+
+	done := make(chan error, 1)
+	go func() { done <- ControlLoop(lisSide, b) }()
+
+	if err := ismSide.Send(tp.ControlMessage(0, tp.CtlFlush, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Expect the data message then the flush-done ack.
+	var sawData, sawAck bool
+	for i := 0; i < 2; i++ {
+		msg, err := ismSide.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case msg.Type == tp.MsgData:
+			sawData = true
+			if len(msg.Records) != 2 {
+				t.Fatalf("flushed %d records", len(msg.Records))
+			}
+		case msg.Control == tp.CtlFlushDone:
+			sawAck = true
+			if msg.Arg != 7 {
+				t.Fatalf("ack arg %d", msg.Arg)
+			}
+		}
+	}
+	if !sawData || !sawAck {
+		t.Fatalf("data %v ack %v", sawData, sawAck)
+	}
+
+	// Shutdown terminates the loop cleanly.
+	if err := ismSide.Send(tp.ControlMessage(0, tp.CtlShutdown, 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("control loop: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("control loop did not exit")
+	}
+}
+
+func TestControlLoopPauseResume(t *testing.T) {
+	lisSide, ismSide := tp.Pipe(16)
+	b, _ := NewBuffered(0, 100, lisSide)
+	done := make(chan error, 1)
+	go func() { done <- ControlLoop(lisSide, b) }()
+
+	send := func(c tp.Control) {
+		t.Helper()
+		if err := ismSide.Send(tp.ControlMessage(0, c, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(tp.CtlStop)
+	waitFor(t, func() bool {
+		b.Capture(rec(0))
+		return b.Stats().Dropped > 0
+	})
+	send(tp.CtlStart)
+	waitFor(t, func() bool {
+		before := b.Stats().Captured
+		b.Capture(rec(1))
+		return b.Stats().Captured > before
+	})
+	send(tp.CtlShutdown)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatal("condition never met")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestControlLoopEOF(t *testing.T) {
+	lisSide, ismSide := tp.Pipe(4)
+	b, _ := NewBuffered(0, 10, lisSide)
+	done := make(chan error, 1)
+	go func() { done <- ControlLoop(lisSide, b) }()
+	ismSide.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("EOF should be clean: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("loop did not exit on close")
+	}
+}
+
+func TestControlLoopIgnoresData(t *testing.T) {
+	lisSide, ismSide := tp.Pipe(4)
+	b, _ := NewBuffered(0, 10, lisSide)
+	done := make(chan error, 1)
+	go func() { done <- ControlLoop(lisSide, b) }()
+	_ = ismSide.Send(tp.DataMessage(0, []trace.Record{rec(0)}))
+	_ = ismSide.Send(tp.ControlMessage(0, tp.CtlShutdown, 0))
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardingPause(t *testing.T) {
+	conn := &collectConn{}
+	f, _ := NewForwarding(0, conn)
+	f.Pause(true)
+	f.Capture(rec(0))
+	if st := f.Stats(); st.Dropped != 1 || st.Captured != 0 {
+		t.Fatalf("paused stats %+v", st)
+	}
+	f.Pause(false)
+	f.Capture(rec(1))
+	if st := f.Stats(); st.Captured != 1 {
+		t.Fatalf("resumed stats %+v", st)
+	}
+}
+
+// TestNetworkedGangFlush exercises the FAOF gang over the transfer
+// protocol end-to-end: the ISM-side broadcasts CtlFlush and every
+// node's control loop flushes and acknowledges — the Figure 2 control
+// path in the direction the paper draws it.
+func TestNetworkedGangFlush(t *testing.T) {
+	const nodes = 3
+	lisSides := make([]tp.Conn, nodes)
+	ismSides := make([]tp.Conn, nodes)
+	buffers := make([]*Buffered, nodes)
+	for i := 0; i < nodes; i++ {
+		lisSides[i], ismSides[i] = tp.Pipe(16)
+		b, err := NewBuffered(int32(i), 100, lisSides[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buffers[i] = b
+		go func(c tp.Conn, b *Buffered) { _ = ControlLoop(c, b) }(lisSides[i], b)
+		// Partially fill each buffer.
+		for e := 0; e <= i; e++ {
+			b.Capture(rec(e))
+		}
+	}
+	// Broadcast flush.
+	for _, c := range ismSides {
+		if err := c.Send(tp.ControlMessage(-1, tp.CtlFlush, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Collect per connection: one data message (i+1 records) + ack.
+	for i, c := range ismSides {
+		gotRecords, gotAck := 0, false
+		for n := 0; n < 2; n++ {
+			msg, err := c.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.Type == tp.MsgData {
+				gotRecords += len(msg.Records)
+			} else if msg.Control == tp.CtlFlushDone {
+				gotAck = true
+			}
+		}
+		if gotRecords != i+1 || !gotAck {
+			t.Fatalf("node %d: records %d ack %v", i, gotRecords, gotAck)
+		}
+	}
+	for i := range ismSides {
+		_ = ismSides[i].Send(tp.ControlMessage(0, tp.CtlShutdown, 0))
+	}
+}

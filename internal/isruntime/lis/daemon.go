@@ -1,0 +1,206 @@
+package lis
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"prism/internal/trace"
+
+	"prism/internal/isruntime/tp"
+)
+
+// Daemon is the Paradyn-style LIS: "a separate process for each node
+// of the concurrent system, which handles instrumentation data
+// management independent of the application processes" (§2.2.1).
+// Application processes deposit samples into bounded per-process pipes
+// (Unix pipes in Paradyn, §3.2.2); a daemon goroutine drains the pipes
+// and forwards samples to the ISM.
+//
+// When the daemon cannot keep up "the pipes become full and
+// application processes, blocked" (§3.2.3); Capture on a full pipe
+// blocks and the blocked time is accounted in Stats-adjacent counters
+// so the bottleneck effect is observable.
+type Daemon struct {
+	node    int32
+	conn    tp.Conn
+	pipeCap int
+	batch   int
+
+	mu       sync.Mutex
+	pipes    map[int32]chan trace.Record
+	stats    Stats
+	paused   bool
+	blocked  time.Duration // cumulative producer blocked time
+	blockers uint64        // captures that had to block
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// NewDaemon creates a daemon LIS for node forwarding over conn.
+// pipeCap is the bounded capacity of each application process's pipe;
+// batch is the maximum number of records forwarded per data message.
+func NewDaemon(node int32, conn tp.Conn, pipeCap, batch int) (*Daemon, error) {
+	if conn == nil {
+		return nil, errors.New("lis: nil connection")
+	}
+	if pipeCap < 1 {
+		return nil, errors.New("lis: pipe capacity must be >= 1")
+	}
+	if batch < 1 {
+		return nil, errors.New("lis: batch must be >= 1")
+	}
+	return &Daemon{
+		node:    node,
+		conn:    conn,
+		pipeCap: pipeCap,
+		batch:   batch,
+		pipes:   map[int32]chan trace.Record{},
+		stopped: make(chan struct{}),
+	}, nil
+}
+
+// AttachProcess creates (or returns) the pipe for an application
+// process and starts its drainer. Call before the process emits.
+func (d *Daemon) AttachProcess(process int32) chan<- trace.Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.pipes[process]; ok {
+		return p
+	}
+	p := make(chan trace.Record, d.pipeCap)
+	d.pipes[process] = p
+	d.wg.Add(1)
+	go d.drain(p)
+	return p
+}
+
+// Capture implements event.Sink: it deposits the record into its
+// process's pipe, blocking if the pipe is full. Records from processes
+// never attached are dropped and counted.
+func (d *Daemon) Capture(r trace.Record) {
+	d.mu.Lock()
+	if d.paused {
+		d.stats.Dropped++
+		d.mu.Unlock()
+		return
+	}
+	p, ok := d.pipes[r.Process]
+	d.mu.Unlock()
+	if !ok {
+		d.mu.Lock()
+		d.stats.Dropped++
+		d.mu.Unlock()
+		return
+	}
+	select {
+	case p <- r:
+		d.mu.Lock()
+		d.stats.Captured++
+		d.mu.Unlock()
+		return
+	default:
+	}
+	// Pipe full: block, and account the stall (the §3.2.3 effect).
+	start := time.Now()
+	select {
+	case p <- r:
+		d.mu.Lock()
+		d.stats.Captured++
+		d.blocked += time.Since(start)
+		d.blockers++
+		d.mu.Unlock()
+	case <-d.stopped:
+		d.mu.Lock()
+		d.stats.Dropped++
+		d.mu.Unlock()
+	}
+}
+
+// drain forwards records from one pipe in batches.
+func (d *Daemon) drain(p <-chan trace.Record) {
+	defer d.wg.Done()
+	buf := make([]trace.Record, 0, d.batch)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		batch := make([]trace.Record, len(buf))
+		copy(batch, buf)
+		buf = buf[:0]
+		if d.conn.Send(tp.DataMessage(d.node, batch)) == nil {
+			d.mu.Lock()
+			d.stats.Forwarded += uint64(len(batch))
+			d.stats.Flushes++
+			d.mu.Unlock()
+		}
+	}
+	for {
+		select {
+		case r := <-p:
+			buf = append(buf, r)
+			// Opportunistically batch whatever is already queued.
+			for len(buf) < d.batch {
+				select {
+				case r := <-p:
+					buf = append(buf, r)
+				default:
+					goto send
+				}
+			}
+		send:
+			flush()
+		case <-d.stopped:
+			// Final drain of anything left in the pipe.
+			for {
+				select {
+				case r := <-p:
+					buf = append(buf, r)
+					if len(buf) == d.batch {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// Flush implements LIS. The daemon drains continuously; Flush is a
+// no-op provided for interface symmetry.
+func (d *Daemon) Flush() error { return nil }
+
+// Pause implements Pauser: while paused, captures are dropped and
+// counted (the daemon keeps draining whatever is already piped).
+func (d *Daemon) Pause(on bool) {
+	d.mu.Lock()
+	d.paused = on
+	d.mu.Unlock()
+}
+
+// Stats implements LIS.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// BlockedTime returns the cumulative time application processes spent
+// blocked on full pipes, and how many captures blocked — the direct
+// observable of the daemon-bottleneck effect.
+func (d *Daemon) BlockedTime() (time.Duration, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocked, d.blockers
+}
+
+// Close stops the drainers after they empty their pipes.
+func (d *Daemon) Close() error {
+	d.once.Do(func() { close(d.stopped) })
+	d.wg.Wait()
+	return nil
+}

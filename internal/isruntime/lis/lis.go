@@ -1,0 +1,264 @@
+// Package lis implements Local Instrumentation Servers: "the LIS
+// captures instrumentation data of interest from the concurrent
+// application processes and forwards the data to other IS modules ...
+// Typically, the LIS uses local buffers and a management policy to
+// accomplish data capturing and forwarding functions" (§2.2.1).
+//
+// Three LIS families cover the paper's case studies:
+//
+//   - Buffered: PICL-style instrumentation-library LIS with local
+//     trace buffers and the FOF / FAOF flush policies of §3.1;
+//   - Daemon: Paradyn-style per-node daemon that drains bounded pipes
+//     filled by application processes (§3.2);
+//   - Forwarding: Vista-style bufferless event forwarding, "only one
+//     system call per event" (§3.3).
+package lis
+
+import (
+	"errors"
+	"sync"
+
+	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/tp"
+	"prism/internal/trace"
+)
+
+// Policy names a buffered-LIS flush policy.
+type Policy int
+
+// Flush policies for the Buffered LIS.
+const (
+	// FOF flushes one buffer when it fills (§3.1: "Flush One buffer
+	// when it Fills").
+	FOF Policy = iota
+	// FAOF flushes all buffers when one fills ("Flush All the
+	// buffers when One Fills"); requires a Gang coordinator.
+	FAOF
+)
+
+// String returns the policy mnemonic.
+func (p Policy) String() string {
+	if p == FOF {
+		return "FOF"
+	}
+	return "FAOF"
+}
+
+// Stats summarizes a LIS's activity.
+type Stats struct {
+	Captured  uint64 // records accepted from sensors
+	Forwarded uint64 // records sent to the ISM
+	Flushes   uint64 // flush operations performed
+	Dropped   uint64 // records dropped (capture disabled or overflow policy)
+}
+
+// LIS is the common surface of all local instrumentation servers.
+type LIS interface {
+	event.Sink
+	// Flush forces any buffered data to the ISM.
+	Flush() error
+	// Stats returns a snapshot of activity counters.
+	Stats() Stats
+	// Close flushes and releases the LIS.
+	Close() error
+}
+
+// Buffered is the PICL-style LIS: a fixed-capacity local record buffer
+// flushed to the ISM as one data message. The zero value is not
+// usable; construct with NewBuffered.
+type Buffered struct {
+	node     int32
+	capacity int
+	conn     tp.Conn
+	onFull   func(*Buffered) // policy hook; nil means flush self (FOF)
+
+	mu      sync.Mutex
+	buf     []trace.Record
+	stats   Stats
+	stopped bool
+}
+
+// NewBuffered creates a buffered LIS for node with the given local
+// buffer capacity (the paper's l), forwarding over conn. The returned
+// LIS implements the FOF policy; attach it to a Gang for FAOF.
+func NewBuffered(node int32, capacity int, conn tp.Conn) (*Buffered, error) {
+	if capacity < 1 {
+		return nil, errors.New("lis: buffer capacity must be >= 1")
+	}
+	if conn == nil {
+		return nil, errors.New("lis: nil connection")
+	}
+	return &Buffered{
+		node:     node,
+		capacity: capacity,
+		conn:     conn,
+		buf:      make([]trace.Record, 0, capacity),
+	}, nil
+}
+
+// Node returns the node id this LIS serves.
+func (b *Buffered) Node() int32 { return b.node }
+
+// Capacity returns the local buffer capacity l.
+func (b *Buffered) Capacity() int { return b.capacity }
+
+// Capture implements event.Sink. When the buffer reaches capacity the
+// policy hook runs: plain FOF flushes this buffer; under a Gang the
+// coordinator flushes every member (FAOF).
+func (b *Buffered) Capture(r trace.Record) {
+	b.mu.Lock()
+	if b.stopped {
+		b.stats.Dropped++
+		b.mu.Unlock()
+		return
+	}
+	b.buf = append(b.buf, r)
+	b.stats.Captured++
+	full := len(b.buf) >= b.capacity
+	onFull := b.onFull
+	b.mu.Unlock()
+
+	if !full {
+		return
+	}
+	if onFull != nil {
+		onFull(b)
+		return
+	}
+	_ = b.Flush()
+}
+
+// Len returns the current buffer occupancy.
+func (b *Buffered) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Flush sends the buffered records to the ISM as one data message.
+// An empty buffer is a no-op (and not counted as a flush).
+func (b *Buffered) Flush() error {
+	b.mu.Lock()
+	if len(b.buf) == 0 {
+		b.mu.Unlock()
+		return nil
+	}
+	batch := b.buf
+	b.buf = make([]trace.Record, 0, b.capacity)
+	b.stats.Flushes++
+	b.stats.Forwarded += uint64(len(batch))
+	conn := b.conn
+	b.mu.Unlock()
+
+	return conn.Send(tp.DataMessage(b.node, batch))
+}
+
+// Stats implements LIS.
+func (b *Buffered) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Close flushes remaining records and marks the LIS stopped. The
+// connection is left open for the caller to close (it may be shared).
+func (b *Buffered) Close() error {
+	err := b.Flush()
+	b.mu.Lock()
+	b.stopped = true
+	b.mu.Unlock()
+	return err
+}
+
+// Gang coordinates the FAOF policy across the buffered LISes of all
+// nodes: when any member fills, every member flushes. This is the
+// gang-scheduled context-switch flush the paper attributes to Pablo on
+// the CM-5 and ParAide's TAM on the Paragon (§3.1.3).
+type Gang struct {
+	mu      sync.Mutex
+	members []*Buffered
+	flushes uint64
+}
+
+// NewGang wires the members together under FAOF and returns the
+// coordinator.
+func NewGang(members ...*Buffered) *Gang {
+	g := &Gang{members: members}
+	for _, m := range members {
+		m.mu.Lock()
+		m.onFull = func(*Buffered) { g.FlushAll() }
+		m.mu.Unlock()
+	}
+	return g
+}
+
+// FlushAll flushes every member buffer. Concurrent triggers are
+// serialized; a member that filled while another flush was in flight
+// is simply flushed by the next sweep.
+func (g *Gang) FlushAll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flushes++
+	for _, m := range g.members {
+		_ = m.Flush()
+	}
+}
+
+// GangFlushes returns the number of gang flush sweeps performed.
+func (g *Gang) GangFlushes() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.flushes
+}
+
+// Forwarding is the Vista-style LIS: no local buffer, every event is
+// sent to the ISM immediately ("event forwarding involves only one
+// system call per event", §3.3).
+type Forwarding struct {
+	node int32
+	conn tp.Conn
+
+	mu      sync.Mutex
+	stats   Stats
+	stopped bool
+}
+
+// NewForwarding creates a forwarding LIS.
+func NewForwarding(node int32, conn tp.Conn) (*Forwarding, error) {
+	if conn == nil {
+		return nil, errors.New("lis: nil connection")
+	}
+	return &Forwarding{node: node, conn: conn}, nil
+}
+
+// Capture implements event.Sink.
+func (f *Forwarding) Capture(r trace.Record) {
+	f.mu.Lock()
+	if f.stopped {
+		f.stats.Dropped++
+		f.mu.Unlock()
+		return
+	}
+	f.stats.Captured++
+	f.stats.Forwarded++
+	f.mu.Unlock()
+	_ = f.conn.Send(tp.DataMessage(f.node, []trace.Record{r}))
+}
+
+// Flush implements LIS; a forwarding LIS holds nothing back.
+func (f *Forwarding) Flush() error { return nil }
+
+// Stats implements LIS.
+func (f *Forwarding) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Close implements LIS.
+func (f *Forwarding) Close() error {
+	f.mu.Lock()
+	f.stopped = true
+	f.mu.Unlock()
+	return nil
+}

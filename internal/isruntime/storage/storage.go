@@ -1,0 +1,175 @@
+// Package storage implements the trace-data storage hierarchy of the
+// paper's Figure 4: local LIS buffers feed a "main instrumentation
+// data buffer" in host memory, which "in turn, may be flushed to the
+// next level of the storage hierarchy, for example, a disk. The
+// storage capacity is assumed to increase with each level."
+//
+// Two main-buffer disciplines are provided:
+//
+//   - Spill: when the main buffer fills it is flushed wholesale to the
+//     next level (the off-line path — nothing is lost);
+//   - Ring: the main buffer keeps only the most recent records,
+//     overwriting the oldest (a flight-recorder for on-line tools that
+//     care about the recent past).
+package storage
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"prism/internal/trace"
+)
+
+// Discipline selects the main-buffer management policy.
+type Discipline int
+
+// Main-buffer disciplines.
+const (
+	Spill Discipline = iota
+	Ring
+)
+
+// String returns the discipline name.
+func (d Discipline) String() string {
+	if d == Spill {
+		return "spill"
+	}
+	return "ring"
+}
+
+// Stats summarizes hierarchy activity.
+type Stats struct {
+	Appended    uint64 // records accepted
+	Spills      uint64 // main-buffer flushes to the next level
+	ToDisk      uint64 // records written to the next level
+	Overwritten uint64 // records displaced in ring mode
+	Resident    int    // records currently in the main buffer
+	Peak        int    // maximum main-buffer occupancy
+}
+
+// Hierarchy is a two-level store: a bounded in-memory main buffer over
+// an optional next level (any io.Writer; typically a file, receiving
+// the binary trace format). It is safe for concurrent use.
+type Hierarchy struct {
+	mu         sync.Mutex
+	discipline Discipline
+	capacity   int
+	main       []trace.Record
+	next       *trace.Writer
+	stats      Stats
+	closed     bool
+}
+
+// New creates a hierarchy with the given main-buffer capacity. next
+// may be nil only in Ring mode (a pure flight recorder); Spill mode
+// requires a next level to spill into.
+func New(d Discipline, capacity int, next io.Writer) (*Hierarchy, error) {
+	if capacity < 1 {
+		return nil, errors.New("storage: capacity must be >= 1")
+	}
+	if d == Spill && next == nil {
+		return nil, errors.New("storage: spill discipline needs a next level")
+	}
+	h := &Hierarchy{discipline: d, capacity: capacity}
+	if next != nil {
+		h.next = trace.NewWriter(next)
+	}
+	return h, nil
+}
+
+// Append stores records, spilling or overwriting per the discipline.
+func (h *Hierarchy) Append(rs ...trace.Record) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errors.New("storage: closed")
+	}
+	for _, r := range rs {
+		h.stats.Appended++
+		if len(h.main) >= h.capacity {
+			switch h.discipline {
+			case Spill:
+				if err := h.spillLocked(); err != nil {
+					return err
+				}
+			case Ring:
+				h.main = h.main[1:]
+				h.stats.Overwritten++
+			}
+		}
+		h.main = append(h.main, r)
+		if len(h.main) > h.stats.Peak {
+			h.stats.Peak = len(h.main)
+		}
+	}
+	h.stats.Resident = len(h.main)
+	return nil
+}
+
+// spillLocked writes the whole main buffer to the next level.
+func (h *Hierarchy) spillLocked() error {
+	if h.next == nil || len(h.main) == 0 {
+		return nil
+	}
+	for _, r := range h.main {
+		if err := h.next.Write(r); err != nil {
+			return err
+		}
+	}
+	h.stats.Spills++
+	h.stats.ToDisk += uint64(len(h.main))
+	h.main = h.main[:0]
+	return nil
+}
+
+// Flush forces the main buffer down to the next level (no-op without
+// one) and flushes the level's writer.
+func (h *Hierarchy) Flush() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.spillLocked(); err != nil {
+		return err
+	}
+	h.stats.Resident = len(h.main)
+	if h.next != nil {
+		return h.next.Flush()
+	}
+	return nil
+}
+
+// Recent returns a copy of the main buffer's current contents in
+// arrival order — the on-line tool's window onto the recent past.
+func (h *Hierarchy) Recent() []trace.Record {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]trace.Record(nil), h.main...)
+}
+
+// Stats returns an activity snapshot.
+func (h *Hierarchy) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stats
+	st.Resident = len(h.main)
+	return st
+}
+
+// Close flushes (in Spill mode) and marks the hierarchy closed.
+func (h *Hierarchy) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	if h.discipline == Spill {
+		if err := h.spillLocked(); err != nil {
+			return err
+		}
+	}
+	if h.next != nil {
+		return h.next.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"prism/internal/trace"
+)
+
+func recs(n int) []trace.Record {
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = trace.Record{Kind: trace.KindUser, Tag: uint16(i), Time: int64(i)}
+	}
+	return out
+}
+
+func TestDisciplineString(t *testing.T) {
+	if Spill.String() != "spill" || Ring.String() != "ring" {
+		t.Fatal("names")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Spill, 0, &bytes.Buffer{}); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := New(Spill, 4, nil); err == nil {
+		t.Fatal("spill without next level accepted")
+	}
+	if _, err := New(Ring, 4, nil); err != nil {
+		t.Fatalf("pure ring rejected: %v", err)
+	}
+}
+
+func TestSpillPreservesEverything(t *testing.T) {
+	var disk bytes.Buffer
+	h, err := New(Spill, 10, &disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := recs(55)
+	if err := h.Append(in...); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.NewReader(&disk).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 55 {
+		t.Fatalf("disk has %d of 55", len(got))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("record %d reordered or corrupted", i)
+		}
+	}
+	st := h.Stats()
+	if st.Appended != 55 || st.ToDisk != 55 || st.Spills < 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Overwritten != 0 {
+		t.Fatal("spill mode overwrote")
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	h, err := New(Ring, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(recs(12)...); err != nil {
+		t.Fatal(err)
+	}
+	recent := h.Recent()
+	if len(recent) != 5 {
+		t.Fatalf("resident %d", len(recent))
+	}
+	for i, r := range recent {
+		if r.Tag != uint16(7+i) {
+			t.Fatalf("ring kept wrong window: %v", recent)
+		}
+	}
+	st := h.Stats()
+	if st.Overwritten != 7 || st.Spills != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRingWithDiskNeverSpillsAutomatically(t *testing.T) {
+	var disk bytes.Buffer
+	h, _ := New(Ring, 3, &disk)
+	_ = h.Append(recs(9)...)
+	// Explicit Flush snapshots the window to disk.
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.NewReader(&disk).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("flushed %d", len(got))
+	}
+	if got[0].Tag != 6 {
+		t.Fatalf("window start %d", got[0].Tag)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	var disk bytes.Buffer
+	h, _ := New(Spill, 4, &disk)
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(recs(1)...); err == nil {
+		t.Fatal("append after close accepted")
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	var disk bytes.Buffer
+	h, _ := New(Spill, 8, &disk)
+	_ = h.Append(recs(6)...)
+	if st := h.Stats(); st.Peak != 6 || st.Resident != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+	_ = h.Flush()
+	if st := h.Stats(); st.Resident != 0 || st.Peak != 6 {
+		t.Fatalf("stats after flush %+v", st)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	var disk bytes.Buffer
+	h, _ := New(Spill, 64, &disk)
+	var wg sync.WaitGroup
+	const writers = 8
+	const each = 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := h.Append(trace.Record{Kind: trace.KindUser}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.NewReader(&disk).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*each {
+		t.Fatalf("disk has %d of %d", len(got), writers*each)
+	}
+}

@@ -1,0 +1,94 @@
+package tp
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// TCP transport: the socket-based TP variant. A streamConn adapts a
+// net.Conn to the Conn interface with buffered framing. Writes are
+// serialized with a mutex so multiple producer goroutines can share
+// one connection; reads are expected from a single consumer (the usual
+// LIS->ISM arrangement).
+type streamConn struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewStreamConn wraps a net.Conn (or any equivalent) as a message
+// Conn.
+func NewStreamConn(nc net.Conn) Conn {
+	return &streamConn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 64<<10),
+		w:  bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Send implements Conn. Each message is flushed immediately: the IS
+// trades throughput for the bounded dispatch latency that on-line
+// tools require.
+func (c *streamConn) Send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteMessage(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv implements Conn.
+func (c *streamConn) Recv() (Message, error) {
+	return ReadMessage(c.r)
+}
+
+// Close implements Conn.
+func (c *streamConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+// Listener accepts TCP message connections for an ISM endpoint.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address, useful with port 0.
+func (ln *Listener) Addr() string { return ln.l.Addr().String() }
+
+// Accept waits for the next connection.
+func (ln *Listener) Accept() (Conn, error) {
+	nc, err := ln.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamConn(nc), nil
+}
+
+// Close stops the listener.
+func (ln *Listener) Close() error { return ln.l.Close() }
+
+// Dial connects to an ISM TCP endpoint.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamConn(nc), nil
+}

@@ -1,0 +1,248 @@
+// Package tp implements the instrumentation system's Transfer Protocol
+// (TP): "a consistent instrumentation data and control transfer
+// protocol is used for IS-related communications" (§2.2.3).
+//
+// Two transports are provided behind one Conn interface:
+//
+//   - an in-process transport built on Go channels, standing in for
+//     the Unix pipes and shared-memory paths of the paper's systems;
+//   - a TCP transport built on net.Conn with explicit framing,
+//     standing in for the socket-based TPs of Pablo and Issos.
+//
+// Both carry the same Message type, which multiplexes instrumentation
+// data batches and control signals (the ISM-to-tool and ISM-to-process
+// control traffic of Figure 2).
+package tp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"prism/internal/trace"
+)
+
+// MsgType discriminates the two message classes of the protocol.
+type MsgType uint8
+
+// Message classes.
+const (
+	MsgData    MsgType = iota // batch of instrumentation records
+	MsgControl                // control signal
+	numMsgTypes
+)
+
+// Control identifies a control signal.
+type Control uint8
+
+// Control signals exchanged between LIS, ISM and tools.
+const (
+	CtlNone      Control = iota
+	CtlStart             // begin/resume capture
+	CtlStop              // pause capture
+	CtlFlush             // flush local buffers now (FAOF gang signal)
+	CtlFlushDone         // LIS acknowledges a completed flush
+	CtlConfigure         // reconfigure; Arg carries the parameter
+	CtlShutdown          // orderly termination
+	CtlAck               // generic acknowledgement
+	numControls
+)
+
+var controlNames = [...]string{
+	CtlNone: "none", CtlStart: "start", CtlStop: "stop",
+	CtlFlush: "flush", CtlFlushDone: "flush-done",
+	CtlConfigure: "configure", CtlShutdown: "shutdown", CtlAck: "ack",
+}
+
+// String returns the control signal's name.
+func (c Control) String() string {
+	if int(c) < len(controlNames) {
+		return controlNames[c]
+	}
+	return fmt.Sprintf("control(%d)", uint8(c))
+}
+
+// Message is one protocol unit.
+type Message struct {
+	Type    MsgType
+	Node    int32 // originating node (data) or target node (control)
+	Control Control
+	Arg     int64 // control argument
+	Records []trace.Record
+}
+
+// DataMessage builds a data message from node with the given records.
+func DataMessage(node int32, records []trace.Record) Message {
+	return Message{Type: MsgData, Node: node, Records: records}
+}
+
+// ControlMessage builds a control message.
+func ControlMessage(node int32, ctl Control, arg int64) Message {
+	return Message{Type: MsgControl, Node: node, Control: ctl, Arg: arg}
+}
+
+// Conn is a bidirectional, ordered, reliable message connection —
+// the abstraction all LIS/ISM/tool endpoints speak.
+type Conn interface {
+	// Send transmits one message. It may block for flow control.
+	Send(Message) error
+	// Recv returns the next message, or an error once the peer has
+	// closed (io.EOF for orderly shutdown).
+	Recv() (Message, error)
+	// Close releases the connection. Pending Recv calls unblock.
+	Close() error
+}
+
+// ErrClosed is returned for operations on a closed connection.
+var ErrClosed = errors.New("tp: connection closed")
+
+// chanConn is the in-process transport: one direction of a Pipe.
+type chanConn struct {
+	send chan<- Message
+	recv <-chan Message
+	stop chan struct{}
+}
+
+// Pipe returns the two ends of an in-process connection with the given
+// buffering per direction. Buffer 0 gives rendezvous semantics; a
+// positive buffer models a bounded kernel pipe, whose fill-up is the
+// blocking effect of §3.2.3.
+func Pipe(buffer int) (Conn, Conn) {
+	ab := make(chan Message, buffer)
+	ba := make(chan Message, buffer)
+	stop := make(chan struct{})
+	a := &chanConn{send: ab, recv: ba, stop: stop}
+	b := &chanConn{send: ba, recv: ab, stop: stop}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m Message) error {
+	select {
+	case <-c.stop:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.send <- m:
+		return nil
+	case <-c.stop:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (Message, error) {
+	// Drain any queued messages even after close, then report EOF.
+	select {
+	case m := <-c.recv:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-c.recv:
+		return m, nil
+	case <-c.stop:
+		// Raced with close: one more drain attempt.
+		select {
+		case m := <-c.recv:
+			return m, nil
+		default:
+			return Message{}, io.EOF
+		}
+	}
+}
+
+// Close implements Conn. Closing either end closes the pipe.
+func (c *chanConn) Close() error {
+	select {
+	case <-c.stop:
+		return nil
+	default:
+		close(c.stop)
+		return nil
+	}
+}
+
+// Frame layout for the byte-stream transport:
+//
+//	type    uint8
+//	control uint8
+//	node    int32  (LE)
+//	arg     int64  (LE)
+//	count   uint32 (LE)   number of records
+//	records count * trace.RecordSize bytes
+const frameHeaderSize = 1 + 1 + 4 + 8 + 4
+
+// maxFrameRecords bounds a frame to keep a malformed or hostile peer
+// from forcing huge allocations.
+const maxFrameRecords = 1 << 20
+
+// WriteMessage encodes m onto w.
+func WriteMessage(w io.Writer, m Message) error {
+	if m.Type >= numMsgTypes {
+		return fmt.Errorf("tp: invalid message type %d", m.Type)
+	}
+	if len(m.Records) > maxFrameRecords {
+		return fmt.Errorf("tp: frame too large (%d records)", len(m.Records))
+	}
+	buf := make([]byte, frameHeaderSize+len(m.Records)*trace.RecordSize)
+	buf[0] = byte(m.Type)
+	buf[1] = byte(m.Control)
+	binary.LittleEndian.PutUint32(buf[2:], uint32(m.Node))
+	binary.LittleEndian.PutUint64(buf[6:], uint64(m.Arg))
+	binary.LittleEndian.PutUint32(buf[14:], uint32(len(m.Records)))
+	off := frameHeaderSize
+	for _, r := range m.Records {
+		var rb [trace.RecordSize]byte
+		trace.EncodeRecord(&rb, r)
+		copy(buf[off:], rb[:])
+		off += trace.RecordSize
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage decodes one message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var h [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		if err == io.EOF {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("tp: truncated frame header: %w", err)
+	}
+	m := Message{
+		Type:    MsgType(h[0]),
+		Control: Control(h[1]),
+		Node:    int32(binary.LittleEndian.Uint32(h[2:])),
+		Arg:     int64(binary.LittleEndian.Uint64(h[6:])),
+	}
+	if m.Type >= numMsgTypes {
+		return Message{}, fmt.Errorf("tp: invalid message type %d", m.Type)
+	}
+	if m.Control >= numControls {
+		return Message{}, fmt.Errorf("tp: invalid control %d", m.Control)
+	}
+	count := binary.LittleEndian.Uint32(h[14:])
+	if count > maxFrameRecords {
+		return Message{}, fmt.Errorf("tp: oversized frame (%d records)", count)
+	}
+	if count > 0 {
+		m.Records = make([]trace.Record, count)
+		body := make([]byte, int(count)*trace.RecordSize)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return Message{}, fmt.Errorf("tp: truncated frame body: %w", err)
+		}
+		for i := range m.Records {
+			var rb [trace.RecordSize]byte
+			copy(rb[:], body[i*trace.RecordSize:])
+			m.Records[i] = trace.DecodeRecord(&rb)
+			if !m.Records[i].Kind.Valid() {
+				return Message{}, fmt.Errorf("tp: record %d has invalid kind", i)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,327 @@
+package tp
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"prism/internal/rng"
+	"prism/internal/trace"
+)
+
+func recs(n int) []trace.Record {
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = trace.Record{Node: int32(i), Kind: trace.KindUser, Tag: uint16(i), Time: int64(i * 10)}
+	}
+	return out
+}
+
+func TestControlString(t *testing.T) {
+	if CtlFlush.String() != "flush" || CtlShutdown.String() != "shutdown" {
+		t.Fatal("control names")
+	}
+	if Control(99).String() == "" {
+		t.Fatal("unknown control should render")
+	}
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(4)
+	msg := DataMessage(3, recs(5))
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgData || got.Node != 3 || len(got.Records) != 5 {
+		t.Fatalf("got %+v", got)
+	}
+	// Reverse direction: control.
+	if err := b.Send(ControlMessage(-1, CtlFlush, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Type != MsgControl || ctl.Control != CtlFlush || ctl.Arg != 7 {
+		t.Fatalf("control %+v", ctl)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe(0)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errCh <- err
+	}()
+	time.Sleep(time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errCh:
+		if err != io.EOF {
+			t.Fatalf("recv err = %v, want EOF", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	if err := a.Send(Message{}); err != ErrClosed {
+		t.Fatalf("send on closed = %v", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeDrainsQueuedAfterClose(t *testing.T) {
+	a, b := Pipe(4)
+	_ = a.Send(DataMessage(1, nil))
+	_ = a.Send(DataMessage(2, nil))
+	a.Close()
+	m1, err := b.Recv()
+	if err != nil || m1.Node != 1 {
+		t.Fatalf("first drain: %v %v", m1, err)
+	}
+	m2, err := b.Recv()
+	if err != nil || m2.Node != 2 {
+		t.Fatalf("second drain: %v %v", m2, err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestPipeBlockingFlowControl(t *testing.T) {
+	a, b := Pipe(1)
+	if err := a.Send(DataMessage(0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan struct{})
+	go func() {
+		_ = a.Send(DataMessage(1, nil)) // blocks until b receives
+		close(sent)
+	}()
+	select {
+	case <-sent:
+		t.Fatal("send did not block on full pipe")
+	case <-time.After(5 * time.Millisecond):
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sent:
+	case <-time.After(time.Second):
+		t.Fatal("send never unblocked")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		DataMessage(5, recs(3)),
+		ControlMessage(2, CtlConfigure, -99),
+		DataMessage(0, nil),
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Node != want.Node || got.Control != want.Control ||
+			got.Arg != want.Arg || len(got.Records) != len(want.Records) {
+			t.Fatalf("msg %d: %+v != %+v", i, got, want)
+		}
+		for j := range want.Records {
+			if got.Records[j] != want.Records[j] {
+				t.Fatalf("msg %d record %d mismatch", i, j)
+			}
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	// Invalid type byte.
+	bad := make([]byte, frameHeaderSize)
+	bad[0] = 0xFF
+	if _, err := ReadMessage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	// Invalid control byte.
+	bad2 := make([]byte, frameHeaderSize)
+	bad2[0] = byte(MsgControl)
+	bad2[1] = 0xEE
+	if _, err := ReadMessage(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad control accepted")
+	}
+	// Truncated header.
+	if _, err := ReadMessage(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, DataMessage(0, recs(2))); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadMessage(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestWriteMessageValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: MsgType(9)}); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+}
+
+// TestReadMessageNeverPanics feeds random byte soup to the frame
+// decoder: it must return errors, not panic, and must never allocate
+// absurd buffers for hostile length fields.
+func TestReadMessageNeverPanics(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, seed := range seeds {
+		st := rng.New(seed)
+		for trial := 0; trial < 200; trial++ {
+			n := st.Intn(200)
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = byte(st.Intn(256))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %x: %v", data, r)
+					}
+				}()
+				_, _ = ReadMessage(bytes.NewReader(data))
+			}()
+		}
+	}
+	// Hostile count field: header claims 2^31 records but supplies none.
+	var hostile [frameHeaderSize]byte
+	hostile[0] = byte(MsgData)
+	hostile[14] = 0xFF
+	hostile[15] = 0xFF
+	hostile[16] = 0xFF
+	hostile[17] = 0x7F
+	if _, err := ReadMessage(bytes.NewReader(hostile[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	serverDone := make(chan Message, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		serverDone <- m
+		_ = conn.Send(ControlMessage(m.Node, CtlAck, int64(len(m.Records))))
+	}()
+
+	client, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send(DataMessage(4, recs(10))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-serverDone:
+		if m.Node != 4 || len(m.Records) != 10 {
+			t.Fatalf("server got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never received")
+	}
+	ack, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Control != CtlAck || ack.Arg != 10 {
+		t.Fatalf("ack %+v", ack)
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const senders = 4
+	const perSender = 50
+	total := make(chan int, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		n := 0
+		for n < senders*perSender {
+			m, err := conn.Recv()
+			if err != nil {
+				break
+			}
+			n += len(m.Records)
+		}
+		total <- n
+	}()
+
+	client, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var wg sync.WaitGroup
+	for sIdx := 0; sIdx < senders; sIdx++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				_ = client.Send(DataMessage(int32(id), recs(1)))
+			}
+		}(sIdx)
+	}
+	wg.Wait()
+	select {
+	case n := <-total:
+		if n != senders*perSender {
+			t.Fatalf("server received %d records", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server timed out")
+	}
+}

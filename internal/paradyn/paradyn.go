@@ -1,0 +1,209 @@
+// Package paradyn reproduces the Paradyn IS case study of §3.2: the
+// Figure 9 parameter sweeps, the 2^k·r factorial experiment design
+// ("for these experiments, k=2 factors and r=50 repetitions, and the
+// mean values of the two metrics are derived within 90% confidence
+// intervals"), and — as the paper's §4 extension — Paradyn's adaptive
+// cost model (Hollingsworth & Miller, reference [10]) that "attempts
+// to regulate the amount of IS overhead to the application program".
+package paradyn
+
+import (
+	"errors"
+	"fmt"
+
+	"prism/internal/rocc"
+	"prism/internal/stats"
+)
+
+// PointCI is one point of a sweep: the swept parameter value and the
+// metric's mean with confidence interval over replications.
+type PointCI struct {
+	X float64
+	Y stats.Interval
+}
+
+// sweep runs f over reps seeds and returns the 90% CI of its metric.
+func sweep(base rocc.Config, reps int, metric func(rocc.Result) float64) (stats.Interval, error) {
+	if reps < 1 {
+		return stats.Interval{}, errors.New("paradyn: need at least one replication")
+	}
+	vals := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(r)*101
+		res, err := rocc.Run(cfg)
+		if err != nil {
+			return stats.Interval{}, err
+		}
+		vals = append(vals, metric(res))
+	}
+	return stats.MeanCI(vals, 0.90), nil
+}
+
+// Fig9Left computes the left panel of Figure 9: daemon (Pd)
+// interference versus sampling period, at the base configuration's
+// process count, with reps replications per point.
+func Fig9Left(base rocc.Config, periods []float64, reps int) ([]PointCI, error) {
+	out := make([]PointCI, 0, len(periods))
+	for _, p := range periods {
+		cfg := base
+		cfg.SamplingPeriod = p
+		iv, err := sweep(cfg, reps, func(r rocc.Result) float64 { return r.InterferenceMs })
+		if err != nil {
+			return nil, fmt.Errorf("paradyn: period %v: %w", p, err)
+		}
+		out = append(out, PointCI{X: p, Y: iv})
+	}
+	return out, nil
+}
+
+// Fig9Right computes the right panel of Figure 9: daemon CPU
+// utilization (percent of consumed CPU) versus the number of
+// application processes.
+func Fig9Right(base rocc.Config, processCounts []int, reps int) ([]PointCI, error) {
+	out := make([]PointCI, 0, len(processCounts))
+	for _, n := range processCounts {
+		cfg := base
+		cfg.AppProcesses = n
+		iv, err := sweep(cfg, reps, func(r rocc.Result) float64 { return r.UtilizationPct })
+		if err != nil {
+			return nil, fmt.Errorf("paradyn: n=%d: %w", n, err)
+		}
+		out = append(out, PointCI{X: float64(n), Y: iv})
+	}
+	return out, nil
+}
+
+// FactorialResult holds the 2^2·r analyses for both §3.2.2 metrics.
+type FactorialResult struct {
+	Interference *stats.Analysis2kr
+	Utilization  *stats.Analysis2kr
+}
+
+// Factorial runs the paper's 2^k·r factorial design with k=2 factors —
+// sampling period and number of application processes — and r
+// replications per cell, analyzing both metrics at 90% confidence.
+func Factorial(base rocc.Config, periodLow, periodHigh float64, procsLow, procsHigh, r int) (*FactorialResult, error) {
+	design := &stats.Design2kr{
+		Factors: []stats.Factor{
+			{Name: "period", Low: periodLow, High: periodHigh},
+			{Name: "procs", Low: float64(procsLow), High: float64(procsHigh)},
+		},
+		R: r,
+	}
+	interference := make([][]float64, design.Runs())
+	utilization := make([][]float64, design.Runs())
+	for run := 0; run < design.Runs(); run++ {
+		vals := design.Values(run)
+		cfg := base
+		cfg.SamplingPeriod = vals[0]
+		cfg.AppProcesses = int(vals[1])
+		for rep := 0; rep < r; rep++ {
+			cfg.Seed = base.Seed + uint64(run*10_000+rep)
+			res, err := rocc.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			interference[run] = append(interference[run], res.InterferenceMs)
+			utilization[run] = append(utilization[run], res.UtilizationPct)
+		}
+	}
+	ai, err := design.Analyze(interference, 0.90)
+	if err != nil {
+		return nil, err
+	}
+	au, err := design.Analyze(utilization, 0.90)
+	if err != nil {
+		return nil, err
+	}
+	return &FactorialResult{Interference: ai, Utilization: au}, nil
+}
+
+// CostModel is the adaptive instrumentation cost model extension: it
+// observes the daemon's share of the CPU and retunes the sampling
+// period so the overhead tracks a target, the mechanism the paper
+// attributes to Paradyn ("this cost model is continuously updated in
+// response to actual measurements as an instrumented program starts
+// executing").
+type CostModel struct {
+	// TargetPct is the desired daemon share of consumed CPU (%).
+	TargetPct float64
+	// MinPeriod and MaxPeriod clamp the sampling period (ms).
+	MinPeriod, MaxPeriod float64
+	// Gain scales the multiplicative correction per observation.
+	Gain float64
+	// Smoothing is the EWMA weight on new overhead observations.
+	Smoothing float64
+
+	smoothed float64
+	seen     bool
+}
+
+// NewCostModel returns a cost model with the given overhead target.
+func NewCostModel(targetPct float64) (*CostModel, error) {
+	if targetPct <= 0 || targetPct >= 100 {
+		return nil, errors.New("paradyn: target percentage out of (0,100)")
+	}
+	return &CostModel{
+		TargetPct: targetPct,
+		MinPeriod: 10,
+		MaxPeriod: 5000,
+		Gain:      1.0,
+		Smoothing: 0.5,
+	}, nil
+}
+
+// Observe feeds one measured overhead percentage and returns the
+// recommended next sampling period given the current one. Overheads
+// above target lengthen the period proportionally; overheads below
+// target shorten it (more detail for the same budget).
+func (c *CostModel) Observe(currentPeriod, observedPct float64) float64 {
+	if !c.seen {
+		c.smoothed = observedPct
+		c.seen = true
+	} else {
+		c.smoothed = c.Smoothing*observedPct + (1-c.Smoothing)*c.smoothed
+	}
+	ratio := c.smoothed / c.TargetPct
+	next := currentPeriod * (1 + c.Gain*(ratio-1))
+	if next < c.MinPeriod {
+		next = c.MinPeriod
+	}
+	if next > c.MaxPeriod {
+		next = c.MaxPeriod
+	}
+	return next
+}
+
+// Smoothed returns the current smoothed overhead estimate.
+func (c *CostModel) Smoothed() float64 { return c.smoothed }
+
+// AdaptiveStep is one segment of a closed-loop adaptive run.
+type AdaptiveStep struct {
+	Period      float64
+	OverheadPct float64
+}
+
+// AdaptiveRun simulates the closed loop: run a ROCC segment, measure
+// daemon overhead, let the cost model retune the period, repeat. It
+// returns the trajectory; convergence means the final overheads
+// straddle the target.
+func AdaptiveRun(base rocc.Config, model *CostModel, segments int) ([]AdaptiveStep, error) {
+	if segments < 1 {
+		return nil, errors.New("paradyn: need at least one segment")
+	}
+	period := base.SamplingPeriod
+	steps := make([]AdaptiveStep, 0, segments)
+	for i := 0; i < segments; i++ {
+		cfg := base
+		cfg.SamplingPeriod = period
+		cfg.Seed = base.Seed + uint64(i)*977
+		res, err := rocc.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, AdaptiveStep{Period: period, OverheadPct: res.UtilizationPct})
+		period = model.Observe(period, res.UtilizationPct)
+	}
+	return steps, nil
+}

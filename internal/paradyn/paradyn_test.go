@@ -1,0 +1,206 @@
+package paradyn
+
+import (
+	"testing"
+
+	"prism/internal/rocc"
+)
+
+func fastBase() rocc.Config {
+	cfg := rocc.DefaultConfig()
+	cfg.Horizon = 10_000
+	return cfg
+}
+
+func TestFig9LeftShape(t *testing.T) {
+	pts, err := Fig9Left(fastBase(), []float64{50, 150, 400}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y.Mean >= pts[i-1].Y.Mean {
+			t.Fatalf("interference not decreasing: %+v", pts)
+		}
+	}
+	// Superlinear initially: drop from 50->150 exceeds drop 150->400
+	// per unit period.
+	d1 := (pts[0].Y.Mean - pts[1].Y.Mean) / 100
+	d2 := (pts[1].Y.Mean - pts[2].Y.Mean) / 250
+	if d1 <= d2 {
+		t.Fatalf("initial drop not superlinear: %v vs %v", d1, d2)
+	}
+	for _, p := range pts {
+		if p.Y.HalfWidth() < 0 {
+			t.Fatal("bad CI")
+		}
+	}
+}
+
+func TestFig9RightShape(t *testing.T) {
+	pts, err := Fig9Right(fastBase(), []int{1, 8, 32}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y.Mean >= pts[i-1].Y.Mean {
+			t.Fatalf("utilization not decreasing: %+v", pts)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Fig9Left(fastBase(), []float64{100}, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	bad := fastBase()
+	bad.Quantum = -1
+	if _, err := Fig9Left(bad, []float64{100}, 2); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := Fig9Right(bad, []int{2}, 2); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	base := fastBase()
+	base.Horizon = 6_000
+	fr, err := Factorial(base, 50, 400, 2, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interference is driven by the sampling period (more samples =
+	// more daemon CPU): period must carry more variation than procs.
+	pEff, ok := fr.Interference.EffectByName("period")
+	if !ok {
+		t.Fatal("missing period effect")
+	}
+	if pEff.Value >= 0 {
+		t.Fatalf("longer period should reduce interference, effect %v", pEff.Value)
+	}
+	if fr.Interference.DominantFactor() != "period" {
+		t.Fatalf("interference dominant factor %q", fr.Interference.DominantFactor())
+	}
+	// Utilization is driven by the process count.
+	nEff, ok := fr.Utilization.EffectByName("procs")
+	if !ok {
+		t.Fatal("missing procs effect")
+	}
+	if nEff.Value >= 0 {
+		t.Fatalf("more processes should reduce daemon share, effect %v", nEff.Value)
+	}
+	if fr.Utilization.DominantFactor() != "procs" {
+		t.Fatalf("utilization dominant factor %q", fr.Utilization.DominantFactor())
+	}
+}
+
+func TestFactorialPropagatesErrors(t *testing.T) {
+	bad := fastBase()
+	bad.Horizon = -5
+	if _, err := Factorial(bad, 50, 400, 2, 8, 2); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestCostModelValidation(t *testing.T) {
+	if _, err := NewCostModel(0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, err := NewCostModel(100); err == nil {
+		t.Fatal("target 100 accepted")
+	}
+}
+
+func TestCostModelDirection(t *testing.T) {
+	m, err := NewCostModel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overhead far above target: period must grow.
+	next := m.Observe(100, 20)
+	if next <= 100 {
+		t.Fatalf("period should grow under excess overhead, got %v", next)
+	}
+	// Persistent low overhead: period must shrink.
+	m2, _ := NewCostModel(5)
+	next2 := m2.Observe(100, 1)
+	if next2 >= 100 {
+		t.Fatalf("period should shrink under low overhead, got %v", next2)
+	}
+	if m2.Smoothed() != 1 {
+		t.Fatalf("first observation not seeded: %v", m2.Smoothed())
+	}
+}
+
+func TestCostModelClamps(t *testing.T) {
+	m, _ := NewCostModel(5)
+	m.MinPeriod, m.MaxPeriod = 50, 200
+	if got := m.Observe(100, 500); got != 200 {
+		t.Fatalf("not clamped high: %v", got)
+	}
+	m2, _ := NewCostModel(50)
+	m2.MinPeriod, m2.MaxPeriod = 50, 200
+	if got := m2.Observe(60, 0.01); got != 50 {
+		t.Fatalf("not clamped low: %v", got)
+	}
+}
+
+func TestAdaptiveRunConverges(t *testing.T) {
+	base := fastBase()
+	base.SamplingPeriod = 60
+	// Find a reachable target: overhead at period 60 is higher than
+	// at period 1000 (housekeeping floor); target midway.
+	hi, err := rocc.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := base
+	lo.SamplingPeriod = 1500
+	loRes, err := rocc.Run(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.UtilizationPct <= loRes.UtilizationPct {
+		t.Skip("workload did not produce a monotone overhead range")
+	}
+	target := (hi.UtilizationPct + loRes.UtilizationPct) / 2
+	model, err := NewCostModel(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := AdaptiveRun(base, model, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 12 {
+		t.Fatalf("steps %d", len(steps))
+	}
+	// Final overhead closer to target than the initial one.
+	first := steps[0].OverheadPct - target
+	last := steps[len(steps)-1].OverheadPct - target
+	if abs(last) >= abs(first) {
+		t.Fatalf("no convergence: first err %v, last err %v (target %v)", first, last, target)
+	}
+}
+
+func TestAdaptiveRunValidation(t *testing.T) {
+	model, _ := NewCostModel(5)
+	if _, err := AdaptiveRun(fastBase(), model, 0); err == nil {
+		t.Fatal("zero segments accepted")
+	}
+	bad := fastBase()
+	bad.Horizon = 0
+	if _, err := AdaptiveRun(bad, model, 2); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,226 @@
+package paradyn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The W3 search model (§3.2): "It provides data collection support for
+// Paradyn's W3 search model, which analyzes program performance
+// bottlenecks by measuring system resource utilization with
+// appropriate metrics. When the search algorithm needs to analyze a
+// particular metric, instrumentation is inserted dynamically in the
+// program during runtime to generate samples of that metric value.
+// Therefore, the W3 search methodology uses a minimal amount of
+// instrumentation to provide a structured and automated way for a
+// programmer to isolate performance bottlenecks."
+//
+// This file implements the why/where axes of that search: hypotheses
+// about *why* the program is slow (CPU-, synchronization- or I/O-
+// bound) are tested at the whole-program focus first; true hypotheses
+// are refined along the *where* axis (machine -> node -> process),
+// inserting instrumentation only for the hypotheses currently under
+// test and removing it afterwards. The search's instrumentation
+// economy — its whole point — is accounted and exposed.
+
+// Why is the hypothesis axis: the candidate explanations for a
+// performance problem.
+type Why int
+
+// Why hypotheses.
+const (
+	CPUBound Why = iota
+	SyncBound
+	IOBound
+	numWhys
+)
+
+var whyNames = [...]string{"cpu-bound", "sync-bound", "io-bound"}
+
+// String returns the hypothesis name.
+func (w Why) String() string {
+	if int(w) < len(whyNames) {
+		return whyNames[w]
+	}
+	return fmt.Sprintf("why(%d)", int(w))
+}
+
+// Focus is a point on the where axis. Negative fields mean "all"
+// (machine- or node-level foci).
+type Focus struct {
+	Node    int32
+	Process int32
+}
+
+// MachineFocus is the whole-program focus.
+var MachineFocus = Focus{Node: -1, Process: -1}
+
+// String renders the focus.
+func (f Focus) String() string {
+	switch {
+	case f.Node < 0:
+		return "machine"
+	case f.Process < 0:
+		return fmt.Sprintf("node %d", f.Node)
+	default:
+		return fmt.Sprintf("node %d process %d", f.Node, f.Process)
+	}
+}
+
+// Target is the instrumentable program under search. Enable inserts
+// instrumentation for one (hypothesis, focus) pair; Sample reads one
+// smoothed metric value while enabled; Disable removes it.
+// Implementations must tolerate Disable after failed Enable counts.
+type Target interface {
+	// Nodes lists the target's nodes.
+	Nodes() []int32
+	// Processes lists the processes of a node.
+	Processes(node int32) []int32
+	// Enable inserts instrumentation for (why, focus).
+	Enable(why Why, f Focus)
+	// Sample returns one metric observation for (why, focus);
+	// only called between Enable and Disable.
+	Sample(why Why, f Focus) float64
+	// Disable removes the instrumentation for (why, focus).
+	Disable(why Why, f Focus)
+}
+
+// Finding is one refined bottleneck.
+type Finding struct {
+	Why   Why
+	Focus Focus
+	// Value is the mean metric value over the confirming window.
+	Value float64
+}
+
+// SearchStats accounts the search's instrumentation economy.
+type SearchStats struct {
+	// Tests is the number of (hypothesis, focus) tests executed.
+	Tests int
+	// Samples is the total number of samples collected.
+	Samples int
+	// MaxConcurrent is the peak number of simultaneously enabled
+	// instrumentation points.
+	MaxConcurrent int
+	// ExhaustiveSamples is what always-on instrumentation of every
+	// (hypothesis, leaf-focus) pair would have cost over the same
+	// search, for comparison.
+	ExhaustiveSamples int
+}
+
+// W3Search is a configured searcher.
+type W3Search struct {
+	// Thresholds gives the per-hypothesis trigger level: a
+	// (hypothesis, focus) is true when its windowed mean exceeds it.
+	Thresholds map[Why]float64
+	// Window is the number of samples per test.
+	Window int
+}
+
+// NewW3Search builds a searcher.
+func NewW3Search(thresholds map[Why]float64, window int) (*W3Search, error) {
+	if window < 1 {
+		return nil, errors.New("paradyn: window must be >= 1")
+	}
+	if len(thresholds) == 0 {
+		return nil, errors.New("paradyn: no hypotheses to test")
+	}
+	th := make(map[Why]float64, len(thresholds))
+	for w, v := range thresholds {
+		if w < 0 || w >= numWhys {
+			return nil, fmt.Errorf("paradyn: unknown hypothesis %d", w)
+		}
+		th[w] = v
+	}
+	return &W3Search{Thresholds: th, Window: window}, nil
+}
+
+// Run executes the search on target and returns the deepest true
+// findings plus the instrumentation accounting.
+func (s *W3Search) Run(target Target) ([]Finding, SearchStats, error) {
+	if target == nil {
+		return nil, SearchStats{}, errors.New("paradyn: nil target")
+	}
+	var stats SearchStats
+	concurrent := 0
+	test := func(why Why, f Focus) (float64, bool) {
+		target.Enable(why, f)
+		concurrent++
+		if concurrent > stats.MaxConcurrent {
+			stats.MaxConcurrent = concurrent
+		}
+		sum := 0.0
+		for i := 0; i < s.Window; i++ {
+			sum += target.Sample(why, f)
+		}
+		target.Disable(why, f)
+		concurrent--
+		stats.Tests++
+		stats.Samples += s.Window
+		mean := sum / float64(s.Window)
+		return mean, mean > s.Thresholds[why]
+	}
+
+	// Stable hypothesis order.
+	whys := make([]Why, 0, len(s.Thresholds))
+	for w := range s.Thresholds {
+		whys = append(whys, w)
+	}
+	sort.Slice(whys, func(i, j int) bool { return whys[i] < whys[j] })
+
+	var findings []Finding
+	leaves := 0
+	for _, node := range target.Nodes() {
+		leaves += len(target.Processes(node))
+	}
+	for _, why := range whys {
+		// Why axis at machine focus.
+		v, hot := test(why, MachineFocus)
+		if !hot {
+			continue
+		}
+		// Where axis: refine to nodes.
+		machineFinding := Finding{Why: why, Focus: MachineFocus, Value: v}
+		refined := false
+		for _, node := range target.Nodes() {
+			nv, nodeHot := test(why, Focus{Node: node, Process: -1})
+			if !nodeHot {
+				continue
+			}
+			nodeFinding := Finding{Why: why, Focus: Focus{Node: node, Process: -1}, Value: nv}
+			nodeRefined := false
+			for _, proc := range target.Processes(node) {
+				pv, procHot := test(why, Focus{Node: node, Process: proc})
+				if procHot {
+					findings = append(findings, Finding{
+						Why: why, Focus: Focus{Node: node, Process: proc}, Value: pv,
+					})
+					nodeRefined = true
+				}
+			}
+			if !nodeRefined {
+				// True at node level but no single guilty process:
+				// report the node.
+				findings = append(findings, nodeFinding)
+			}
+			refined = true
+		}
+		if !refined {
+			findings = append(findings, machineFinding)
+		}
+	}
+	// Exhaustive baseline: every hypothesis at every leaf focus,
+	// sampled for every test the search ran (always-on).
+	stats.ExhaustiveSamples = len(whys) * leaves * s.Window * totalLevels(target)
+	return findings, stats, nil
+}
+
+// totalLevels counts the where-axis depth used by the exhaustive
+// baseline (machine + node + process = 3 for non-empty targets).
+func totalLevels(target Target) int {
+	if len(target.Nodes()) == 0 {
+		return 1
+	}
+	return 3
+}

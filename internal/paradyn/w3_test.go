@@ -1,0 +1,226 @@
+package paradyn
+
+import (
+	"fmt"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+// syntheticTarget plants one bottleneck: (why, node, process) reads
+// hot; everything else reads background noise. Enabled-state tracking
+// verifies the search's instrumentation discipline.
+type syntheticTarget struct {
+	nodes    []int32
+	procs    map[int32][]int32
+	hotWhy   Why
+	hotNode  int32
+	hotProc  int32
+	hotLevel float64
+	noise    *rng.Stream
+
+	enabled              map[string]bool
+	samplesWhileDisabled int
+}
+
+func newSyntheticTarget(hotWhy Why, hotNode, hotProc int32) *syntheticTarget {
+	t := &syntheticTarget{
+		nodes:    []int32{0, 1, 2, 3},
+		procs:    map[int32][]int32{},
+		hotWhy:   hotWhy,
+		hotNode:  hotNode,
+		hotProc:  hotProc,
+		hotLevel: 80,
+		noise:    rng.New(5),
+		enabled:  map[string]bool{},
+	}
+	for _, n := range t.nodes {
+		t.procs[n] = []int32{0, 1, 2}
+	}
+	return t
+}
+
+func key(w Why, f Focus) string { return fmt.Sprintf("%d/%d/%d", w, f.Node, f.Process) }
+
+func (t *syntheticTarget) Nodes() []int32            { return t.nodes }
+func (t *syntheticTarget) Processes(n int32) []int32 { return t.procs[n] }
+func (t *syntheticTarget) Enable(w Why, f Focus)     { t.enabled[key(w, f)] = true }
+func (t *syntheticTarget) Disable(w Why, f Focus)    { delete(t.enabled, key(w, f)) }
+
+func (t *syntheticTarget) Sample(w Why, f Focus) float64 {
+	if !t.enabled[key(w, f)] {
+		t.samplesWhileDisabled++
+	}
+	base := t.noise.Uniform(0, 10)
+	if w != t.hotWhy {
+		return base
+	}
+	// The hot signal shows through at every covering focus.
+	switch {
+	case f.Node < 0:
+		return t.hotLevel/4 + base // diluted across 4 nodes
+	case f.Node == t.hotNode && f.Process < 0:
+		return t.hotLevel/3 + base // diluted across 3 processes
+	case f.Node == t.hotNode && f.Process == t.hotProc:
+		return t.hotLevel + base
+	default:
+		return base
+	}
+}
+
+func TestW3Validation(t *testing.T) {
+	if _, err := NewW3Search(nil, 5); err == nil {
+		t.Fatal("no hypotheses accepted")
+	}
+	if _, err := NewW3Search(map[Why]float64{CPUBound: 1}, 0); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := NewW3Search(map[Why]float64{Why(99): 1}, 5); err == nil {
+		t.Fatal("bogus hypothesis accepted")
+	}
+	s, _ := NewW3Search(map[Why]float64{CPUBound: 1}, 5)
+	if _, _, err := s.Run(nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestWhyAndFocusStrings(t *testing.T) {
+	if CPUBound.String() != "cpu-bound" || SyncBound.String() != "sync-bound" ||
+		IOBound.String() != "io-bound" {
+		t.Fatal("why names")
+	}
+	if Why(42).String() == "" {
+		t.Fatal("unknown why should render")
+	}
+	if MachineFocus.String() != "machine" {
+		t.Fatal("machine focus")
+	}
+	if (Focus{Node: 2, Process: -1}).String() != "node 2" {
+		t.Fatal("node focus")
+	}
+	if (Focus{Node: 2, Process: 1}).String() != "node 2 process 1" {
+		t.Fatal("process focus")
+	}
+}
+
+func TestW3FindsPlantedBottleneck(t *testing.T) {
+	target := newSyntheticTarget(SyncBound, 2, 1)
+	search, err := NewW3Search(map[Why]float64{
+		CPUBound: 15, SyncBound: 15, IOBound: 15,
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stats, err := search.Run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings %v", findings)
+	}
+	f := findings[0]
+	if f.Why != SyncBound || f.Focus.Node != 2 || f.Focus.Process != 1 {
+		t.Fatalf("wrong bottleneck: %s at %s", f.Why, f.Focus)
+	}
+	if f.Value <= 15 {
+		t.Fatalf("finding value %v below threshold", f.Value)
+	}
+	if stats.Tests == 0 || stats.Samples != stats.Tests*20 {
+		t.Fatalf("accounting %+v", stats)
+	}
+	// Instrumentation economy: far cheaper than exhaustive always-on.
+	if stats.Samples*3 > stats.ExhaustiveSamples {
+		t.Fatalf("search not economical: %d vs exhaustive %d",
+			stats.Samples, stats.ExhaustiveSamples)
+	}
+	// One instrumentation point at a time.
+	if stats.MaxConcurrent != 1 {
+		t.Fatalf("concurrent instrumentation %d", stats.MaxConcurrent)
+	}
+	// All instrumentation removed, and no sampling while disabled.
+	if len(target.enabled) != 0 {
+		t.Fatalf("instrumentation left enabled: %v", target.enabled)
+	}
+	if target.samplesWhileDisabled != 0 {
+		t.Fatalf("%d samples taken without instrumentation", target.samplesWhileDisabled)
+	}
+}
+
+func TestW3NoBottleneck(t *testing.T) {
+	target := newSyntheticTarget(CPUBound, 0, 0)
+	target.hotLevel = 0 // nothing hot
+	search, _ := NewW3Search(map[Why]float64{CPUBound: 15, SyncBound: 15}, 10)
+	findings, stats, err := search.Run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("phantom findings %v", findings)
+	}
+	// Only the machine-level tests ran: no refinement without truth.
+	if stats.Tests != 2 {
+		t.Fatalf("tests %d, want 2 machine-level probes", stats.Tests)
+	}
+}
+
+// TestW3NodeLevelFinding: a bottleneck spread evenly over a node's
+// processes is reported at node granularity.
+type spreadTarget struct{ *syntheticTarget }
+
+func (t *spreadTarget) Sample(w Why, f Focus) float64 {
+	base := t.noise.Uniform(0, 5)
+	if w != t.hotWhy {
+		return base
+	}
+	switch {
+	case f.Node < 0:
+		return 30 + base
+	case f.Node == t.hotNode && f.Process < 0:
+		return 60 + base
+	case f.Node == t.hotNode:
+		return 12 + base // each process individually below threshold
+	default:
+		return base
+	}
+}
+
+func TestW3NodeLevelFinding(t *testing.T) {
+	inner := newSyntheticTarget(CPUBound, 1, 0)
+	target := &spreadTarget{inner}
+	search, _ := NewW3Search(map[Why]float64{CPUBound: 20}, 15)
+	findings, _, err := search.Run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings %v", findings)
+	}
+	f := findings[0]
+	if f.Focus.Node != 1 || f.Focus.Process >= 0 {
+		t.Fatalf("expected node-level finding, got %s", f.Focus)
+	}
+}
+
+// machineOnlyTarget is hot at machine level but no node stands out —
+// the finding stays at machine granularity.
+type machineOnlyTarget struct{ *syntheticTarget }
+
+func (t *machineOnlyTarget) Sample(w Why, f Focus) float64 {
+	if w == t.hotWhy && f.Node < 0 {
+		return 100
+	}
+	return t.noise.Uniform(0, 5)
+}
+
+func TestW3MachineLevelFinding(t *testing.T) {
+	inner := newSyntheticTarget(IOBound, 0, 0)
+	target := &machineOnlyTarget{inner}
+	search, _ := NewW3Search(map[Why]float64{IOBound: 20}, 10)
+	findings, _, err := search.Run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Focus != MachineFocus {
+		t.Fatalf("findings %v", findings)
+	}
+}

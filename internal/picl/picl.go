@@ -1,0 +1,127 @@
+// Package picl models the PICL instrumentation system of §3.1: P
+// processors, each with a local trace buffer of capacity l filling
+// from an independent Poisson event stream of rate α, managed under
+// one of two flush policies —
+//
+//   - FOF, "Flush One buffer when it Fills": the filling buffer alone
+//     flushes, stalling its node for the message-passing time f(l);
+//   - FAOF, "Flush All the buffers when One Fills": all P buffers are
+//     gang-flushed as soon as the first fills (the Pablo/TAM policy).
+//
+// Table 3 of the paper gives the stopping-time distributions and the
+// long-run flushing frequencies; Figure 5 plots frequency against
+// buffer capacity for three arrival rates. Both are reproduced here
+// analytically (via package queueing), by regenerative simulation (via
+// package sim + stats), and by measurement of the live Go LIS runtime
+// (via package isruntime/lis).
+//
+// Frequencies are normalized per arrival, as the paper's metric
+// prescribes ("ratio of the number of flushes to the number of
+// arrivals for a local buffer"): FOF per single-buffer arrival stream,
+// FAOF per the whole system's arrival stream, since one gang flush is
+// a single synchronized interruption of all P nodes. Message-passing
+// time is "a linear function of l ... represented by the function
+// f(l)".
+package picl
+
+import (
+	"errors"
+
+	"prism/internal/queueing"
+)
+
+// FlushCost is the linear flush (message-passing) cost model
+// f(l) = C0 + C1·l, in milliseconds.
+type FlushCost struct {
+	C0, C1 float64
+}
+
+// Of evaluates f(l).
+func (f FlushCost) Of(l int) float64 { return f.C0 + f.C1*float64(l) }
+
+// DefaultFlushCost is calibrated so the analytic curves land on the
+// y-axis scales of the paper's Figure 5 (see EXPERIMENTS.md):
+// f(l) = 180 + 1.5·l ms.
+func DefaultFlushCost() FlushCost { return FlushCost{C0: 180, C1: 1.5} }
+
+// Params describes one PICL IS configuration.
+type Params struct {
+	// L is the local buffer capacity in records (the paper's l).
+	L int
+	// Alpha is the per-buffer Poisson arrival rate (records/ms).
+	Alpha float64
+	// P is the number of processors.
+	P int
+	// Cost is the flush cost model f(l).
+	Cost FlushCost
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.L < 1:
+		return errors.New("picl: buffer capacity must be >= 1")
+	case p.Alpha <= 0:
+		return errors.New("picl: arrival rate must be positive")
+	case p.P < 1:
+		return errors.New("picl: need at least one processor")
+	case p.Cost.Of(p.L) < 0:
+		return errors.New("picl: negative flush cost")
+	}
+	return nil
+}
+
+// FOFStoppingTimeMean returns E[τ_l(i)] = l·(1/α), the expected time
+// for one buffer to fill under FOF (Table 3, FOF column).
+func (p Params) FOFStoppingTimeMean() float64 {
+	return queueing.ErlangMean(p.L, p.Alpha)
+}
+
+// FOFStoppingTimeCDF returns P[τ_l(i) <= t]: the Erlang(l, α) CDF
+// (Table 3 "Distribution", FOF column).
+func (p Params) FOFStoppingTimeCDF(t float64) float64 {
+	return queueing.ErlangCDF(p.L, p.Alpha, t)
+}
+
+// FAOFStoppingTimeMean returns E[τ_l] = E[min of P Erlang(l, α)], the
+// expected time until the first of the P buffers fills.
+func (p Params) FAOFStoppingTimeMean() float64 {
+	return queueing.MinErlangMean(p.P, p.L, p.Alpha)
+}
+
+// FAOFStoppingTimeLowerBound returns the paper's bound
+// E[τ_l] >= l/(P·α) (Table 3): the total arrival stream of rate Pα
+// must produce at least l records before any buffer can fill.
+func (p Params) FAOFStoppingTimeLowerBound() float64 {
+	return float64(p.L) / (float64(p.P) * p.Alpha)
+}
+
+// FAOFStoppingTimeSurvival returns P[τ_l > t] = (P[Erlang > t])^P
+// (Table 3 "Distribution", FAOF column).
+func (p Params) FAOFStoppingTimeSurvival(t float64) float64 {
+	return queueing.MinErlangSurvival(p.P, p.L, p.Alpha, t)
+}
+
+// FOFFrequency returns ω_o = 1/(l + α·f(l)), the long-run number of
+// flushes per arrival at one buffer under FOF (Table 3). Derivation:
+// filling and flushing is a regenerative process (Smith's theorem,
+// §3.1.3) with cycle time l/α + f(l); the flush rate 1/(l/α + f(l))
+// divided by the arrival rate α gives 1/(l + α·f(l)).
+func (p Params) FOFFrequency() float64 {
+	return 1 / (float64(p.L) + p.Alpha*p.Cost.Of(p.L))
+}
+
+// FAOFFrequency returns ω_a: gang flushes per system arrival,
+// 1/(Pα·(E[τ_min] + f(l))), using the exact mean of the minimum fill
+// time.
+func (p Params) FAOFFrequency() float64 {
+	cycle := p.FAOFStoppingTimeMean() + p.Cost.Of(p.L)
+	return 1 / (float64(p.P) * p.Alpha * cycle)
+}
+
+// FAOFFrequencyUpperBound returns the paper's closed-form bound
+// ω_a <= 1/(l + P·α·f(l)) (Table 3), obtained by substituting the
+// stopping-time lower bound l/(Pα) for E[τ_min].
+func (p Params) FAOFFrequencyUpperBound() float64 {
+	return 1 / (float64(p.L) + float64(p.P)*p.Alpha*p.Cost.Of(p.L))
+}

@@ -1,0 +1,257 @@
+package picl
+
+import (
+	"math"
+	"testing"
+)
+
+func params(l int, alpha float64) Params {
+	return Params{L: l, Alpha: alpha, P: 16, Cost: DefaultFlushCost()}
+}
+
+func TestValidate(t *testing.T) {
+	if err := params(50, 0.007).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{L: 0, Alpha: 1, P: 1},
+		{L: 1, Alpha: 0, P: 1},
+		{L: 1, Alpha: 1, P: 0},
+		{L: 10, Alpha: 1, P: 1, Cost: FlushCost{C0: -100}},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFlushCost(t *testing.T) {
+	f := FlushCost{C0: 180, C1: 1.5}
+	if got := f.Of(10); math.Abs(got-195) > 1e-12 {
+		t.Fatalf("f(10) = %v", got)
+	}
+	if DefaultFlushCost() != f {
+		t.Fatal("default cost changed; update EXPERIMENTS.md calibration")
+	}
+}
+
+func TestTable3StoppingTimes(t *testing.T) {
+	p := params(50, 0.007)
+	// E[τ(i)] = l/α.
+	want := 50 / 0.007
+	if got := p.FOFStoppingTimeMean(); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("FOF stopping mean %v", got)
+	}
+	// FAOF mean within [l/(Pα), l/α].
+	m := p.FAOFStoppingTimeMean()
+	if m < p.FAOFStoppingTimeLowerBound() || m > p.FOFStoppingTimeMean() {
+		t.Fatalf("FAOF mean %v outside [%v, %v]",
+			m, p.FAOFStoppingTimeLowerBound(), p.FOFStoppingTimeMean())
+	}
+}
+
+func TestStoppingTimeDistributions(t *testing.T) {
+	p := params(20, 0.1)
+	// CDF monotone in t, and FAOF survival below FOF survival.
+	var prev float64 = -1
+	for _, tt := range []float64{10, 100, 200, 300, 500} {
+		c := p.FOFStoppingTimeCDF(tt)
+		if c < prev {
+			t.Fatal("CDF not monotone")
+		}
+		prev = c
+		sFOF := 1 - c
+		sFAOF := p.FAOFStoppingTimeSurvival(tt)
+		if sFAOF > sFOF+1e-12 {
+			t.Fatalf("FAOF survival %v above FOF %v at t=%v", sFAOF, sFOF, tt)
+		}
+	}
+}
+
+// TestFig5FrequencyProperties asserts the qualitative content of
+// Figure 5 analytically: frequency decreases with buffer capacity,
+// FAOF is below FOF everywhere, and the FOF/FAOF gap widens with the
+// arrival rate.
+func TestFig5FrequencyProperties(t *testing.T) {
+	alphas := []float64{0.0008, 0.007, 2}
+	var prevRatio float64
+	for ai, alpha := range alphas {
+		var prevFOF, prevFAOF float64 = math.Inf(1), math.Inf(1)
+		var ratioAtL50 float64
+		for l := 10; l <= 100; l += 10 {
+			p := params(l, alpha)
+			fof := p.FOFFrequency()
+			faof := p.FAOFFrequency()
+			bound := p.FAOFFrequencyUpperBound()
+			if fof >= prevFOF || faof >= prevFAOF {
+				t.Fatalf("α=%v l=%d: frequency not decreasing", alpha, l)
+			}
+			prevFOF, prevFAOF = fof, faof
+			if faof >= fof {
+				t.Fatalf("α=%v l=%d: FAOF %v not below FOF %v", alpha, l, faof, fof)
+			}
+			if faof > bound+1e-12 {
+				t.Fatalf("α=%v l=%d: FAOF %v exceeds paper bound %v", alpha, l, faof, bound)
+			}
+			if l == 50 {
+				ratioAtL50 = fof / faof
+			}
+		}
+		if ai > 0 && ratioAtL50 <= prevRatio {
+			t.Fatalf("FOF/FAOF gap did not widen with α: %v then %v", prevRatio, ratioAtL50)
+		}
+		prevRatio = ratioAtL50
+	}
+}
+
+// TestFig5AxisScales pins the y-axis magnitudes of the three panels:
+// ω(l=10) ≈ 0.1 at α=0.0008, ≈ 0.09 at α=0.007, ≈ 2.5e-3 at α=2.
+func TestFig5AxisScales(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		want  float64
+		tol   float64
+	}{
+		{0.0008, 0.1, 0.01},
+		{0.007, 0.09, 0.01},
+		{2, 0.0025, 0.0004},
+	}
+	for _, c := range cases {
+		p := params(10, c.alpha)
+		got := p.FOFFrequency()
+		if math.Abs(got-c.want) > c.tol {
+			t.Fatalf("α=%v: ω(10) = %v, want ≈ %v", c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestSimulateFOFMatchesAnalytic(t *testing.T) {
+	p := params(20, 0.1)
+	res, err := SimulateFOF(p, 2_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes < 100 {
+		t.Fatalf("too few cycles: %d", res.Flushes)
+	}
+	want := p.FOFFrequency()
+	if math.Abs(res.Frequency-want)/want > 0.05 {
+		t.Fatalf("simulated FOF frequency %v vs analytic %v", res.Frequency, want)
+	}
+	// Stopping time CI should cover l/α.
+	if !res.StoppingTime.Contains(p.FOFStoppingTimeMean()) {
+		if math.Abs(res.StoppingTime.Mean-p.FOFStoppingTimeMean())/p.FOFStoppingTimeMean() > 0.05 {
+			t.Fatalf("stopping time %v vs %v", res.StoppingTime, p.FOFStoppingTimeMean())
+		}
+	}
+	// Regenerative CI should cover the analytic frequency.
+	if !res.FrequencyCI.Contains(want) {
+		if math.Abs(res.FrequencyCI.Mean-want)/want > 0.05 {
+			t.Fatalf("frequency CI %v misses %v", res.FrequencyCI, want)
+		}
+	}
+}
+
+func TestSimulateFAOFMatchesAnalytic(t *testing.T) {
+	p := params(20, 0.1)
+	res, err := SimulateFAOF(p, 1_000_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes < 100 {
+		t.Fatalf("too few cycles: %d", res.Flushes)
+	}
+	want := p.FAOFFrequency()
+	if math.Abs(res.Frequency-want)/want > 0.06 {
+		t.Fatalf("simulated FAOF frequency %v vs analytic %v", res.Frequency, want)
+	}
+	// Stopping times should match the min-Erlang mean.
+	wantStop := p.FAOFStoppingTimeMean()
+	if math.Abs(res.StoppingTime.Mean-wantStop)/wantStop > 0.05 {
+		t.Fatalf("FAOF stopping time %v vs analytic %v", res.StoppingTime.Mean, wantStop)
+	}
+	// And respect the paper's bound.
+	if res.Frequency > p.FAOFFrequencyUpperBound()*1.02 &&
+		res.Frequency > p.FAOFFrequencyUpperBound()+1e-9 {
+		// The bound is on the analytic mean; simulated noise allowed 2%.
+		t.Fatalf("simulated FAOF frequency %v above bound %v",
+			res.Frequency, p.FAOFFrequencyUpperBound())
+	}
+}
+
+func TestSimulateRejectsBadParams(t *testing.T) {
+	if _, err := SimulateFOF(Params{}, 100, 1); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := SimulateFAOF(Params{}, 100, 1); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestSimulateFAOFBelowFOF(t *testing.T) {
+	p := params(30, 0.05)
+	fof, err := SimulateFOF(p, 3_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faof, err := SimulateFAOF(p, 1_500_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faof.Frequency >= fof.Frequency {
+		t.Fatalf("simulated FAOF %v not below FOF %v", faof.Frequency, fof.Frequency)
+	}
+}
+
+func TestMeasureFOFLiveRuntime(t *testing.T) {
+	// With zero flush cost, analytic FOF frequency is exactly 1/l.
+	p := Params{L: 25, Alpha: 0.1, P: 8, Cost: FlushCost{}}
+	res, err := MeasureFOF(p, 40_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 25
+	if math.Abs(res.Frequency-want)/want > 0.02 {
+		t.Fatalf("live FOF frequency %v, want ~%v", res.Frequency, want)
+	}
+	// No records lost (modulo partial buffers).
+	if res.Records > res.Arrivals || res.Arrivals-res.Records > uint64(p.P*p.L) {
+		t.Fatalf("record accounting: %d forwarded of %d", res.Records, res.Arrivals)
+	}
+}
+
+func TestMeasureFAOFLiveRuntime(t *testing.T) {
+	p := Params{L: 25, Alpha: 0.1, P: 8, Cost: FlushCost{}}
+	res, err := MeasureFAOF(p, 40_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequency must respect the zero-cost paper bound 1/l and be
+	// below the live FOF frequency.
+	if res.Frequency > 1.0/25+1e-9 {
+		t.Fatalf("live FAOF frequency %v above bound %v", res.Frequency, 1.0/25)
+	}
+	fof, err := MeasureFOF(p, 40_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frequency >= fof.Frequency {
+		t.Fatalf("live FAOF %v not below FOF %v", res.Frequency, fof.Frequency)
+	}
+	// Analytic counterpart with zero cost: one sweep per PαE[τmin]
+	// system arrivals.
+	want := p.FAOFFrequency()
+	if math.Abs(res.Frequency-want)/want > 0.05 {
+		t.Fatalf("live FAOF %v vs analytic %v", res.Frequency, want)
+	}
+}
+
+func TestMeasureRejectsBadParams(t *testing.T) {
+	if _, err := MeasureFOF(Params{}, 10, 1); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := MeasureFAOF(Params{}, 10, 1); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}

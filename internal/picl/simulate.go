@@ -1,0 +1,153 @@
+package picl
+
+import (
+	"prism/internal/rng"
+	"prism/internal/sim"
+	"prism/internal/stats"
+)
+
+// Regenerative simulation of the two policies, used in §3.1.3 to
+// validate the analytical results ("these results were compared and
+// validated with simulation and measurement results").
+
+// SimResult reports one simulated run.
+type SimResult struct {
+	// Flushes is the number of flush operations (gang sweeps count
+	// once under FAOF).
+	Flushes uint64
+	// Arrivals is the number of records captured into local buffers.
+	Arrivals uint64
+	// ElapsedMs is the simulated time.
+	ElapsedMs float64
+	// Frequency is flushes per arrival, normalized as the analytic
+	// formulas are: flushes / (α·T) for FOF (per buffer) and
+	// flushes / (P·α·T) for FAOF (per system).
+	Frequency float64
+	// StoppingTime is the confidence interval on the mean trace
+	// stopping time (buffer fill time) observed across cycles.
+	StoppingTime stats.Interval
+	// FrequencyCI is the regenerative (renewal-reward) confidence
+	// interval on the frequency.
+	FrequencyCI stats.Interval
+}
+
+// SimulateFOF runs the FOF policy for one buffer (cycles are iid
+// across buffers, so one long-run buffer suffices) until horizon.
+func SimulateFOF(p Params, horizon float64, seed uint64) (SimResult, error) {
+	if err := p.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	s := sim.New()
+	st := rng.New(seed)
+	var res SimResult
+	var stopping []float64
+	var cycles []stats.Cycle
+
+	count := 0
+	cycleStart := 0.0
+	flushing := false
+	var arrive func()
+	arrive = func() {
+		if !flushing {
+			count++
+			res.Arrivals++
+			if count >= p.L {
+				// Buffer full: flush for f(l); collection stops.
+				stopping = append(stopping, s.Now()-cycleStart)
+				flushing = true
+				res.Flushes++
+				f := p.Cost.Of(p.L)
+				s.Schedule(f, func() {
+					cycles = append(cycles, stats.Cycle{
+						Length: s.Now() - cycleStart,
+						Reward: 1,
+					})
+					cycleStart = s.Now()
+					count = 0
+					flushing = false
+				})
+			}
+		}
+		s.Schedule(st.Exp(p.Alpha), arrive)
+	}
+	s.Schedule(st.Exp(p.Alpha), arrive)
+	if err := s.RunUntil(horizon, 100_000_000); err != nil {
+		return SimResult{}, err
+	}
+	res.ElapsedMs = s.Now()
+	res.Frequency = float64(res.Flushes) / (p.Alpha * res.ElapsedMs)
+	finishSim(&res, stopping, cycles, p.Alpha, 1)
+	return res, nil
+}
+
+// SimulateFAOF runs the FAOF policy across all P buffers until
+// horizon. When any buffer reaches capacity, all buffers gang-flush
+// for f(l) with collection stopped, then restart empty.
+func SimulateFAOF(p Params, horizon float64, seed uint64) (SimResult, error) {
+	if err := p.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	s := sim.New()
+	root := rng.New(seed)
+	var res SimResult
+	var stopping []float64
+	var cycles []stats.Cycle
+
+	counts := make([]int, p.P)
+	cycleStart := 0.0
+	flushing := false
+	gangFlush := func() {
+		stopping = append(stopping, s.Now()-cycleStart)
+		flushing = true
+		res.Flushes++
+		s.Schedule(p.Cost.Of(p.L), func() {
+			cycles = append(cycles, stats.Cycle{Length: s.Now() - cycleStart, Reward: 1})
+			cycleStart = s.Now()
+			for i := range counts {
+				counts[i] = 0
+			}
+			flushing = false
+		})
+	}
+	for i := 0; i < p.P; i++ {
+		i := i
+		st := root.Split()
+		var arrive func()
+		arrive = func() {
+			if !flushing {
+				counts[i]++
+				res.Arrivals++
+				if counts[i] >= p.L {
+					gangFlush()
+				}
+			}
+			s.Schedule(st.Exp(p.Alpha), arrive)
+		}
+		s.Schedule(st.Exp(p.Alpha), arrive)
+	}
+	if err := s.RunUntil(horizon, 100_000_000); err != nil {
+		return SimResult{}, err
+	}
+	res.ElapsedMs = s.Now()
+	res.Frequency = float64(res.Flushes) / (float64(p.P) * p.Alpha * res.ElapsedMs)
+	finishSim(&res, stopping, cycles, p.Alpha, p.P)
+	return res, nil
+}
+
+func finishSim(res *SimResult, stopping []float64, cycles []stats.Cycle, alpha float64, procs int) {
+	if len(stopping) >= 2 {
+		res.StoppingTime = stats.MeanCI(stopping, 0.90)
+	} else if len(stopping) == 1 {
+		res.StoppingTime = stats.Interval{Mean: stopping[0], Lo: stopping[0], Hi: stopping[0], Confidence: 0.90}
+	}
+	if iv, err := stats.RenewalReward(cycles, 0.90); err == nil {
+		// RenewalReward yields flushes per ms; convert to per arrival.
+		scale := 1 / (float64(procs) * alpha)
+		res.FrequencyCI = stats.Interval{
+			Mean:       iv.Mean * scale,
+			Lo:         iv.Lo * scale,
+			Hi:         iv.Hi * scale,
+			Confidence: iv.Confidence,
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"prism/internal/queueing"
+)
+
+// Example shows the Erlang first-passage analytics behind the PICL
+// stopping-time model: a buffer of 20 records filling from a Poisson
+// stream of rate 0.1/ms.
+func Example() {
+	const l, alpha = 20, 0.1
+	fmt.Printf("mean fill time: %.0f ms\n", queueing.ErlangMean(l, alpha))
+	fmt.Printf("P[full by 150 ms]: %.3f\n", queueing.ErlangCDF(l, alpha, 150))
+	fmt.Printf("P[full by 300 ms]: %.3f\n", queueing.ErlangCDF(l, alpha, 300))
+	// With 16 such buffers, the first fills much sooner.
+	fmt.Printf("mean first-fill of 16: %.0f ms\n", queueing.MinErlangMean(16, l, alpha))
+	// Output:
+	// mean fill time: 200 ms
+	// P[full by 150 ms]: 0.125
+	// P[full by 300 ms]: 0.978
+	// mean first-fill of 16: 129 ms
+}
+
+// ExampleMG1 evaluates a Pollaczek–Khinchine mean wait, the formula
+// the Vista ISM's analytic model rests on.
+func ExampleMG1() {
+	q := queueing.MG1{Lambda: 0.1, MeanS: 6, MeanS2: 6*6 + 1.5*1.5}
+	fmt.Printf("rho = %.2f\n", q.Rho())
+	fmt.Printf("mean wait = %.2f ms\n", q.MeanWait())
+	fmt.Printf("mean response = %.2f ms\n", q.MeanResponse())
+	// Output:
+	// rho = 0.60
+	// mean wait = 4.78 ms
+	// mean response = 10.78 ms
+}

@@ -1,0 +1,263 @@
+// Package queueing provides the closed-form queueing-theory results
+// behind the paper's analytical models: Erlang (Gamma with integer
+// shape) first-passage distributions for buffer fill times, order
+// statistics of Erlangs for the FAOF gang-flush stopping time
+// (Table 3), and the standard M/M/1, M/G/1 (Pollaczek–Khinchine) and
+// M/M/c formulas that the ISM models are sanity-checked against.
+//
+// "The concurrent LIS is modeled as a set of single-server (M/G/1)
+// queues, one at each processor ... the inter-arrival times at each of
+// these buffers are assumed independent and exponentially distributed
+// with rate α" (§3.1.2). The time to accumulate l records is then
+// Erlang(l, α), whose properties this package supplies.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// PoissonPMF returns P[N = k] for N ~ Poisson(mean).
+func PoissonPMF(k int, mean float64) float64 {
+	if k < 0 || mean < 0 {
+		return 0
+	}
+	if mean == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k + 1))
+	return math.Exp(float64(k)*math.Log(mean) - mean - lg)
+}
+
+// PoissonCDF returns P[N <= k] for N ~ Poisson(mean), summing PMF
+// terms with a recurrence for numerical robustness.
+func PoissonCDF(k int, mean float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if mean <= 0 {
+		return 1
+	}
+	term := math.Exp(-mean)
+	sum := term
+	for i := 1; i <= k; i++ {
+		term *= mean / float64(i)
+		sum += term
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// ErlangCDF returns P[T <= t] for T ~ Erlang(k, rate): the probability
+// that at least k Poisson(rate) arrivals have occurred by time t.
+func ErlangCDF(k int, rate, t float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if t <= 0 {
+		return 0
+	}
+	return 1 - PoissonCDF(k-1, rate*t)
+}
+
+// ErlangSurvival returns P[T > t] for T ~ Erlang(k, rate). This is the
+// FOF trace-stopping-time distribution of Table 3: the i-th buffer of
+// capacity l with arrival rate α stops tracing at τ ~ Erlang(l, α).
+func ErlangSurvival(k int, rate, t float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if t <= 0 {
+		return 1
+	}
+	return PoissonCDF(k-1, rate*t)
+}
+
+// ErlangMean returns E[T] = k/rate, the paper's E[τ_l(i)] = l·(1/α).
+func ErlangMean(k int, rate float64) float64 { return float64(k) / rate }
+
+// ErlangPDF returns the density of Erlang(k, rate) at t.
+func ErlangPDF(k int, rate, t float64) float64 {
+	if t < 0 || k <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k))
+	return math.Exp(float64(k)*math.Log(rate) + float64(k-1)*math.Log(t) - rate*t - lg)
+}
+
+// MinErlangSurvival returns P[min of p iid Erlang(k, rate) > t], the
+// FAOF trace-stopping-time distribution of Table 3 ("the results for
+// the FAOF policy are obtained under the assumption that the arrival
+// rates at all nodes are identical"): with all P buffers filling
+// independently, tracing stops when the first fills.
+func MinErlangSurvival(p, k int, rate, t float64) float64 {
+	if p <= 0 {
+		panic("queueing: MinErlangSurvival with non-positive p")
+	}
+	return math.Pow(ErlangSurvival(k, rate, t), float64(p))
+}
+
+// MinErlangMean returns E[min of p iid Erlang(k, rate)] by integrating
+// the survival function with adaptive Simpson quadrature. For p = 1 it
+// reduces to k/rate; for all p it respects the paper's lower bound
+// E[τ] >= l/(P·α) (the mean of the minimum can never drop below the
+// time for the *total* arrival stream to produce l records).
+func MinErlangMean(p, k int, rate float64) float64 {
+	if p == 1 {
+		return ErlangMean(k, rate)
+	}
+	surv := func(t float64) float64 { return MinErlangSurvival(p, k, rate, t) }
+	// The survival function decays past a few means; integrate to a
+	// generous upper limit with refinement. The tolerance is relative
+	// to the integral's scale (the mean), not absolute: an absolute
+	// tolerance would force pathological subdivision for large means.
+	mean := ErlangMean(k, rate)
+	upper := mean * 4
+	for surv(upper) > 1e-12 {
+		upper *= 2
+	}
+	return Integrate(surv, 0, upper, mean*1e-9)
+}
+
+// Integrate computes the integral of f over [a, b] by adaptive
+// Simpson's rule with the given absolute tolerance.
+func Integrate(f func(float64) float64, a, b, tol float64) float64 {
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := (b - a) / 6 * (fa + 4*fm + fb)
+	return adaptiveSimpson(f, a, b, fa, fb, fm, whole, tol, 50)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fb, fm, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := (m - a) / 6 * (fa + 4*flm + fm)
+	right := (b - m) / 6 * (fm + 4*frm + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpson(f, a, m, fa, fm, flm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, fb, frm, right, tol/2, depth-1)
+}
+
+// MM1 summarizes an M/M/1 queue with arrival rate lambda and service
+// rate mu.
+type MM1 struct{ Lambda, Mu float64 }
+
+// Rho returns the offered load λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// Stable reports whether the queue is stable (ρ < 1).
+func (q MM1) Stable() bool { return q.Rho() < 1 }
+
+// MeanResponse returns E[W] = 1/(μ-λ), or +Inf if unstable.
+func (q MM1) MeanResponse() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// MeanWait returns E[Wq] = ρ/(μ-λ).
+func (q MM1) MeanWait() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return q.Rho() / (q.Mu - q.Lambda)
+}
+
+// MeanNumber returns E[L] = ρ/(1-ρ).
+func (q MM1) MeanNumber() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return q.Rho() / (1 - q.Rho())
+}
+
+// MeanQueue returns E[Lq] = ρ²/(1-ρ).
+func (q MM1) MeanQueue() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	r := q.Rho()
+	return r * r / (1 - r)
+}
+
+// MG1 summarizes an M/G/1 queue with arrival rate Lambda and a general
+// service distribution given by its first two moments.
+type MG1 struct {
+	Lambda float64
+	MeanS  float64 // E[S]
+	MeanS2 float64 // E[S²]
+}
+
+// Rho returns the offered load λ·E[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.MeanS }
+
+// Stable reports whether the queue is stable.
+func (q MG1) Stable() bool { return q.Rho() < 1 }
+
+// MeanWait returns the Pollaczek–Khinchine mean waiting time
+// λ·E[S²] / (2(1-ρ)).
+func (q MG1) MeanWait() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.MeanS2 / (2 * (1 - q.Rho()))
+}
+
+// MeanResponse returns E[W] = Wq + E[S].
+func (q MG1) MeanResponse() float64 { return q.MeanWait() + q.MeanS }
+
+// MeanQueue returns E[Lq] = λ·Wq (Little's law).
+func (q MG1) MeanQueue() float64 { return q.Lambda * q.MeanWait() }
+
+// MMc summarizes an M/M/c queue.
+type MMc struct {
+	Lambda, Mu float64
+	C          int
+}
+
+// Rho returns the per-server load λ/(cμ).
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// Stable reports whether the queue is stable.
+func (q MMc) Stable() bool { return q.Rho() < 1 && q.C >= 1 }
+
+// ErlangC returns the probability an arrival must wait (the Erlang-C
+// formula).
+func (q MMc) ErlangC() (float64, error) {
+	if !q.Stable() {
+		return 0, errors.New("queueing: unstable or invalid M/M/c")
+	}
+	a := q.Lambda / q.Mu // offered traffic in Erlangs
+	c := q.C
+	// Compute terms iteratively to avoid factorial overflow.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < c; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	term *= a / float64(c)
+	last := term / (1 - q.Rho())
+	return last / (sum + last), nil
+}
+
+// MeanWait returns E[Wq] = C(c,a)/(cμ-λ).
+func (q MMc) MeanWait() (float64, error) {
+	pc, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	return pc / (float64(q.C)*q.Mu - q.Lambda), nil
+}

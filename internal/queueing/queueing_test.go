@@ -1,0 +1,255 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v ± %v", what, got, want, tol)
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	// Poisson(2): P[0] = e^-2, P[1] = 2e^-2, P[2] = 2e^-2.
+	almost(t, PoissonPMF(0, 2), math.Exp(-2), 1e-12, "P[0]")
+	almost(t, PoissonPMF(1, 2), 2*math.Exp(-2), 1e-12, "P[1]")
+	almost(t, PoissonPMF(2, 2), 2*math.Exp(-2), 1e-12, "P[2]")
+	if PoissonPMF(-1, 2) != 0 {
+		t.Fatal("negative k")
+	}
+	if PoissonPMF(0, 0) != 1 || PoissonPMF(3, 0) != 0 {
+		t.Fatal("zero-mean PMF")
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, mean := range []float64{0.3, 1, 7, 60} {
+		sum := 0.0
+		for k := 0; k < int(mean)*4+50; k++ {
+			sum += PoissonPMF(k, mean)
+		}
+		almost(t, sum, 1, 1e-9, "PMF sum")
+	}
+}
+
+func TestPoissonCDFMatchesSum(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 25} {
+		sum := 0.0
+		for k := 0; k <= 30; k++ {
+			sum += PoissonPMF(k, mean)
+			almost(t, PoissonCDF(k, mean), sum, 1e-9, "CDF")
+		}
+	}
+	if PoissonCDF(-1, 5) != 0 {
+		t.Fatal("negative k CDF")
+	}
+	if PoissonCDF(3, 0) != 1 {
+		t.Fatal("zero-mean CDF")
+	}
+}
+
+func TestErlangCDFEdges(t *testing.T) {
+	if ErlangCDF(5, 1, 0) != 0 {
+		t.Fatal("CDF at 0")
+	}
+	if ErlangCDF(0, 1, 3) != 1 {
+		t.Fatal("k=0 degenerates to 1")
+	}
+	if ErlangSurvival(5, 1, 0) != 1 {
+		t.Fatal("survival at 0")
+	}
+	// k=1 is exponential: CDF = 1 - e^{-rt}.
+	almost(t, ErlangCDF(1, 0.5, 2), 1-math.Exp(-1), 1e-12, "Erlang-1 CDF")
+}
+
+func TestErlangCDFSurvivalComplement(t *testing.T) {
+	for _, k := range []int{1, 3, 10, 50} {
+		for _, tt := range []float64{0.1, 1, 5, 40} {
+			c := ErlangCDF(k, 0.7, tt)
+			s := ErlangSurvival(k, 0.7, tt)
+			almost(t, c+s, 1, 1e-9, "CDF+survival")
+		}
+	}
+}
+
+func TestErlangCDFAgainstSimulation(t *testing.T) {
+	st := rng.New(7)
+	const k, rate = 6, 0.8
+	const n = 100000
+	tCheck := ErlangMean(k, rate) // check at the mean
+	hits := 0
+	for i := 0; i < n; i++ {
+		if st.Erlang(k, rate) <= tCheck {
+			hits++
+		}
+	}
+	emp := float64(hits) / n
+	almost(t, ErlangCDF(k, rate, tCheck), emp, 0.01, "Erlang CDF vs sim")
+}
+
+func TestErlangPDFIntegratesToCDF(t *testing.T) {
+	const k, rate = 4, 1.2
+	got := Integrate(func(x float64) float64 { return ErlangPDF(k, rate, x) }, 0, 5, 1e-10)
+	almost(t, got, ErlangCDF(k, rate, 5), 1e-7, "∫pdf")
+	if ErlangPDF(3, 1, -1) != 0 {
+		t.Fatal("pdf at negative t")
+	}
+}
+
+func TestMinErlangSurvival(t *testing.T) {
+	// p=1 reduces to plain survival.
+	almost(t, MinErlangSurvival(1, 5, 0.5, 4), ErlangSurvival(5, 0.5, 4), 1e-12, "p=1")
+	// Larger p -> smaller survival (min fills sooner).
+	s1 := MinErlangSurvival(2, 5, 0.5, 4)
+	s2 := MinErlangSurvival(8, 5, 0.5, 4)
+	if !(s2 < s1 && s1 < 1) {
+		t.Fatalf("survival not decreasing in p: %v %v", s1, s2)
+	}
+}
+
+func TestMinErlangSurvivalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 accepted")
+		}
+	}()
+	MinErlangSurvival(0, 3, 1, 1)
+}
+
+func TestMinErlangMeanBounds(t *testing.T) {
+	// Table 3: E[τ_min] >= l/(Pα) and <= l/α.
+	const l = 20
+	const alpha = 0.5
+	for _, p := range []int{1, 2, 4, 16, 64} {
+		m := MinErlangMean(p, l, alpha)
+		lower := float64(l) / (float64(p) * alpha)
+		upper := float64(l) / alpha
+		if m < lower-1e-9 || m > upper+1e-9 {
+			t.Fatalf("P=%d: mean %v outside [%v, %v]", p, m, lower, upper)
+		}
+	}
+	// Monotone decreasing in p.
+	prev := math.Inf(1)
+	for _, p := range []int{1, 2, 4, 8} {
+		m := MinErlangMean(p, l, alpha)
+		if m >= prev {
+			t.Fatalf("MinErlangMean not decreasing at p=%d", p)
+		}
+		prev = m
+	}
+}
+
+func TestMinErlangMeanAgainstSimulation(t *testing.T) {
+	st := rng.New(11)
+	const p, l, alpha = 8, 25, 0.7
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		m := math.Inf(1)
+		for j := 0; j < p; j++ {
+			if v := st.Erlang(l, alpha); v < m {
+				m = v
+			}
+		}
+		sum += m
+	}
+	emp := sum / n
+	analytic := MinErlangMean(p, l, alpha)
+	if math.Abs(emp-analytic)/analytic > 0.01 {
+		t.Fatalf("min-Erlang mean: sim %v vs analytic %v", emp, analytic)
+	}
+}
+
+func TestIntegrate(t *testing.T) {
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 3, 1e-12)
+	almost(t, got, 9, 1e-9, "∫x²")
+	got = Integrate(math.Sin, 0, math.Pi, 1e-12)
+	almost(t, got, 2, 1e-9, "∫sin")
+}
+
+func TestMM1Formulas(t *testing.T) {
+	q := MM1{Lambda: 0.5, Mu: 1}
+	almost(t, q.Rho(), 0.5, 1e-12, "rho")
+	almost(t, q.MeanResponse(), 2, 1e-12, "W")
+	almost(t, q.MeanWait(), 1, 1e-12, "Wq")
+	almost(t, q.MeanNumber(), 1, 1e-12, "L")
+	almost(t, q.MeanQueue(), 0.5, 1e-12, "Lq")
+	if !q.Stable() {
+		t.Fatal("should be stable")
+	}
+	// Little's law: L = λW.
+	almost(t, q.MeanNumber(), q.Lambda*q.MeanResponse(), 1e-12, "Little")
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 2, Mu: 1}
+	if q.Stable() {
+		t.Fatal("unstable queue reported stable")
+	}
+	if !math.IsInf(q.MeanResponse(), 1) || !math.IsInf(q.MeanWait(), 1) ||
+		!math.IsInf(q.MeanNumber(), 1) || !math.IsInf(q.MeanQueue(), 1) {
+		t.Fatal("unstable metrics should be +Inf")
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: E[S]=1/μ, E[S²]=2/μ².
+	mm1 := MM1{Lambda: 0.7, Mu: 1.4}
+	mg1 := MG1{Lambda: 0.7, MeanS: 1 / 1.4, MeanS2: 2 / (1.4 * 1.4)}
+	almost(t, mg1.MeanWait(), mm1.MeanWait(), 1e-12, "M/G/1 vs M/M/1 Wq")
+	almost(t, mg1.MeanResponse(), mm1.MeanResponse(), 1e-12, "W")
+}
+
+func TestMG1Deterministic(t *testing.T) {
+	// M/D/1 has half the M/M/1 waiting time.
+	lambda, d := 0.5, 1.0
+	md1 := MG1{Lambda: lambda, MeanS: d, MeanS2: d * d}
+	mm1 := MG1{Lambda: lambda, MeanS: d, MeanS2: 2 * d * d}
+	almost(t, md1.MeanWait(), mm1.MeanWait()/2, 1e-12, "M/D/1 halves Wq")
+	// Little's law for the queue.
+	almost(t, md1.MeanQueue(), lambda*md1.MeanWait(), 1e-12, "Little Lq")
+}
+
+func TestMG1Unstable(t *testing.T) {
+	q := MG1{Lambda: 2, MeanS: 1, MeanS2: 2}
+	if q.Stable() || !math.IsInf(q.MeanWait(), 1) {
+		t.Fatal("unstable M/G/1")
+	}
+}
+
+func TestMMcErlangC(t *testing.T) {
+	// M/M/1 special case: C(1, a) = rho.
+	q := MMc{Lambda: 0.6, Mu: 1, C: 1}
+	pc, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, pc, 0.6, 1e-12, "Erlang-C c=1")
+	// Known value: c=2, a=1 (rho=0.5): C = 1/3.
+	q2 := MMc{Lambda: 1, Mu: 1, C: 2}
+	pc2, err := q2.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, pc2, 1.0/3.0, 1e-12, "Erlang-C c=2 a=1")
+	w, err := q2.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, w, (1.0/3.0)/1.0, 1e-12, "M/M/2 Wq")
+}
+
+func TestMMcUnstable(t *testing.T) {
+	q := MMc{Lambda: 5, Mu: 1, C: 2}
+	if _, err := q.ErlangC(); err == nil {
+		t.Fatal("unstable M/M/c accepted")
+	}
+	if _, err := q.MeanWait(); err == nil {
+		t.Fatal("unstable M/M/c wait accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package report renders experiment artifacts — the regenerated
+// tables and figures of the paper — as ASCII tables, ASCII line
+// plots (with per-series markers, in the style of the paper's "+ FOF /
+// o FAOF" plots), and CSV for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"prism/internal/core"
+	"prism/internal/stats"
+)
+
+// Render writes an artifact in human-readable form.
+func Render(w io.Writer, a *core.Artifact) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", a.Title, strings.Repeat("=", min(len(a.Title), 100))); err != nil {
+		return err
+	}
+	switch a.Kind {
+	case core.Table:
+		if err := renderTable(w, a.Headers, a.Rows); err != nil {
+			return err
+		}
+	case core.Figure:
+		if err := renderFigure(w, a); err != nil {
+			return err
+		}
+	case core.Diagram:
+		if _, err := fmt.Fprintln(w, strings.TrimLeft(a.Text, "\n")); err != nil {
+			return err
+		}
+	}
+	for _, n := range a.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// renderTable prints a boxed ASCII table with wrapped cells.
+func renderTable(w io.Writer, headers []string, rows [][]string) error {
+	const maxCell = 36
+	wrap := func(s string) []string {
+		if len(s) <= maxCell {
+			return []string{s}
+		}
+		var lines []string
+		words := strings.Fields(s)
+		cur := ""
+		for _, word := range words {
+			if cur == "" {
+				cur = word
+			} else if len(cur)+1+len(word) <= maxCell {
+				cur += " " + word
+			} else {
+				lines = append(lines, cur)
+				cur = word
+			}
+		}
+		if cur != "" {
+			lines = append(lines, cur)
+		}
+		if len(lines) == 0 {
+			lines = []string{""}
+		}
+		return lines
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		for _, l := range wrap(h) {
+			if len(l) > widths[i] {
+				widths[i] = len(l)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			for _, l := range wrap(cell) {
+				if len(l) > widths[i] {
+					widths[i] = len(l)
+				}
+			}
+		}
+	}
+	sep := "+"
+	for _, wd := range widths {
+		sep += strings.Repeat("-", wd+2) + "+"
+	}
+	printRow := func(cells []string) error {
+		wrapped := make([][]string, len(cells))
+		height := 1
+		for i, c := range cells {
+			wrapped[i] = wrap(c)
+			if len(wrapped[i]) > height {
+				height = len(wrapped[i])
+			}
+		}
+		for line := 0; line < height; line++ {
+			out := "|"
+			for i := range cells {
+				cell := ""
+				if line < len(wrapped[i]) {
+					cell = wrapped[i][line]
+				}
+				out += fmt.Sprintf(" %-*s |", widths[i], cell)
+			}
+			if _, err := fmt.Fprintln(w, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+	if err := printRow(headers); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, sep)
+	return err
+}
+
+var markers = []byte{'+', 'o', '*', 'x', '#', '@'}
+
+// renderFigure prints a multi-series ASCII line plot with a legend.
+func renderFigure(w io.Writer, a *core.Artifact) error {
+	const width, height = 68, 20
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range a.Series {
+		for i := range s.X {
+			points++
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range a.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((s.X[i] - xMin) / (xMax - xMin) * float64(width-1))
+			cy := int((s.Y[i] - yMin) / (yMax - yMin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = m
+			}
+		}
+	}
+	for i, row := range grid {
+		label := "          "
+		if i == 0 {
+			label = fmt.Sprintf("%10.4g", yMax)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%10.4g", yMin)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %-10.4g%s%10.4g\n", strings.Repeat(" ", 10),
+		xMin, strings.Repeat(" ", width-20), xMax); err != nil {
+		return err
+	}
+	if a.XLabel != "" || a.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s x: %s, y: %s\n", strings.Repeat(" ", 10), a.XLabel, a.YLabel); err != nil {
+			return err
+		}
+	}
+	for si, s := range a.Series {
+		if _, err := fmt.Fprintf(w, "%s %c %s\n", strings.Repeat(" ", 10), markers[si%len(markers)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes an artifact's data in CSV form: tables as header+rows,
+// figures as long format (series,x,y,ylo,yhi).
+func CSV(w io.Writer, a *core.Artifact) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			cells[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(cells, ","))
+		return err
+	}
+	switch a.Kind {
+	case core.Table:
+		if err := writeRow(append([]string(nil), a.Headers...)); err != nil {
+			return err
+		}
+		for _, row := range a.Rows {
+			if err := writeRow(append([]string(nil), row...)); err != nil {
+				return err
+			}
+		}
+	case core.Diagram:
+		// Diagrams have no tabular data; emit the title as a record.
+		if err := writeRow([]string{"diagram", a.ID, a.Title}); err != nil {
+			return err
+		}
+	case core.Figure:
+		if err := writeRow([]string{"series", "x", "y", "ylo", "yhi"}); err != nil {
+			return err
+		}
+		for _, s := range a.Series {
+			for i := range s.X {
+				lo, hi := "", ""
+				if s.YLo != nil {
+					lo = fmt.Sprintf("%g", s.YLo[i])
+					hi = fmt.Sprintf("%g", s.YHi[i])
+				}
+				if err := writeRow([]string{s.Name,
+					fmt.Sprintf("%g", s.X[i]), fmt.Sprintf("%g", s.Y[i]), lo, hi}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Histogram renders a stats.Histogram as horizontal ASCII bars, one
+// row per bucket, with counts and in-range fractions.
+func Histogram(w io.Writer, title string, h *stats.Histogram) error {
+	if _, err := fmt.Fprintf(w, "%s (n=%d, under=%d, over=%d)\n", title, h.N(), h.Under, h.Over); err != nil {
+		return err
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const barWidth = 50
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		if _, err := fmt.Fprintf(w, "%10.4g |%-*s| %d (%.1f%%)\n",
+			h.BucketMid(i), barWidth, strings.Repeat("#", bar), c, h.Fraction(i)*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"prism/internal/core"
+	"prism/internal/stats"
+)
+
+func tableArtifact() *core.Artifact {
+	return &core.Artifact{
+		ID: "t", Title: "A Table", Kind: core.Table,
+		Headers: []string{"Col1", "Column Two"},
+		Rows: [][]string{
+			{"a", "b"},
+			{"long cell value that definitely needs wrapping across several lines to fit", "c"},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func figureArtifact() *core.Artifact {
+	return &core.Artifact{
+		ID: "f", Title: "A Figure", Kind: core.Figure,
+		XLabel: "x", YLabel: "y",
+		Series: []core.Series{
+			{Name: "FOF", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+			{Name: "FAOF", X: []float64{1, 2, 3}, Y: []float64{2, 1, 0.5},
+				YLo: []float64{1.9, 0.9, 0.4}, YHi: []float64{2.1, 1.1, 0.6}},
+		},
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, tableArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"A Table", "Col1", "Column Two", "note: a note", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Wrapped cell: no output line should exceed a sane width.
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 120 {
+			t.Fatalf("line too long (%d): %q", len(line), line)
+		}
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, figureArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"A Figure", "+ FOF", "o FAOF", "x: x, y: y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the plot body.
+	if !strings.Contains(out, "+") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	var b strings.Builder
+	a := &core.Artifact{ID: "f", Title: "Empty", Kind: core.Figure}
+	if err := Render(&b, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Fatal("empty figure not flagged")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	var b strings.Builder
+	a := &core.Artifact{ID: "f", Title: "Flat", Kind: core.Figure,
+		Series: []core.Series{{Name: "s", X: []float64{5}, Y: []float64{7}}}}
+	if err := Render(&b, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderRejectsInvalid(t *testing.T) {
+	var b strings.Builder
+	bad := &core.Artifact{ID: "", Title: "", Kind: core.Table}
+	if err := Render(&b, bad); err == nil {
+		t.Fatal("invalid artifact rendered")
+	}
+}
+
+func TestCSVTable(t *testing.T) {
+	var b strings.Builder
+	a := &core.Artifact{
+		ID: "t", Title: "T", Kind: core.Table,
+		Headers: []string{"a", "b,comma"},
+		Rows:    [][]string{{`quote"inside`, "plain"}},
+	}
+	if err := CSV(&b, a); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"b,comma"`) {
+		t.Fatalf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Fatalf("quote not escaped: %s", out)
+	}
+}
+
+func TestCSVFigure(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, figureArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "series,x,y,ylo,yhi" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 1+6 {
+		t.Fatalf("rows %d", len(lines)-1)
+	}
+	if !strings.Contains(lines[4], "FAOF,1,2,1.9,2.1") {
+		t.Fatalf("band row %q", lines[4])
+	}
+}
+
+func TestCSVRejectsInvalid(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, &core.Artifact{}); err == nil {
+		t.Fatal("invalid artifact accepted")
+	}
+}
+
+func TestRenderDiagram(t *testing.T) {
+	var b strings.Builder
+	d := &core.Artifact{ID: "fig2", Title: "Figure 2", Kind: core.Diagram,
+		Text: "\n[A]-->[B]", Notes: []string{"wiring"}}
+	if err := Render(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "[A]-->[B]") || !strings.Contains(out, "note: wiring") {
+		t.Fatalf("diagram output:\n%s", out)
+	}
+	var c strings.Builder
+	if err := CSV(&c, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "diagram,fig2") {
+		t.Fatalf("diagram csv: %s", c.String())
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	h := stats.NewHistogram(0, 100, 4)
+	for _, v := range []float64{5, 10, 30, 30, 30, 80, -2, 150} {
+		h.Add(v)
+	}
+	var b strings.Builder
+	if err := Histogram(&b, "latency (ms)", h); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "latency (ms) (n=8, under=1, over=1)") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 buckets
+		t.Fatalf("lines %d", len(lines))
+	}
+	// The 25-50 bucket (3 hits) has the longest bar.
+	if !strings.Contains(lines[2], "##################################################") {
+		t.Fatalf("modal bucket bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "3 (50.0%)") {
+		t.Fatalf("modal bucket stats wrong: %q", lines[2])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := stats.NewHistogram(0, 10, 2)
+	var b strings.Builder
+	if err := Histogram(&b, "empty", h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "n=0") {
+		t.Fatal("empty histogram header")
+	}
+}
+
+func TestRenderTable8(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, core.Table8()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Paradyn") {
+		t.Fatal("table8 content missing")
+	}
+}

@@ -1,0 +1,95 @@
+package rng
+
+// Dist is a random-variate distribution bound to no particular stream.
+// Workload and model parameter files describe demands as Dists; the
+// simulator draws from them with a per-entity Stream, which keeps the
+// experiment configuration declarative and the sampling reproducible.
+type Dist interface {
+	// Sample draws one variate using the given stream.
+	Sample(s *Stream) float64
+	// Mean returns the distribution's expected value.
+	Mean() float64
+}
+
+// Constant is a degenerate distribution that always yields Value.
+type Constant struct{ Value float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*Stream) float64 { return c.Value }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.Value }
+
+// Exponential is an exponential distribution with the given Rate.
+type Exponential struct{ Rate float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(s *Stream) float64 { return s.Exp(e.Rate) }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Normal is a normal distribution truncated below at Floor (variates
+// below Floor are resampled), matching the paper's use of normally
+// distributed service times that must remain positive.
+type Normal struct {
+	Mu, Sigma float64
+	Floor     float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(s *Stream) float64 { return s.TruncNormal(n.Mu, n.Sigma, n.Floor) }
+
+// Mean implements Dist. The truncation bias is negligible for the
+// parameterizations used in this repository (Mu >> Sigma).
+func (n Normal) Mean() float64 { return n.Mu }
+
+// UniformDist is a uniform distribution on [A, B).
+type UniformDist struct{ A, B float64 }
+
+// Sample implements Dist.
+func (u UniformDist) Sample(s *Stream) float64 { return s.Uniform(u.A, u.B) }
+
+// Mean implements Dist.
+func (u UniformDist) Mean() float64 { return (u.A + u.B) / 2 }
+
+// ErlangDist is an Erlang-K distribution with per-stage rate Rate.
+type ErlangDist struct {
+	K    int
+	Rate float64
+}
+
+// Sample implements Dist.
+func (e ErlangDist) Sample(s *Stream) float64 { return s.Erlang(e.K, e.Rate) }
+
+// Mean implements Dist.
+func (e ErlangDist) Mean() float64 { return float64(e.K) / e.Rate }
+
+// HyperExpDist is a two-phase hyperexponential distribution: phase one
+// (rate R1) is chosen with probability P, otherwise phase two (rate R2).
+type HyperExpDist struct {
+	P      float64
+	R1, R2 float64
+}
+
+// Sample implements Dist.
+func (h HyperExpDist) Sample(s *Stream) float64 { return s.HyperExp(h.P, h.R1, h.R2) }
+
+// Mean implements Dist.
+func (h HyperExpDist) Mean() float64 { return h.P/h.R1 + (1-h.P)/h.R2 }
+
+// ParetoDist is a Pareto distribution with scale Xm and shape Alpha.
+type ParetoDist struct{ Xm, Alpha float64 }
+
+// Sample implements Dist.
+func (p ParetoDist) Sample(s *Stream) float64 { return s.Pareto(p.Xm, p.Alpha) }
+
+// Mean implements Dist. It returns +Inf-free approximations: for
+// Alpha <= 1 the theoretical mean diverges and the scale is returned,
+// which callers treat as "undefined, use scale".
+func (p ParetoDist) Mean() float64 {
+	if p.Alpha <= 1 {
+		return p.Xm
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}

@@ -1,0 +1,219 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams and the random-variate generators used by the PRISM simulation
+// substrates.
+//
+// All experiments in this repository take explicit seeds so that every
+// table and figure is exactly regenerable. The generator is a
+// xoshiro256** core seeded through SplitMix64, which is independent of
+// the Go runtime's math/rand so results are stable across Go releases.
+//
+// A Stream is not safe for concurrent use; derive one stream per
+// simulated entity with Split, which produces statistically independent
+// substreams (the standard trick for reproducible parallel simulation).
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random number stream.
+// The zero value is not usable; construct streams with New or Split.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next value.
+// It is used for seeding so that nearby seeds yield unrelated streams.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream seeded from seed. Two streams created with the
+// same seed produce identical sequences.
+func New(seed uint64) *Stream {
+	var st Stream
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start in the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &st
+}
+
+// Split derives a new, statistically independent Stream from s.
+// The parent stream advances; repeated Splits yield distinct children.
+func (s *Stream) Split() *Stream {
+	return New(s.Uint64() ^ 0xa5a5a5a5deadbeef)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in the half-open interval [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// positive returns a uniform value in (0, 1], suitable for logarithms.
+func (s *Stream) positive() float64 {
+	return 1.0 - s.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// simple rejection keeps the stream reproducible and unbiased.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Uniform returns a uniform value in [a, b).
+func (s *Stream) Uniform(a, b float64) float64 {
+	return a + (b-a)*s.Float64()
+}
+
+// Exp returns an exponentially distributed variate with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	return -math.Log(s.positive()) / rate
+}
+
+// ExpMean returns an exponentially distributed variate with the given mean.
+func (s *Stream) ExpMean(mean float64) float64 {
+	return s.Exp(1 / mean)
+}
+
+// Normal returns a normally distributed variate with mean mu and
+// standard deviation sigma, using the Marsaglia polar method.
+func (s *Stream) Normal(mu, sigma float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return mu + sigma*u*math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// TruncNormal returns a normal variate truncated below at lo, by
+// resampling. It is used for service times that must be positive.
+func (s *Stream) TruncNormal(mu, sigma, lo float64) float64 {
+	for i := 0; i < 1000; i++ {
+		if v := s.Normal(mu, sigma); v >= lo {
+			return v
+		}
+	}
+	return lo
+}
+
+// Erlang returns an Erlang-k variate with the given per-stage rate
+// (the sum of k independent exponentials). It panics if k <= 0.
+func (s *Stream) Erlang(k int, rate float64) float64 {
+	if k <= 0 {
+		panic("rng: Erlang with non-positive k")
+	}
+	prod := 1.0
+	for i := 0; i < k; i++ {
+		prod *= s.positive()
+	}
+	return -math.Log(prod) / rate
+}
+
+// HyperExp returns a two-phase hyperexponential variate: with
+// probability p the rate is r1, otherwise r2. Useful for bursty
+// (high-variance) instrumentation traffic.
+func (s *Stream) HyperExp(p, r1, r2 float64) float64 {
+	if s.Float64() < p {
+		return s.Exp(r1)
+	}
+	return s.Exp(r2)
+}
+
+// Pareto returns a Pareto variate with scale xm and shape alpha,
+// used for heavy-tailed compute bursts. It panics if alpha <= 0.
+func (s *Stream) Pareto(xm, alpha float64) float64 {
+	if alpha <= 0 {
+		panic("rng: Pareto with non-positive alpha")
+	}
+	return xm / math.Pow(s.positive(), 1/alpha)
+}
+
+// Poisson returns a Poisson variate with the given mean, using
+// Knuth's method for small means and normal approximation above 500.
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := s.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli reports true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes indices [0, n) via the provided swap function.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}

@@ -1,0 +1,376 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling substreams produced identical first values")
+	}
+}
+
+func TestZeroStateAvoided(t *testing.T) {
+	s := New(0)
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		t.Fatal("all-zero xoshiro state")
+	}
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("stream from seed 0 looks degenerate")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Intn(10) never produced %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(6)
+	const rate = 0.25
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.05 {
+		t.Fatalf("exp mean %v, want ~4", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-16) > 0.6 {
+		t.Fatalf("exp variance %v, want ~16", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(61)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.ExpMean(7.5)
+	}
+	if mean := sum / n; math.Abs(mean-7.5) > 0.12 {
+		t.Fatalf("ExpMean(7.5) sample mean %v", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean %v, want ~10", mean)
+	}
+	if math.Abs(sd-3) > 0.05 {
+		t.Fatalf("normal sd %v, want ~3", sd)
+	}
+}
+
+func TestTruncNormalFloor(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 50000; i++ {
+		if v := s.TruncNormal(1, 5, 0.5); v < 0.5 {
+			t.Fatalf("TruncNormal below floor: %v", v)
+		}
+	}
+}
+
+func TestErlangMean(t *testing.T) {
+	s := New(10)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Erlang(4, 2)
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.03 {
+		t.Fatalf("Erlang(4,2) mean %v, want ~2", mean)
+	}
+}
+
+func TestErlangCoefficientOfVariation(t *testing.T) {
+	// Erlang-k has CV = 1/sqrt(k); check k=4 gives CV ~ 0.5.
+	s := New(11)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Erlang(4, 1)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	cv := math.Sqrt(sumSq/n-mean*mean) / mean
+	if math.Abs(cv-0.5) > 0.02 {
+		t.Fatalf("Erlang-4 CV %v, want ~0.5", cv)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(12)
+	for _, mean := range []float64{0.5, 4, 40, 800} {
+		const n = 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) mean %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	s := New(13)
+	if got := s.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := s.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d", got)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(14)
+	for i := 0; i < 50000; i++ {
+		if v := s.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(15)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", f)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(16)
+	check := func(n uint8) bool {
+		size := int(n%50) + 1
+		p := s.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(17)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestHyperExpMean(t *testing.T) {
+	s := New(18)
+	d := HyperExpDist{P: 0.7, R1: 1, R2: 0.1}
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(s)
+	}
+	want := d.Mean()
+	if got := sum / n; math.Abs(got-want) > 0.06*want {
+		t.Fatalf("hyperexp mean %v, want ~%v", got, want)
+	}
+}
+
+func TestDistMeans(t *testing.T) {
+	s := New(19)
+	dists := []Dist{
+		Constant{Value: 3},
+		Exponential{Rate: 0.5},
+		Normal{Mu: 12, Sigma: 2},
+		UniformDist{A: 2, B: 6},
+		ErlangDist{K: 3, Rate: 1.5},
+		HyperExpDist{P: 0.4, R1: 2, R2: 0.25},
+	}
+	const n = 100000
+	for _, d := range dists {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += d.Sample(s)
+		}
+		got := sum / n
+		want := d.Mean()
+		if math.Abs(got-want) > 0.05*want+0.01 {
+			t.Errorf("%T: sample mean %v, analytic mean %v", d, got, want)
+		}
+	}
+}
+
+func TestParetoDistMeanDivergence(t *testing.T) {
+	d := ParetoDist{Xm: 5, Alpha: 0.8}
+	if got := d.Mean(); got != 5 {
+		t.Fatalf("divergent Pareto mean should fall back to scale, got %v", got)
+	}
+	d2 := ParetoDist{Xm: 2, Alpha: 3}
+	if got := d2.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Pareto(2,3) mean %v, want 3", got)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(-1) did not panic")
+		}
+	}()
+	New(1).Exp(-1)
+}
+
+func TestErlangPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Erlang(0, 1) did not panic")
+		}
+	}()
+	New(1).Erlang(0, 1)
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(20)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-3, 9)
+		if v < -3 || v >= 9 {
+			t.Fatalf("Uniform(-3,9) out of range: %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = s.Exp(1)
+	}
+	_ = sink
+}
+
+func BenchmarkNormal(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = s.Normal(0, 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,517 @@
+// Package rocc implements the Resource OCCupancy model of §3.2.2:
+// "We have developed a Resource OCCupancy (ROCC) model for isolating
+// the overheads due to non-deterministic sharing of resources between
+// IS and application processes. The model consists of three
+// components: 1. System Resources ... CPU, network, and I/O devices;
+// 2. Requests ... demands from application processes, other users'
+// processes, and IS processes to occupy the system resources; 3.
+// Management Policies."
+//
+// The CPU is scheduled with preemptive round-robin quanta ("to ensure
+// fair scheduling of processes, the operating system (Unix) can
+// preempt a process that needs to occupy a system resource for a
+// period of time longer than the specified quantum"); the network is
+// FCFS and non-preemptive. Time is in milliseconds.
+package rocc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"prism/internal/rng"
+	"prism/internal/sim"
+	"prism/internal/workload"
+)
+
+// CPU is a single processor scheduled with preemptive round-robin
+// quanta. Tasks are submitted with a total demand; the scheduler
+// interleaves them in quantum-sized slices.
+type CPU struct {
+	sim     *sim.Sim
+	quantum float64
+
+	queue   []*cpuTask
+	running bool
+
+	perOwner map[string]float64
+	busy     *sim.TimeWeighted
+	qlen     *sim.TimeWeighted
+	switches uint64
+}
+
+type cpuTask struct {
+	owner     string
+	remaining float64
+	done      func()
+}
+
+// NewCPU creates a round-robin CPU attached to s. It panics on a
+// non-positive quantum, which would make the scheduler spin.
+func NewCPU(s *sim.Sim, quantum float64) *CPU {
+	if quantum <= 0 {
+		panic("rocc: quantum must be positive")
+	}
+	return &CPU{
+		sim:      s,
+		quantum:  quantum,
+		perOwner: map[string]float64{},
+		busy:     sim.NewTimeWeighted(s),
+		qlen:     sim.NewTimeWeighted(s),
+	}
+}
+
+// Submit enqueues a CPU request of the given total demand for owner;
+// done runs when the demand completes. Zero or negative demands
+// complete immediately.
+func (c *CPU) Submit(owner string, demand float64, done func()) {
+	if demand <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	c.queue = append(c.queue, &cpuTask{owner: owner, remaining: demand, done: done})
+	c.qlen.Set(float64(len(c.queue)))
+	c.dispatch()
+}
+
+func (c *CPU) dispatch() {
+	if c.running || len(c.queue) == 0 {
+		return
+	}
+	c.running = true
+	c.busy.Set(1)
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	c.qlen.Set(float64(len(c.queue)))
+	slice := c.quantum
+	if t.remaining < slice {
+		slice = t.remaining
+	}
+	c.switches++
+	c.sim.Schedule(slice, func() {
+		c.perOwner[t.owner] += slice
+		t.remaining -= slice
+		c.running = false
+		c.busy.Set(0)
+		if t.remaining > 1e-12 {
+			// Quantum expired: rejoin the tail (round-robin).
+			c.queue = append(c.queue, t)
+			c.qlen.Set(float64(len(c.queue)))
+		} else if t.done != nil {
+			t.done()
+		}
+		c.dispatch()
+	})
+}
+
+// Consumed returns the CPU time consumed so far by owner.
+func (c *CPU) Consumed(owner string) float64 { return c.perOwner[owner] }
+
+// TotalConsumed returns total CPU time consumed by all owners. The
+// sum runs in sorted owner order so results are bit-for-bit
+// deterministic (map iteration order would perturb the last float
+// bits between runs).
+func (c *CPU) TotalConsumed() float64 {
+	sum := 0.0
+	for _, owner := range c.Owners() {
+		sum += c.perOwner[owner]
+	}
+	return sum
+}
+
+// Utilization returns the time-average CPU busy fraction.
+func (c *CPU) Utilization() float64 { return c.busy.Mean() }
+
+// AvgQueueLength returns the time-average ready-queue length.
+func (c *CPU) AvgQueueLength() float64 { return c.qlen.Mean() }
+
+// ContextSwitches returns the number of scheduling slices executed.
+func (c *CPU) ContextSwitches() uint64 { return c.switches }
+
+// Owners returns the owners that consumed CPU, sorted.
+func (c *CPU) Owners() []string {
+	out := make([]string, 0, len(c.perOwner))
+	for k := range c.perOwner {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config parameterizes one ROCC simulation of the Paradyn IS node.
+type Config struct {
+	// Horizon is the simulated run length (ms).
+	Horizon float64
+	// Quantum is the round-robin CPU quantum (ms); Unix of the era
+	// used ~10 ms.
+	Quantum float64
+	// AppProcesses is the number of instrumented application
+	// processes on the node (the paper sweeps 1..35).
+	AppProcesses int
+	// OtherProcesses is the number of background user processes.
+	OtherProcesses int
+	// SamplingPeriod is the per-process metric sampling period (ms);
+	// the paper sweeps 50..500.
+	SamplingPeriod float64
+	// App and Other are the workload profiles.
+	App, Other workload.AppProfile
+
+	// Daemon cost model. Once per sampling period the daemon sweeps
+	// the pipes of all local application processes and forwards the
+	// collected samples to the ISM as one batch.
+	// CollectCPU is the fixed CPU demand of one sweep (wakeup,
+	// select over pipes, batch assembly).
+	CollectCPU rng.Dist
+	// PerSampleCPU is the additional CPU demand per sample swept.
+	PerSampleCPU float64
+	// ForwardNet is the fixed network occupancy per forwarded batch.
+	ForwardNet rng.Dist
+	// PerSampleNet is the additional network occupancy per sample.
+	PerSampleNet float64
+	// HousekeepPeriod and HousekeepCPU model the daemon's fixed-rate
+	// bookkeeping (timers, connection upkeep, shared-memory scans)
+	// that runs regardless of sampling traffic.
+	HousekeepPeriod float64
+	HousekeepCPU    rng.Dist
+
+	// Central ISM stage (the "main Paradyn process" of Figure 7):
+	// forwarded batches cross the network with a random delay and are
+	// served by a single-server ISM queue. ISMService nil disables
+	// the stage (node-local model only).
+	ISMService rng.Dist
+	// NetDelay is the random propagation delay between a daemon's
+	// forward completing and the batch arriving at the ISM.
+	NetDelay rng.Dist
+
+	// Daemons is the number of monitoring daemon processes sharing
+	// the sweep load (round-robin). The paper's §3.2.3 cites Gu et
+	// al.'s finding that "multiple monitoring processes reduce the
+	// monitoring latency when the number of application processes is
+	// above a threshold"; this knob reproduces that extension. Zero
+	// means one.
+	Daemons int
+
+	Seed uint64
+}
+
+// DefaultConfig returns the baseline parameterization used by the
+// Figure 9 experiments.
+func DefaultConfig() Config {
+	return Config{
+		Horizon:         60_000, // one simulated minute
+		Quantum:         10,
+		AppProcesses:    4,
+		OtherProcesses:  1,
+		SamplingPeriod:  200,
+		App:             workload.DefaultAppProfile(),
+		Other:           workload.OtherUserProfile(),
+		CollectCPU:      rng.Normal{Mu: 1.2, Sigma: 0.3, Floor: 0.1},
+		PerSampleCPU:    0.15,
+		ForwardNet:      rng.Normal{Mu: 0.8, Sigma: 0.2, Floor: 0.1},
+		PerSampleNet:    0.05,
+		HousekeepPeriod: 100,
+		HousekeepCPU:    rng.Normal{Mu: 2.4, Sigma: 0.5, Floor: 0.2},
+		ISMService:      rng.Normal{Mu: 1.5, Sigma: 0.4, Floor: 0.1},
+		NetDelay:        rng.Exponential{Rate: 1.0 / 2.0},
+		Seed:            1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Horizon <= 0 {
+		return errors.New("rocc: horizon must be positive")
+	}
+	if c.Quantum <= 0 {
+		return errors.New("rocc: quantum must be positive")
+	}
+	if c.AppProcesses < 0 || c.OtherProcesses < 0 {
+		return errors.New("rocc: negative process count")
+	}
+	if c.SamplingPeriod <= 0 {
+		return errors.New("rocc: sampling period must be positive")
+	}
+	if err := c.App.Validate(); err != nil {
+		return fmt.Errorf("rocc: app profile: %w", err)
+	}
+	if c.OtherProcesses > 0 {
+		if err := c.Other.Validate(); err != nil {
+			return fmt.Errorf("rocc: other profile: %w", err)
+		}
+	}
+	if c.CollectCPU == nil || c.ForwardNet == nil || c.HousekeepCPU == nil {
+		return errors.New("rocc: daemon cost distributions required")
+	}
+	if c.PerSampleCPU < 0 || c.PerSampleNet < 0 {
+		return errors.New("rocc: negative per-sample costs")
+	}
+	if c.HousekeepPeriod <= 0 {
+		return errors.New("rocc: housekeeping period must be positive")
+	}
+	if c.Daemons < 0 {
+		return errors.New("rocc: negative daemon count")
+	}
+	return nil
+}
+
+// daemons returns the effective daemon count.
+func (c Config) daemons() int {
+	if c.Daemons < 1 {
+		return 1
+	}
+	return c.Daemons
+}
+
+// Result reports the metrics of one ROCC run (Table 5).
+type Result struct {
+	// InterferenceMs is the absolute CPU time consumed by the daemon
+	// ("Pd interference ... corresponds to direct perturbation of the
+	// program; lower is better").
+	InterferenceMs float64
+	// UtilizationPct is the daemon's share of all consumed CPU time,
+	// in percent ("utilizationPd ... nominal is best").
+	UtilizationPct float64
+	// CPUUtilization is the overall CPU busy fraction.
+	CPUUtilization float64
+	// AppCPUMs is total CPU time received by application processes.
+	AppCPUMs float64
+	// SamplesGenerated and SamplesForwarded count sampling traffic.
+	SamplesGenerated uint64
+	SamplesForwarded uint64
+	// Backlog is the time-average daemon work-queue length; a growing
+	// backlog is the §3.2.3 bottleneck (full pipes, blocked apps).
+	Backlog float64
+	// MaxBacklog is the peak daemon queue length.
+	MaxBacklog float64
+	// MonitoringLatencyMs is the mean sample wait from generation to
+	// forward completion (Falcon's "monitoring latency", §3.2.2).
+	MonitoringLatencyMs float64
+	// ContextSwitches counts CPU scheduling slices.
+	ContextSwitches uint64
+	// ISM-stage metrics (zero when the stage is disabled).
+	// ISMUtilization is the main process's busy fraction.
+	ISMUtilization float64
+	// ISMQueueLength is its time-average queue length.
+	ISMQueueLength float64
+	// ISMLatencyMs is the mean batch time from daemon forward to ISM
+	// service completion (network delay + queue + service).
+	ISMLatencyMs float64
+	// EndToEndLatencyMs is the mean sample time from generation to
+	// ISM service completion.
+	EndToEndLatencyMs float64
+}
+
+// Run executes one ROCC simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := sim.New()
+	root := rng.New(cfg.Seed)
+	cpu := NewCPU(s, cfg.Quantum)
+	net := sim.NewResource(s, "network", 1)
+
+	// Central ISM stage (optional).
+	var ismRes *sim.Resource
+	var ismLatency, endToEnd sim.Tally
+	istream := root.Split()
+	if cfg.ISMService != nil {
+		ismRes = sim.NewResource(s, "ism", 1)
+	}
+	// deliverToISM routes a completed forward to the central ISM.
+	deliverToISM := func(forwarded, generated float64) {
+		if ismRes == nil {
+			return
+		}
+		delay := 0.0
+		if cfg.NetDelay != nil {
+			delay = cfg.NetDelay.Sample(istream)
+		}
+		s.Schedule(delay, func() {
+			ismRes.Request(&sim.Request{
+				Service: cfg.ISMService.Sample(istream),
+				Done: func() {
+					ismLatency.Add(s.Now() - forwarded)
+					endToEnd.Add(s.Now() - generated)
+				},
+			})
+		})
+	}
+
+	// Application and background processes alternate CPU bursts,
+	// network operations and think time.
+	spawn := func(owner string, prof workload.AppProfile, stream *rng.Stream) {
+		var burst func()
+		think := func() {
+			if prof.ThinkTime == nil {
+				burst()
+				return
+			}
+			s.Schedule(prof.ThinkTime.Sample(stream), burst)
+		}
+		burst = func() {
+			demand := prof.CPUBurst.Sample(stream)
+			cpu.Submit(owner, demand, func() {
+				if stream.Bernoulli(prof.CommProbability) {
+					net.Request(&sim.Request{
+						Service: prof.NetOp.Sample(stream),
+						Done:    think,
+					})
+					return
+				}
+				think()
+			})
+		}
+		burst()
+	}
+	for i := 0; i < cfg.AppProcesses; i++ {
+		spawn(fmt.Sprintf("app%d", i), cfg.App, root.Split())
+	}
+	for i := 0; i < cfg.OtherProcesses; i++ {
+		spawn(fmt.Sprintf("other%d", i), cfg.Other, root.Split())
+	}
+
+	// Daemon: each sampling period every application process deposits
+	// one sample into its pipe; the daemon sweeps all pipes, paying a
+	// fixed wakeup cost plus a small per-sample cost on the CPU, then
+	// forwards the batch over the network. Sweeps queue FIFO behind an
+	// already-busy daemon, which is how backlog (full pipes, blocked
+	// applications — §3.2.3) manifests.
+	var res Result
+	backlog := sim.NewTimeWeighted(s)
+	type work struct {
+		arrived      float64
+		samples      int
+		housekeeping bool
+	}
+	// Each daemon is ONE operating-system process: all of its work —
+	// pipe sweeps and housekeeping alike — is serialized through a
+	// single FIFO and at most one task per daemon is ever runnable.
+	// This is what exposes it to round-robin starvation as the number
+	// of application processes grows (§3.2.3). With Daemons > 1 the
+	// sweep load is spread round-robin across independent daemon
+	// processes (the Gu et al. multiple-monitoring-processes design).
+	nDaemons := cfg.daemons()
+	type daemonState struct {
+		name  string
+		queue []work
+		busy  bool
+	}
+	daemons := make([]*daemonState, nDaemons)
+	for i := range daemons {
+		daemons[i] = &daemonState{name: fmt.Sprintf("daemon%d", i)}
+	}
+	dstream := root.Split()
+	var latency sim.Tally
+
+	queuedSamples := func() int {
+		n := 0
+		for _, d := range daemons {
+			for _, w := range d.queue {
+				n += w.samples
+			}
+		}
+		return n
+	}
+	var serve func(d *daemonState)
+	serve = func(d *daemonState) {
+		if d.busy || len(d.queue) == 0 {
+			return
+		}
+		d.busy = true
+		w := d.queue[0]
+		d.queue = d.queue[1:]
+		backlog.Set(float64(queuedSamples()))
+		if w.housekeeping {
+			cpu.Submit(d.name, cfg.HousekeepCPU.Sample(dstream), func() {
+				d.busy = false
+				serve(d)
+			})
+			return
+		}
+		collect := cfg.CollectCPU.Sample(dstream) + float64(w.samples)*cfg.PerSampleCPU
+		cpu.Submit(d.name, collect, func() {
+			net.Request(&sim.Request{
+				Service: cfg.ForwardNet.Sample(dstream) + float64(w.samples)*cfg.PerSampleNet,
+				Done: func() {
+					res.SamplesForwarded += uint64(w.samples)
+					latency.Add(s.Now() - w.arrived)
+					deliverToISM(s.Now(), w.arrived)
+					d.busy = false
+					serve(d)
+				},
+			})
+		})
+	}
+	// Periodic sweep generation with a random phase offset; sweeps of
+	// the process population are partitioned across the daemons.
+	if cfg.AppProcesses > 0 {
+		pstream := root.Split()
+		var tick func()
+		tick = func() {
+			res.SamplesGenerated += uint64(cfg.AppProcesses)
+			// Partition this period's samples over the daemons.
+			base := cfg.AppProcesses / nDaemons
+			extra := cfg.AppProcesses % nDaemons
+			for i, d := range daemons {
+				n := base
+				if i < extra {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				d.queue = append(d.queue, work{arrived: s.Now(), samples: n})
+				serve(d)
+			}
+			q := float64(queuedSamples())
+			backlog.Set(q)
+			if q > res.MaxBacklog {
+				res.MaxBacklog = q
+			}
+			s.Schedule(cfg.SamplingPeriod, tick)
+		}
+		s.Schedule(pstream.Uniform(0, cfg.SamplingPeriod), tick)
+	}
+	// Housekeeping joins each daemon's own work queue.
+	hstream := root.Split()
+	for _, d := range daemons {
+		d := d
+		var housekeep func()
+		housekeep = func() {
+			d.queue = append(d.queue, work{arrived: s.Now(), housekeeping: true})
+			serve(d)
+			s.Schedule(cfg.HousekeepPeriod, housekeep)
+		}
+		s.Schedule(hstream.Uniform(0, cfg.HousekeepPeriod), housekeep)
+	}
+
+	if err := s.RunUntil(cfg.Horizon, 50_000_000); err != nil {
+		return Result{}, err
+	}
+
+	for _, d := range daemons {
+		res.InterferenceMs += cpu.Consumed(d.name)
+	}
+	total := cpu.TotalConsumed()
+	if total > 0 {
+		res.UtilizationPct = 100 * res.InterferenceMs / total
+	}
+	res.CPUUtilization = cpu.Utilization()
+	res.AppCPUMs = total - res.InterferenceMs
+	for i := 0; i < cfg.OtherProcesses; i++ {
+		res.AppCPUMs -= cpu.Consumed(fmt.Sprintf("other%d", i))
+	}
+	res.Backlog = backlog.Mean()
+	res.MonitoringLatencyMs = latency.Mean()
+	res.ContextSwitches = cpu.ContextSwitches()
+	if ismRes != nil {
+		res.ISMUtilization = ismRes.Utilization()
+		res.ISMQueueLength = ismRes.AvgQueueLength()
+		res.ISMLatencyMs = ismLatency.Mean()
+		res.EndToEndLatencyMs = endToEnd.Mean()
+	}
+	return res, nil
+}

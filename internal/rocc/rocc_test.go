@@ -1,0 +1,436 @@
+package rocc
+
+import (
+	"math"
+	"testing"
+
+	"prism/internal/rng"
+	"prism/internal/sim"
+	"prism/internal/workload"
+)
+
+func TestCPUSingleTask(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, 10)
+	done := false
+	cpu.Submit("a", 25, func() { done = true })
+	s.Run(-1)
+	if !done {
+		t.Fatal("task never completed")
+	}
+	if s.Now() != 25 {
+		t.Fatalf("completion at %v", s.Now())
+	}
+	if got := cpu.Consumed("a"); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("consumed %v", got)
+	}
+	// 25ms at quantum 10 -> 3 slices.
+	if cpu.ContextSwitches() != 3 {
+		t.Fatalf("switches %d", cpu.ContextSwitches())
+	}
+}
+
+func TestCPURoundRobinFairness(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, 10)
+	var endA, endB float64
+	cpu.Submit("a", 50, func() { endA = s.Now() })
+	cpu.Submit("b", 50, func() { endB = s.Now() })
+	s.Run(-1)
+	// Interleaved quanta: both finish near 100, neither at 50.
+	if endA <= 55 || endB <= 55 {
+		t.Fatalf("no interleaving: a=%v b=%v", endA, endB)
+	}
+	if math.Abs(endA-endB) > 10+1e-9 {
+		t.Fatalf("unfair completion: a=%v b=%v", endA, endB)
+	}
+	if math.Abs(cpu.Consumed("a")-50) > 1e-9 || math.Abs(cpu.Consumed("b")-50) > 1e-9 {
+		t.Fatal("consumption accounting wrong")
+	}
+}
+
+func TestCPUShortTaskNotStarved(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, 10)
+	var shortEnd float64
+	cpu.Submit("long", 1000, nil)
+	cpu.Submit("short", 5, func() { shortEnd = s.Now() })
+	s.Run(-1)
+	// Short task runs in the second slice: ends by 15.
+	if shortEnd > 15+1e-9 {
+		t.Fatalf("short task starved until %v", shortEnd)
+	}
+}
+
+func TestCPUZeroDemandImmediate(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, 10)
+	ran := false
+	cpu.Submit("x", 0, func() { ran = true })
+	if !ran {
+		t.Fatal("zero-demand task deferred")
+	}
+}
+
+func TestCPUQuantumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantum 0 accepted")
+		}
+	}()
+	NewCPU(sim.New(), 0)
+}
+
+func TestCPUUtilizationAndQueue(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, 10)
+	cpu.Submit("a", 30, nil)
+	s.Run(100)
+	if got := cpu.Utilization(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("utilization %v", got)
+	}
+	if cpu.TotalConsumed() != 30 {
+		t.Fatalf("total %v", cpu.TotalConsumed())
+	}
+	if len(cpu.Owners()) != 1 || cpu.Owners()[0] != "a" {
+		t.Fatalf("owners %v", cpu.Owners())
+	}
+	if cpu.AvgQueueLength() < 0 {
+		t.Fatal("queue length negative")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Quantum = 0 },
+		func(c *Config) { c.AppProcesses = -1 },
+		func(c *Config) { c.SamplingPeriod = 0 },
+		func(c *Config) { c.App = workload.AppProfile{} },
+		func(c *Config) { c.CollectCPU = nil },
+		func(c *Config) { c.HousekeepPeriod = 0 },
+	}
+	for i, mod := range cases {
+		c := DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunProducesSamples(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 10_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 processes sampling every 200ms over 10s: ~200 samples.
+	if res.SamplesGenerated < 150 || res.SamplesGenerated > 250 {
+		t.Fatalf("samples %d", res.SamplesGenerated)
+	}
+	if res.SamplesForwarded == 0 || res.SamplesForwarded > res.SamplesGenerated {
+		t.Fatalf("forwarded %d of %d", res.SamplesForwarded, res.SamplesGenerated)
+	}
+	if res.InterferenceMs <= 0 {
+		t.Fatal("no daemon CPU measured")
+	}
+	if res.UtilizationPct <= 0 || res.UtilizationPct >= 100 {
+		t.Fatalf("utilization %v", res.UtilizationPct)
+	}
+	if res.MonitoringLatencyMs <= 0 {
+		t.Fatal("no monitoring latency measured")
+	}
+	if res.CPUUtilization <= 0 || res.CPUUtilization > 1 {
+		t.Fatalf("cpu utilization %v", res.CPUUtilization)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 5000
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 2
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds identical")
+	}
+}
+
+// TestInterferenceDecreasesWithPeriod reproduces the Figure 9 (left)
+// shape: daemon interference falls as the sampling period grows.
+func TestInterferenceDecreasesWithPeriod(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 30_000
+	var prev float64 = math.Inf(1)
+	for _, period := range []float64{50, 150, 400} {
+		cfg.SamplingPeriod = period
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InterferenceMs >= prev {
+			t.Fatalf("interference not decreasing at period %v: %v >= %v",
+				period, res.InterferenceMs, prev)
+		}
+		prev = res.InterferenceMs
+	}
+}
+
+// TestUtilizationDecreasesWithProcesses reproduces the Figure 9
+// (right) shape: daemon CPU share falls as application processes grow.
+func TestUtilizationDecreasesWithProcesses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 30_000
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{1, 8, 32} {
+		cfg.AppProcesses = n
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UtilizationPct >= prev {
+			t.Fatalf("utilization not decreasing at n=%d: %v >= %v",
+				n, res.UtilizationPct, prev)
+		}
+		prev = res.UtilizationPct
+	}
+}
+
+// TestBacklogGrowsWhenSaturated: with many processes and fast
+// sampling, the daemon cannot keep up and its queue builds — the
+// §3.2.3 bottleneck.
+func TestBacklogGrowsWhenSaturated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 20_000
+	cfg.AppProcesses = 30
+	cfg.SamplingPeriod = 50
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := DefaultConfig()
+	light.Horizon = 20_000
+	light.AppProcesses = 2
+	light.SamplingPeriod = 500
+	lres, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backlog <= lres.Backlog {
+		t.Fatalf("saturated backlog %v not above light backlog %v", res.Backlog, lres.Backlog)
+	}
+	if res.MonitoringLatencyMs <= lres.MonitoringLatencyMs {
+		t.Fatalf("saturated latency %v not above light latency %v",
+			res.MonitoringLatencyMs, lres.MonitoringLatencyMs)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestCPUOwnersSorted(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, 5)
+	cpu.Submit("z", 1, nil)
+	cpu.Submit("a", 1, nil)
+	s.Run(-1)
+	owners := cpu.Owners()
+	if len(owners) != 2 || owners[0] != "a" || owners[1] != "z" {
+		t.Fatalf("owners %v", owners)
+	}
+}
+
+// ioBoundConfig parameterizes the Gu et al. regime: lightly loaded
+// CPU, heavy per-sample collect/forward costs, fast sampling — the
+// daemon's serialized round-trip, not the CPU, is the bottleneck.
+func ioBoundConfig(n, daemons int) Config {
+	cfg := DefaultConfig()
+	cfg.Horizon = 60_000
+	cfg.AppProcesses = n
+	cfg.SamplingPeriod = 50
+	cfg.Daemons = daemons
+	cfg.App = workload.AppProfile{
+		CPUBurst:        rng.Exponential{Rate: 1.0 / 4.0},
+		NetOp:           rng.Exponential{Rate: 1.0 / 2.0},
+		CommProbability: 0.2,
+		ThinkTime:       rng.Exponential{Rate: 1.0 / 200.0},
+	}
+	cfg.PerSampleCPU = 0.3
+	cfg.PerSampleNet = 0.6
+	return cfg
+}
+
+// TestMultipleDaemonsCrossover reproduces the §3.2.3 citation of Gu et
+// al.: "multiple monitoring processes reduce the monitoring latency
+// when the number of application processes is above a threshold."
+func TestMultipleDaemonsCrossover(t *testing.T) {
+	// Above the threshold: one daemon saturates, two keep up.
+	one, err := Run(ioBoundConfig(32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(ioBoundConfig(32, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.MonitoringLatencyMs >= one.MonitoringLatencyMs/5 {
+		t.Fatalf("above threshold: 2 daemons latency %v not well below 1 daemon %v",
+			two.MonitoringLatencyMs, one.MonitoringLatencyMs)
+	}
+	// Below the threshold: the second daemon buys nothing but costs
+	// extra interference.
+	oneLow, err := Run(ioBoundConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoLow, err := Run(ioBoundConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoLow.InterferenceMs <= oneLow.InterferenceMs {
+		t.Fatalf("below threshold: 2 daemons should cost more interference (%v vs %v)",
+			twoLow.InterferenceMs, oneLow.InterferenceMs)
+	}
+	if twoLow.MonitoringLatencyMs < 0.5*oneLow.MonitoringLatencyMs {
+		t.Fatalf("below threshold: latency gain implausible (%v vs %v)",
+			twoLow.MonitoringLatencyMs, oneLow.MonitoringLatencyMs)
+	}
+}
+
+func TestISMStage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 20_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ISMUtilization <= 0 || res.ISMUtilization > 1 {
+		t.Fatalf("ISM utilization %v", res.ISMUtilization)
+	}
+	if res.ISMLatencyMs <= 0 {
+		t.Fatal("ISM latency not measured")
+	}
+	// End-to-end covers node latency plus ISM path.
+	if res.EndToEndLatencyMs <= res.MonitoringLatencyMs {
+		t.Fatalf("end-to-end %v not above node latency %v",
+			res.EndToEndLatencyMs, res.MonitoringLatencyMs)
+	}
+	// ISM latency at least net delay + service means.
+	floor := cfg.NetDelay.Mean() + cfg.ISMService.Mean()
+	if res.ISMLatencyMs < 0.8*floor {
+		t.Fatalf("ISM latency %v below physical floor %v", res.ISMLatencyMs, floor)
+	}
+	// Disabled stage zeroes the metrics.
+	cfg.ISMService = nil
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ISMUtilization != 0 || res2.ISMLatencyMs != 0 || res2.EndToEndLatencyMs != 0 {
+		t.Fatalf("disabled ISM stage left metrics: %+v", res2)
+	}
+}
+
+func TestISMUtilizationGrowsWithRate(t *testing.T) {
+	fast := DefaultConfig()
+	fast.Horizon = 20_000
+	fast.SamplingPeriod = 50
+	fres, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := DefaultConfig()
+	slow.Horizon = 20_000
+	slow.SamplingPeriod = 500
+	sres, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.ISMUtilization <= sres.ISMUtilization {
+		t.Fatalf("ISM utilization should grow with sampling rate: %v vs %v",
+			fres.ISMUtilization, sres.ISMUtilization)
+	}
+}
+
+func TestMoreDaemonsThanProcesses(t *testing.T) {
+	// 4 daemons, 2 processes: only 2 daemons receive sweep work, the
+	// others only housekeep; nothing is lost or double-counted.
+	cfg := ioBoundConfig(2, 4)
+	cfg.Horizon = 10_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesForwarded == 0 {
+		t.Fatal("no samples forwarded")
+	}
+	if res.SamplesForwarded > res.SamplesGenerated {
+		t.Fatalf("forwarded %d > generated %d", res.SamplesForwarded, res.SamplesGenerated)
+	}
+	// All four daemons still housekeep, so interference exceeds a
+	// single daemon's.
+	one := ioBoundConfig(2, 1)
+	one.Horizon = 10_000
+	oneRes, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterferenceMs <= oneRes.InterferenceMs {
+		t.Fatalf("4-daemon interference %v not above 1-daemon %v",
+			res.InterferenceMs, oneRes.InterferenceMs)
+	}
+}
+
+func TestDaemonsValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Daemons = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative daemons accepted")
+	}
+	cfg.Daemons = 0
+	if cfg.daemons() != 1 {
+		t.Fatal("zero daemons should mean one")
+	}
+}
+
+func TestHousekeepingDominatesAtLongPeriods(t *testing.T) {
+	// At very long sampling periods interference approaches the
+	// housekeeping floor instead of zero — the "levels off" part of
+	// the Figure 9 shape.
+	cfg := DefaultConfig()
+	cfg.Horizon = 30_000
+	cfg.SamplingPeriod = 10_000 // nearly no samples
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := cfg.HousekeepCPU.Mean() * cfg.Horizon / cfg.HousekeepPeriod
+	if res.InterferenceMs < 0.5*floor {
+		t.Fatalf("interference %v fell below housekeeping floor %v", res.InterferenceMs, floor)
+	}
+	_ = rng.New(1) // keep import if floors change
+}

@@ -1,0 +1,129 @@
+package sim
+
+// Resource is a FIFO service facility with a fixed number of identical
+// servers, the building block of the queueing models in §3.1 and §3.3.
+// Work is requested with Request; when a server becomes available the
+// request's start callback runs, and the caller later calls Release.
+//
+// For the preemptive round-robin CPU of the ROCC model see package
+// rocc, which implements its own scheduler on top of the kernel.
+type Resource struct {
+	sim      *Sim
+	name     string
+	servers  int
+	busy     int
+	queue    []*Request
+	qlen     *TimeWeighted
+	busyTW   *TimeWeighted
+	waits    *Tally
+	services *Tally
+}
+
+// Request is one unit of demand on a Resource.
+type Request struct {
+	// Service is the service-time demand. If Service >= 0 the
+	// resource self-completes the request after Service time units;
+	// if Service < 0 the caller must call Release explicitly.
+	Service float64
+	// Start is called when a server is seized (may be nil).
+	Start func()
+	// Done is called after the request releases its server (may be
+	// nil).
+	Done func()
+
+	arrive float64
+	res    *Resource
+	active bool
+}
+
+// NewResource creates a resource with the given number of servers
+// attached to s. It panics if servers < 1.
+func NewResource(s *Sim, name string, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{
+		sim:      s,
+		name:     name,
+		servers:  servers,
+		qlen:     NewTimeWeighted(s),
+		busyTW:   NewTimeWeighted(s),
+		waits:    &Tally{},
+		services: &Tally{},
+	}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Request submits req. If a server is free it is seized immediately
+// (synchronously); otherwise the request queues FIFO.
+func (r *Resource) Request(req *Request) {
+	req.arrive = r.sim.Now()
+	req.res = r
+	if r.busy < r.servers {
+		r.seize(req)
+		return
+	}
+	r.queue = append(r.queue, req)
+	r.qlen.Set(float64(len(r.queue)))
+}
+
+func (r *Resource) seize(req *Request) {
+	r.busy++
+	r.busyTW.Set(float64(r.busy))
+	req.active = true
+	r.waits.Add(r.sim.Now() - req.arrive)
+	if req.Start != nil {
+		req.Start()
+	}
+	if req.Service >= 0 {
+		svc := req.Service
+		r.sim.Schedule(svc, func() { r.Release(req) })
+	}
+}
+
+// Release frees the server held by req and dispatches the next queued
+// request, if any. Releasing an inactive request panics: it indicates
+// a double release, which silently corrupts utilization statistics.
+func (r *Resource) Release(req *Request) {
+	if !req.active || req.res != r {
+		panic("sim: release of request not holding " + r.name)
+	}
+	req.active = false
+	r.busy--
+	r.busyTW.Set(float64(r.busy))
+	r.services.Add(r.sim.Now() - req.arrive)
+	if req.Done != nil {
+		req.Done()
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.qlen.Set(float64(len(r.queue)))
+		r.seize(next)
+	}
+}
+
+// QueueLength returns the current number of waiting requests.
+func (r *Resource) QueueLength() int { return len(r.queue) }
+
+// Busy returns the number of busy servers.
+func (r *Resource) Busy() int { return r.busy }
+
+// AvgQueueLength returns the time-average queue length so far.
+func (r *Resource) AvgQueueLength() float64 { return r.qlen.Mean() }
+
+// Utilization returns the time-average fraction of servers busy.
+func (r *Resource) Utilization() float64 {
+	return r.busyTW.Mean() / float64(r.servers)
+}
+
+// AvgWait returns the mean time requests spent queued before service.
+func (r *Resource) AvgWait() float64 { return r.waits.Mean() }
+
+// AvgResponse returns the mean total time from arrival to release.
+func (r *Resource) AvgResponse() float64 { return r.services.Mean() }
+
+// Completed returns the number of completed (released) requests.
+func (r *Resource) Completed() int { return r.services.N() }

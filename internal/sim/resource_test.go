@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func TestResourceImmediateService(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu", 1)
+	done := false
+	s.Schedule(1, func() {
+		r.Request(&Request{Service: 5, Done: func() { done = true }})
+	})
+	s.Run(-1)
+	if !done {
+		t.Fatal("request never completed")
+	}
+	if s.Now() != 6 {
+		t.Fatalf("completion time %v, want 6", s.Now())
+	}
+	if r.Completed() != 1 {
+		t.Fatalf("completed %d", r.Completed())
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	s := New()
+	r := NewResource(s, "srv", 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Schedule(0, func() {
+			r.Request(&Request{Service: 10, Start: func() { order = append(order, i) }})
+		})
+	}
+	s.Run(-1)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("service order %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("end %v", s.Now())
+	}
+	// Waits: 0, 10, 20 -> mean 10.
+	if math.Abs(r.AvgWait()-10) > 1e-12 {
+		t.Fatalf("avg wait %v", r.AvgWait())
+	}
+	// Responses: 10, 20, 30 -> mean 20.
+	if math.Abs(r.AvgResponse()-20) > 1e-12 {
+		t.Fatalf("avg response %v", r.AvgResponse())
+	}
+}
+
+func TestResourceMultiServer(t *testing.T) {
+	s := New()
+	r := NewResource(s, "duo", 2)
+	ends := map[int]float64{}
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Schedule(0, func() {
+			r.Request(&Request{Service: 10, Done: func() { ends[i] = s.Now() }})
+		})
+	}
+	s.Run(-1)
+	if ends[0] != 10 || ends[1] != 10 || ends[2] != 20 || ends[3] != 20 {
+		t.Fatalf("ends %v", ends)
+	}
+}
+
+func TestResourceManualRelease(t *testing.T) {
+	s := New()
+	r := NewResource(s, "lock", 1)
+	var req Request
+	req.Service = -1 // manual
+	got := 0
+	s.Schedule(0, func() { r.Request(&req) })
+	s.Schedule(0, func() {
+		r.Request(&Request{Service: 1, Start: func() { got = int(s.Now()) }})
+	})
+	s.Schedule(25, func() { r.Release(&req) })
+	s.Run(-1)
+	if got != 25 {
+		t.Fatalf("second request started at %d, want 25", got)
+	}
+}
+
+func TestResourceDoubleReleasePanics(t *testing.T) {
+	s := New()
+	r := NewResource(s, "x", 1)
+	req := &Request{Service: -1}
+	s.Schedule(0, func() { r.Request(req) })
+	s.Schedule(1, func() { r.Release(req) })
+	s.Run(-1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	r.Release(req)
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	r := NewResource(s, "u", 1)
+	s.Schedule(0, func() { r.Request(&Request{Service: 30}) })
+	s.Run(100)
+	if got := r.Utilization(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("utilization %v, want 0.3", got)
+	}
+}
+
+func TestResourceNeedsServer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-server resource accepted")
+		}
+	}()
+	NewResource(New(), "bad", 0)
+}
+
+// TestMM1AgainstTheory drives an M/M/1 queue through the resource and
+// compares the measured mean response time and queue length with the
+// exact formulas: W = 1/(mu - lambda), Lq = rho^2/(1-rho).
+func TestMM1AgainstTheory(t *testing.T) {
+	s := New()
+	st := rng.New(1234)
+	const lambda, mu = 0.6, 1.0
+	r := NewResource(s, "mm1", 1)
+	var arrive func()
+	arrive = func() {
+		r.Request(&Request{Service: st.Exp(mu)})
+		s.Schedule(st.Exp(lambda), arrive)
+	}
+	s.Schedule(st.Exp(lambda), arrive)
+	s.Run(400000)
+	wantW := 1 / (mu - lambda)
+	if got := r.AvgResponse(); math.Abs(got-wantW)/wantW > 0.06 {
+		t.Fatalf("M/M/1 mean response %v, want ~%v", got, wantW)
+	}
+	rho := lambda / mu
+	wantLq := rho * rho / (1 - rho)
+	if got := r.AvgQueueLength(); math.Abs(got-wantLq)/wantLq > 0.08 {
+		t.Fatalf("M/M/1 mean queue length %v, want ~%v", got, wantLq)
+	}
+	if got := r.Utilization(); math.Abs(got-rho) > 0.02 {
+		t.Fatalf("M/M/1 utilization %v, want ~%v", got, rho)
+	}
+}
+
+// TestMG1AgainstPK checks the M/G/1 mean wait against the
+// Pollaczek–Khinchine formula with deterministic service.
+func TestMG1AgainstPK(t *testing.T) {
+	s := New()
+	st := rng.New(99)
+	const lambda = 0.5
+	const d = 1.0 // deterministic service
+	r := NewResource(s, "md1", 1)
+	var arrive func()
+	arrive = func() {
+		r.Request(&Request{Service: d})
+		s.Schedule(st.Exp(lambda), arrive)
+	}
+	s.Schedule(st.Exp(lambda), arrive)
+	s.Run(300000)
+	rho := lambda * d
+	wantWq := rho * d / (2 * (1 - rho)) // P-K with Cs^2 = 0
+	if got := r.AvgWait(); math.Abs(got-wantWq)/wantWq > 0.08 {
+		t.Fatalf("M/D/1 mean wait %v, want ~%v", got, wantWq)
+	}
+}
+
+func TestResourceName(t *testing.T) {
+	r := NewResource(New(), "net", 1)
+	if r.Name() != "net" {
+		t.Fatalf("name %q", r.Name())
+	}
+	if r.Busy() != 0 || r.QueueLength() != 0 {
+		t.Fatal("fresh resource not idle")
+	}
+}

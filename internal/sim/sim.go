@@ -1,0 +1,191 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// It is the substrate beneath every model in this repository: the PICL
+// buffer fill/flush simulation (§3.1), the Paradyn resource-occupancy
+// (ROCC) simulation (§3.2) and the Vista ISM queueing simulation
+// (§3.3). The kernel is event-scheduling style (no coroutines): model
+// code schedules closures at future virtual times and the kernel
+// executes them in (time, insertion-order) order, so a given seed
+// always produces the identical trajectory.
+//
+// Time is a float64 in model units; all models in this repository use
+// milliseconds to match the axes of the paper's figures.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Handler is the code run when an event fires.
+type Handler func()
+
+// Event is a scheduled occurrence. It is returned by Schedule so the
+// caller can cancel it; a fired or cancelled event is inert.
+type Event struct {
+	time    float64
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	handler Handler
+}
+
+// Time returns the virtual time at which the event is (or was)
+// scheduled to fire.
+func (e *Event) Time() float64 { return e.time }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. The zero value is ready to use
+// and starts at virtual time 0.
+type Sim struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	events  uint64 // total events executed
+}
+
+// New returns a fresh simulation starting at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.events }
+
+// Schedule queues h to run delay time units from now and returns the
+// event for possible cancellation. It panics on negative or NaN delay:
+// scheduling into the past is always a model bug.
+func (s *Sim) Schedule(delay float64, h Handler) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic("sim: negative or NaN delay")
+	}
+	return s.ScheduleAt(s.now+delay, h)
+}
+
+// ScheduleAt queues h to run at absolute virtual time t.
+func (s *Sim) ScheduleAt(t float64, h Handler) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic("sim: scheduling into the past")
+	}
+	if h == nil {
+		panic("sim: nil handler")
+	}
+	e := &Event{time: t, seq: s.seq, handler: h, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event from the queue. Cancelling a fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+}
+
+// Stop makes the current Run call return after the in-flight handler
+// completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event. It reports whether
+// an event was executed.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.time
+	s.events++
+	e.handler()
+	return true
+}
+
+// ErrHorizon is returned by RunUntil when the event limit is exceeded,
+// which almost always indicates a runaway model (an event loop that
+// reschedules itself without advancing time).
+var ErrHorizon = errors.New("sim: event limit exceeded")
+
+// Run executes events until the queue is empty, Stop is called, or the
+// horizon time is passed (events strictly after horizon stay queued
+// and the clock is advanced to the horizon). A negative horizon means
+// "no horizon".
+func (s *Sim) Run(horizon float64) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		next := s.queue[0]
+		if horizon >= 0 && next.time > horizon {
+			s.now = horizon
+			return
+		}
+		s.Step()
+	}
+	if horizon >= 0 && s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+}
+
+// RunUntil is Run with a safety limit on the number of executed
+// events; it returns ErrHorizon if the limit is hit.
+func (s *Sim) RunUntil(horizon float64, maxEvents uint64) error {
+	s.stopped = false
+	start := s.events
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		if s.events-start >= maxEvents {
+			return ErrHorizon
+		}
+		next := s.queue[0]
+		if horizon >= 0 && next.time > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.Step()
+	}
+	if horizon >= 0 && s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+	return nil
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }

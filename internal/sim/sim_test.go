@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(5, func() { got = append(got, 2) })
+	s.Schedule(1, func() { got = append(got, 1) })
+	s.Schedule(9, func() { got = append(got, 3) })
+	s.Run(-1)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v", got)
+	}
+	if s.Now() != 9 {
+		t.Fatalf("final time %v", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(3, func() { got = append(got, i) })
+	}
+	s.Run(-1)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.Schedule(1, tick)
+		}
+	}
+	s.Schedule(1, tick)
+	s.Run(-1)
+	if count != 100 {
+		t.Fatalf("ticks = %d", count)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("time = %v", s.Now())
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() { fired++ })
+	}
+	s.Run(5.5)
+	if fired != 5 {
+		t.Fatalf("fired %d before horizon", fired)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("clock %v, want horizon", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	// Resume past horizon.
+	s.Run(-1)
+	if fired != 10 {
+		t.Fatalf("fired %d after resume", fired)
+	}
+}
+
+func TestHorizonAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.Schedule(2, func() {})
+	s.Run(10)
+	if s.Now() != 10 {
+		t.Fatalf("idle clock not advanced to horizon: %v", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(5, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending")
+	}
+	s.Cancel(e)
+	if e.Pending() {
+		t.Fatal("event still pending after cancel")
+	}
+	s.Run(-1)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.Schedule(float64(i), func() { got = append(got, i) }))
+	}
+	s.Cancel(events[7])
+	s.Cancel(events[13])
+	s.Run(-1)
+	if len(got) != 18 {
+		t.Fatalf("fired %d", len(got))
+	}
+	for _, v := range got {
+		if v == 7 || v == 13 {
+			t.Fatal("cancelled event fired")
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(-1)
+	if count != 3 {
+		t.Fatalf("count = %d after Stop", count)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("time = %v", s.Now())
+	}
+}
+
+func TestRunUntilEventLimit(t *testing.T) {
+	s := New()
+	var loop func()
+	loop = func() { s.Schedule(0, loop) }
+	s.Schedule(0, loop)
+	if err := s.RunUntil(-1, 1000); err != ErrHorizon {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+}
+
+func TestRunUntilNormalCompletion(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 0; i < 5; i++ {
+		s.Schedule(float64(i), func() { n++ })
+	}
+	if err := s.RunUntil(-1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	s := New()
+	for _, f := range []func(){
+		func() { s.Schedule(-1, func() {}) },
+		func() { s.Schedule(math.NaN(), func() {}) },
+		func() { s.Schedule(1, nil) },
+		func() { s.ScheduleAt(-5, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.Schedule(1, func() {})
+	}
+	s.Run(-1)
+	if s.Executed() != 7 {
+		t.Fatalf("executed = %d", s.Executed())
+	}
+}
+
+func TestDeterministicTrajectory(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		s := New()
+		st := rng.New(seed)
+		var times []float64
+		var arrive func()
+		arrive = func() {
+			times = append(times, s.Now())
+			if len(times) < 200 {
+				s.Schedule(st.Exp(0.1), arrive)
+			}
+		}
+		s.Schedule(st.Exp(0.1), arrive)
+		s.Run(-1)
+		return times
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at %d", i)
+		}
+	}
+	c := run(43)
+	if a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Fatal("different seeds produced identical start")
+	}
+}
+
+func TestTally(t *testing.T) {
+	var ta Tally
+	if ta.Mean() != 0 || ta.Variance() != 0 || ta.N() != 0 {
+		t.Fatal("empty tally not zero")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		ta.Add(v)
+	}
+	if ta.N() != 3 || ta.Mean() != 4 || ta.Min() != 2 || ta.Max() != 6 {
+		t.Fatalf("tally %+v", ta)
+	}
+	if math.Abs(ta.Variance()-4) > 1e-12 {
+		t.Fatalf("variance %v", ta.Variance())
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	s := New()
+	w := NewTimeWeighted(s)
+	s.Schedule(2, func() { w.Set(3) })  // 0 on [0,2)
+	s.Schedule(6, func() { w.Set(1) })  // 3 on [2,6)
+	s.Schedule(10, func() { w.Set(0) }) // 1 on [6,10)
+	s.Run(10)
+	// Average = (0*2 + 3*4 + 1*4)/10 = 1.6.
+	if got := w.Mean(); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("time-weighted mean %v", got)
+	}
+	if w.Max() != 3 {
+		t.Fatalf("max %v", w.Max())
+	}
+	if w.Value() != 0 {
+		t.Fatalf("value %v", w.Value())
+	}
+}
+
+func TestTimeWeightedAddAndReset(t *testing.T) {
+	s := New()
+	w := NewTimeWeighted(s)
+	w.Add(5)
+	s.Schedule(4, func() {
+		w.Reset()
+		w.Add(-2) // now 3
+	})
+	s.Run(8)
+	// After reset at t=4 value was 5, then immediately 3 for [4,8).
+	if got := w.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("post-reset mean %v", got)
+	}
+}
+
+func TestTimeWeightedZeroElapsed(t *testing.T) {
+	s := New()
+	w := NewTimeWeighted(s)
+	w.Set(7)
+	if w.Mean() != 7 {
+		t.Fatalf("zero-elapsed mean should return current value, got %v", w.Mean())
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+// Observation collectors tied to the simulation clock. Tally collects
+// per-observation statistics (waiting times, latencies); TimeWeighted
+// collects time-averaged statistics of piecewise-constant signals
+// (queue lengths, busy servers) — the two estimator families the
+// paper's metrics reduce to (Tables 2, 5 and 7).
+
+// Tally accumulates simple per-observation statistics using Welford's
+// algorithm. The zero value is ready to use.
+type Tally struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(x float64) {
+	t.n++
+	if t.n == 1 {
+		t.min, t.max = x, x
+	} else {
+		if x < t.min {
+			t.min = x
+		}
+		if x > t.max {
+			t.max = x
+		}
+	}
+	d := x - t.mean
+	t.mean += d / float64(t.n)
+	t.m2 += d * (x - t.mean)
+}
+
+// N returns the number of observations.
+func (t *Tally) N() int { return t.n }
+
+// Mean returns the sample mean (0 for an empty tally).
+func (t *Tally) Mean() float64 { return t.mean }
+
+// Variance returns the unbiased sample variance.
+func (t *Tally) Variance() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	return t.m2 / float64(t.n-1)
+}
+
+// Min returns the minimum observation (0 for an empty tally).
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the maximum observation (0 for an empty tally).
+func (t *Tally) Max() float64 { return t.max }
+
+// TimeWeighted tracks the time-average of a piecewise-constant signal
+// against a simulation's clock.
+type TimeWeighted struct {
+	sim     *Sim
+	start   float64
+	last    float64
+	current float64
+	area    float64
+	maxVal  float64
+}
+
+// NewTimeWeighted creates a tracker starting at the simulation's
+// current time with value 0.
+func NewTimeWeighted(s *Sim) *TimeWeighted {
+	return &TimeWeighted{sim: s, start: s.Now(), last: s.Now()}
+}
+
+// Set changes the signal value at the current simulation time.
+func (w *TimeWeighted) Set(v float64) {
+	now := w.sim.Now()
+	w.area += w.current * (now - w.last)
+	w.last = now
+	w.current = v
+	if v > w.maxVal {
+		w.maxVal = v
+	}
+}
+
+// Add increments the signal by delta at the current simulation time.
+func (w *TimeWeighted) Add(delta float64) { w.Set(w.current + delta) }
+
+// Value returns the current signal value.
+func (w *TimeWeighted) Value() float64 { return w.current }
+
+// Max returns the maximum value the signal has taken.
+func (w *TimeWeighted) Max() float64 { return w.maxVal }
+
+// Mean returns the time-average of the signal from creation until the
+// simulation's current time.
+func (w *TimeWeighted) Mean() float64 {
+	now := w.sim.Now()
+	elapsed := now - w.start
+	if elapsed <= 0 {
+		return w.current
+	}
+	return (w.area + w.current*(now-w.last)) / elapsed
+}
+
+// Reset restarts accumulation at the current simulation time, keeping
+// the current value. Used to discard warm-up transients.
+func (w *TimeWeighted) Reset() {
+	now := w.sim.Now()
+	w.start, w.last = now, now
+	w.area = 0
+	w.maxVal = w.current
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The paper evaluates the Paradyn and Vista instrumentation systems
+// with "a 2^k·r factorial design technique ... where k is the number of
+// factors of interest and r is the number of repetitions of each
+// experiment" (§3.2.2, §3.3.2, citing Jain [11]). This file implements
+// that design: sign-table effect estimation, allocation of variation,
+// and confidence intervals on effects derived from replication error.
+
+// Factor describes one two-level factor of a 2^k design.
+type Factor struct {
+	Name string
+	Low  float64 // value encoded as level -1
+	High float64 // value encoded as level +1
+}
+
+// Design2kr is a full-factorial 2^k design with r replications.
+type Design2kr struct {
+	Factors []Factor
+	R       int
+}
+
+// Runs returns 2^k.
+func (d *Design2kr) Runs() int { return 1 << len(d.Factors) }
+
+// Levels returns the -1/+1 level of factor f in run index (the i-th
+// bit of index selects the level of factor i).
+func (d *Design2kr) Levels(index int) []int {
+	lv := make([]int, len(d.Factors))
+	for i := range d.Factors {
+		if index&(1<<i) != 0 {
+			lv[i] = 1
+		} else {
+			lv[i] = -1
+		}
+	}
+	return lv
+}
+
+// Values returns the factor values (Low/High) for run index.
+func (d *Design2kr) Values(index int) []float64 {
+	vals := make([]float64, len(d.Factors))
+	for i, l := range d.Levels(index) {
+		if l > 0 {
+			vals[i] = d.Factors[i].High
+		} else {
+			vals[i] = d.Factors[i].Low
+		}
+	}
+	return vals
+}
+
+// Effect is one estimated effect of a 2^k·r analysis: the grand mean
+// (I), a main effect, or an interaction.
+type Effect struct {
+	// Name is "I" for the grand mean, a factor name for a main
+	// effect, or names joined with "x" for interactions (e.g. "AxB").
+	Name string
+	// Value is the effect estimate q_i (half the average response
+	// change when moving the factor from low to high).
+	Value float64
+	// VariationShare is the fraction of total response variation
+	// explained by this effect (zero for "I").
+	VariationShare float64
+	// CI is the confidence interval on the effect, available when
+	// r > 1 (otherwise degenerate).
+	CI Interval
+}
+
+// Analysis2kr is the result of analyzing a 2^k·r experiment.
+type Analysis2kr struct {
+	Design  *Design2kr
+	Effects []Effect
+	// ErrorShare is the fraction of variation attributed to
+	// experimental (replication) error.
+	ErrorShare float64
+	// CellMeans[i] is the mean response of run i.
+	CellMeans []float64
+	// CellCIs[i] is the confidence interval on run i's mean.
+	CellCIs []Interval
+}
+
+// DominantFactor returns the name of the non-interaction effect with
+// the largest variation share, mirroring the paper's "the inter-arrival
+// rate is the dominant factor" conclusion.
+func (a *Analysis2kr) DominantFactor() string {
+	best, bestShare := "", -1.0
+	for _, e := range a.Effects {
+		if e.Name == "I" || strings.Contains(e.Name, "x") {
+			continue
+		}
+		if e.VariationShare > bestShare {
+			best, bestShare = e.Name, e.VariationShare
+		}
+	}
+	return best
+}
+
+// EffectByName returns the effect with the given name.
+func (a *Analysis2kr) EffectByName(name string) (Effect, bool) {
+	for _, e := range a.Effects {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Effect{}, false
+}
+
+// Analyze performs the 2^k·r analysis on responses, a matrix with
+// Runs() rows (indexed as by Levels) and R columns of replicated
+// observations. The confidence parameter sets the CI level on effects
+// and cell means (the paper uses 0.90).
+func (d *Design2kr) Analyze(responses [][]float64, confidence float64) (*Analysis2kr, error) {
+	k := len(d.Factors)
+	runs := d.Runs()
+	if len(responses) != runs {
+		return nil, fmt.Errorf("stats: 2^%d design needs %d response rows, got %d", k, runs, len(responses))
+	}
+	if d.R < 1 {
+		return nil, errors.New("stats: 2^k·r design needs r >= 1")
+	}
+	for i, row := range responses {
+		if len(row) != d.R {
+			return nil, fmt.Errorf("stats: run %d has %d replications, want %d", i, len(row), d.R)
+		}
+	}
+
+	an := &Analysis2kr{Design: d}
+	an.CellMeans = make([]float64, runs)
+	an.CellCIs = make([]Interval, runs)
+	for i, row := range responses {
+		an.CellMeans[i] = Summarize(row).Mean
+		an.CellCIs[i] = MeanCI(row, confidence)
+	}
+
+	// Sign table over all 2^k effect columns: column mask m has sign
+	// prod_{i in m} level_i for each run.
+	nEff := runs // including I at mask 0
+	qs := make([]float64, nEff)
+	for mask := 0; mask < nEff; mask++ {
+		sum := 0.0
+		for run := 0; run < runs; run++ {
+			sign := 1.0
+			lv := d.Levels(run)
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 && lv[i] < 0 {
+					sign = -sign
+				}
+			}
+			sum += sign * an.CellMeans[run]
+		}
+		qs[mask] = sum / float64(runs)
+	}
+
+	// Sums of squares. SSE from replication scatter around cell means.
+	sse := 0.0
+	for i, row := range responses {
+		for _, y := range row {
+			dlt := y - an.CellMeans[i]
+			sse += dlt * dlt
+		}
+	}
+	ssEffect := make([]float64, nEff)
+	ssTotal := sse
+	for mask := 1; mask < nEff; mask++ {
+		ssEffect[mask] = float64(runs*d.R) * qs[mask] * qs[mask]
+		ssTotal += ssEffect[mask]
+	}
+
+	// Standard error of an effect: s_e / sqrt(2^k * r), with
+	// s_e^2 = SSE / (2^k (r-1)).
+	var seEffect float64
+	dfErr := runs * (d.R - 1)
+	if dfErr > 0 {
+		seEffect = mathSqrt(sse/float64(dfErr)) / mathSqrt(float64(runs*d.R))
+	}
+
+	for mask := 0; mask < nEff; mask++ {
+		e := Effect{Name: d.effectName(mask), Value: qs[mask]}
+		if mask != 0 && ssTotal > 0 {
+			e.VariationShare = ssEffect[mask] / ssTotal
+		}
+		e.CI = Interval{Mean: qs[mask], Lo: qs[mask], Hi: qs[mask], Confidence: confidence}
+		if dfErr > 0 {
+			h := TQuantile(dfErr, 1-(1-confidence)/2) * seEffect
+			e.CI.Lo, e.CI.Hi = qs[mask]-h, qs[mask]+h
+		}
+		an.Effects = append(an.Effects, e)
+	}
+	if ssTotal > 0 {
+		an.ErrorShare = sse / ssTotal
+	}
+
+	// Order: I, main effects, then interactions by ascending order.
+	sort.SliceStable(an.Effects, func(i, j int) bool {
+		oi, oj := effectOrder(an.Effects[i].Name), effectOrder(an.Effects[j].Name)
+		if oi != oj {
+			return oi < oj
+		}
+		return an.Effects[i].Name < an.Effects[j].Name
+	})
+	return an, nil
+}
+
+func (d *Design2kr) effectName(mask int) string {
+	if mask == 0 {
+		return "I"
+	}
+	var parts []string
+	for i, f := range d.Factors {
+		if mask&(1<<i) != 0 {
+			parts = append(parts, f.Name)
+		}
+	}
+	return strings.Join(parts, "x")
+}
+
+func effectOrder(name string) int {
+	if name == "I" {
+		return 0
+	}
+	return 1 + strings.Count(name, "x")
+}
+
+func mathSqrt(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func design2(r int) *Design2kr {
+	return &Design2kr{
+		Factors: []Factor{
+			{Name: "A", Low: 10, High: 20},
+			{Name: "B", Low: 1, High: 5},
+		},
+		R: r,
+	}
+}
+
+func TestDesignRunsAndLevels(t *testing.T) {
+	d := design2(3)
+	if d.Runs() != 4 {
+		t.Fatalf("2^2 runs = %d", d.Runs())
+	}
+	if lv := d.Levels(0); lv[0] != -1 || lv[1] != -1 {
+		t.Fatalf("levels(0) = %v", lv)
+	}
+	if lv := d.Levels(3); lv[0] != 1 || lv[1] != 1 {
+		t.Fatalf("levels(3) = %v", lv)
+	}
+	if v := d.Values(1); v[0] != 20 || v[1] != 1 {
+		t.Fatalf("values(1) = %v", v)
+	}
+}
+
+// TestAnalyzeTextbook reproduces the classic memory-cache 2^2 example
+// from Jain (Table 17.3-ish): y = 15, 45, 25, 75 for runs
+// (-1,-1), (+1,-1), (-1,+1), (+1,+1).
+func TestAnalyzeTextbook(t *testing.T) {
+	d := design2(1)
+	resp := [][]float64{{15}, {45}, {25}, {75}}
+	an, err := d.Analyze(resp, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		e, ok := an.EffectByName(name)
+		if !ok {
+			t.Fatalf("missing effect %s", name)
+		}
+		return e.Value
+	}
+	almost(t, get("I"), 40, 1e-9, "grand mean")
+	almost(t, get("A"), 20, 1e-9, "qA")
+	almost(t, get("B"), 10, 1e-9, "qB")
+	almost(t, get("AxB"), 5, 1e-9, "qAB")
+
+	// Variation shares: SSA:SSB:SSAB = 400:100:25.
+	eA, _ := an.EffectByName("A")
+	eB, _ := an.EffectByName("B")
+	eAB, _ := an.EffectByName("AxB")
+	almost(t, eA.VariationShare, 400.0/525.0, 1e-9, "A share")
+	almost(t, eB.VariationShare, 100.0/525.0, 1e-9, "B share")
+	almost(t, eAB.VariationShare, 25.0/525.0, 1e-9, "AB share")
+	if an.DominantFactor() != "A" {
+		t.Fatalf("dominant = %s", an.DominantFactor())
+	}
+}
+
+func TestAnalyzeWithReplication(t *testing.T) {
+	// Known additive model: y = 100 + 12*A + 3*B + noise.
+	st := rng.New(5)
+	d := design2(50)
+	resp := make([][]float64, 4)
+	for run := 0; run < 4; run++ {
+		lv := d.Levels(run)
+		base := 100 + 12*float64(lv[0]) + 3*float64(lv[1])
+		for rep := 0; rep < d.R; rep++ {
+			resp[run] = append(resp[run], base+st.Normal(0, 2))
+		}
+	}
+	an, err := d.Analyze(resp, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eI, _ := an.EffectByName("I")
+	eA, _ := an.EffectByName("A")
+	eB, _ := an.EffectByName("B")
+	eAB, _ := an.EffectByName("AxB")
+	almost(t, eI.Value, 100, 0.5, "I")
+	almost(t, eA.Value, 12, 0.5, "A")
+	almost(t, eB.Value, 3, 0.5, "B")
+	almost(t, eAB.Value, 0, 0.5, "AB")
+	if !eA.CI.Contains(12) {
+		t.Fatalf("A CI %v misses 12", eA.CI)
+	}
+	if !eAB.CI.Contains(0) {
+		t.Fatalf("AB CI %v should contain 0", eAB.CI)
+	}
+	if an.DominantFactor() != "A" {
+		t.Fatalf("dominant factor = %s", an.DominantFactor())
+	}
+	if an.ErrorShare <= 0 || an.ErrorShare > 0.2 {
+		t.Fatalf("error share %v out of expected band", an.ErrorShare)
+	}
+	// Shares plus error should sum to ~1.
+	total := an.ErrorShare
+	for _, e := range an.Effects {
+		total += e.VariationShare
+	}
+	almost(t, total, 1, 1e-9, "variation decomposition")
+}
+
+func TestAnalyzeShapeErrors(t *testing.T) {
+	d := design2(2)
+	if _, err := d.Analyze([][]float64{{1, 2}}, 0.9); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if _, err := d.Analyze([][]float64{{1}, {2}, {3}, {4}}, 0.9); err == nil {
+		t.Fatal("wrong replication count accepted")
+	}
+	bad := &Design2kr{Factors: d.Factors, R: 0}
+	if _, err := bad.Analyze(nil, 0.9); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+}
+
+func TestThreeFactorNames(t *testing.T) {
+	d := &Design2kr{Factors: []Factor{{Name: "A"}, {Name: "B"}, {Name: "C"}}, R: 1}
+	resp := make([][]float64, 8)
+	for i := range resp {
+		resp[i] = []float64{float64(i)}
+	}
+	an, err := d.Analyze(resp, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"I": true, "A": true, "B": true, "C": true,
+		"AxB": true, "AxC": true, "BxC": true, "AxBxC": true}
+	if len(an.Effects) != 8 {
+		t.Fatalf("got %d effects", len(an.Effects))
+	}
+	for _, e := range an.Effects {
+		if !want[e.Name] {
+			t.Fatalf("unexpected effect name %q", e.Name)
+		}
+	}
+	// y = i means y = 3.5 + 0.5A + 1B + 2C exactly; check C dominant.
+	if an.DominantFactor() != "C" {
+		t.Fatalf("dominant = %s", an.DominantFactor())
+	}
+}
+
+func TestEffectOrdering(t *testing.T) {
+	d := design2(1)
+	an, err := d.Analyze([][]float64{{1}, {2}, {3}, {4}}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Effects[0].Name != "I" {
+		t.Fatalf("first effect %q, want I", an.Effects[0].Name)
+	}
+	if an.Effects[3].Name != "AxB" {
+		t.Fatalf("last effect %q, want AxB", an.Effects[3].Name)
+	}
+}
+
+func TestCellMeansAndCIs(t *testing.T) {
+	d := design2(3)
+	resp := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}
+	an, err := d.Analyze(resp, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeans := []float64{2, 5, 8, 11}
+	for i, m := range wantMeans {
+		almost(t, an.CellMeans[i], m, 1e-12, "cell mean")
+		if !an.CellCIs[i].Contains(m) {
+			t.Fatalf("cell CI %v misses mean %v", an.CellCIs[i], m)
+		}
+	}
+}
+
+func TestDominantFactorSkipsInteractions(t *testing.T) {
+	// Construct responses where the interaction is the largest
+	// effect; DominantFactor must still report a main effect.
+	d := design2(1)
+	// y = 10*AB pattern: (+, -, -, +).
+	resp := [][]float64{{10}, {-10}, {-10}, {10}}
+	an, err := d.Analyze(resp, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df := an.DominantFactor(); df != "A" && df != "B" {
+		t.Fatalf("dominant reported interaction: %s", df)
+	}
+}
+
+func TestMathSqrtGuard(t *testing.T) {
+	if mathSqrt(-1) != 0 {
+		t.Fatal("mathSqrt(-1) should clamp to 0")
+	}
+	if math.Abs(mathSqrt(9)-3) > 1e-12 {
+		t.Fatal("mathSqrt(9) != 3")
+	}
+}

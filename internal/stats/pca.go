@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Principal component analysis. The paper (§3.3.2) analyzes the Vista
+// ISM simulation results "using principal component analysis
+// techniques [11] and found that the inter-arrival rate is the
+// dominant factor that affects data processing latency and average
+// buffer length". We implement PCA on the correlation matrix via a
+// Jacobi eigenvalue sweep, which is exact enough for the handful of
+// variables these experiments use.
+
+// PCAResult describes the principal components of a data matrix.
+type PCAResult struct {
+	// Names are the column (variable) names.
+	Names []string
+	// Eigenvalues in decreasing order; their sum equals the number
+	// of variables (correlation-matrix PCA).
+	Eigenvalues []float64
+	// Components[i] is the unit-length loading vector of the i-th
+	// principal component (same order as Eigenvalues), with entries
+	// aligned to Names.
+	Components [][]float64
+	// VarianceExplained[i] is Eigenvalues[i] / sum(Eigenvalues).
+	VarianceExplained []float64
+}
+
+// DominantVariable returns the name of the variable with the largest
+// absolute loading on the first principal component.
+func (r *PCAResult) DominantVariable() string {
+	if len(r.Components) == 0 {
+		return ""
+	}
+	first := r.Components[0]
+	best, bestAbs := "", -1.0
+	for i, v := range first {
+		if a := math.Abs(v); a > bestAbs {
+			best, bestAbs = r.Names[i], a
+		}
+	}
+	return best
+}
+
+// PCA performs correlation-matrix principal component analysis on
+// data, a row-major matrix of observations (rows) by variables
+// (columns). Columns with zero variance are rejected.
+func PCA(names []string, data [][]float64) (*PCAResult, error) {
+	if len(data) < 2 {
+		return nil, errors.New("stats: PCA needs at least 2 observations")
+	}
+	p := len(names)
+	if p == 0 {
+		return nil, errors.New("stats: PCA needs at least 1 variable")
+	}
+	for _, row := range data {
+		if len(row) != p {
+			return nil, errors.New("stats: PCA row width mismatch")
+		}
+	}
+	n := len(data)
+
+	// Standardize columns.
+	means := make([]float64, p)
+	sds := make([]float64, p)
+	for j := 0; j < p; j++ {
+		col := make([]float64, n)
+		for i := range data {
+			col[i] = data[i][j]
+		}
+		s := Summarize(col)
+		if s.Variance == 0 {
+			return nil, errors.New("stats: PCA variable " + names[j] + " has zero variance")
+		}
+		means[j], sds[j] = s.Mean, s.StdDev()
+	}
+
+	// Correlation matrix.
+	corr := make([][]float64, p)
+	for j := range corr {
+		corr[j] = make([]float64, p)
+	}
+	for a := 0; a < p; a++ {
+		for b := a; b < p; b++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += (data[i][a] - means[a]) / sds[a] * (data[i][b] - means[b]) / sds[b]
+			}
+			c := sum / float64(n-1)
+			corr[a][b], corr[b][a] = c, c
+		}
+	}
+
+	vals, vecs := JacobiEigen(corr)
+
+	// Sort by decreasing eigenvalue.
+	idx := make([]int, p)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	res := &PCAResult{Names: append([]string(nil), names...)}
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	for _, i := range idx {
+		res.Eigenvalues = append(res.Eigenvalues, vals[i])
+		comp := make([]float64, p)
+		for j := 0; j < p; j++ {
+			comp[j] = vecs[j][i]
+		}
+		res.Components = append(res.Components, comp)
+		if total > 0 {
+			res.VarianceExplained = append(res.VarianceExplained, vals[i]/total)
+		} else {
+			res.VarianceExplained = append(res.VarianceExplained, 0)
+		}
+	}
+	return res, nil
+}
+
+// JacobiEigen computes the eigenvalues and eigenvectors of a real
+// symmetric matrix using cyclic Jacobi rotations. It returns the
+// eigenvalues and a matrix whose columns are the corresponding
+// eigenvectors. The input is not modified.
+func JacobiEigen(m [][]float64) (values []float64, vectors [][]float64) {
+	p := len(m)
+	a := make([][]float64, p)
+	v := make([][]float64, p)
+	for i := 0; i < p; i++ {
+		a[i] = append([]float64(nil), m[i]...)
+		v[i] = make([]float64, p)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				if math.Abs(a[i][j]) < 1e-18 {
+					continue
+				}
+				// Rotation angle.
+				theta := (a[j][j] - a[i][i]) / (2 * a[i][j])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation to a and v.
+				for k := 0; k < p; k++ {
+					aik, ajk := a[i][k], a[j][k]
+					a[i][k] = c*aik - s*ajk
+					a[j][k] = s*aik + c*ajk
+				}
+				for k := 0; k < p; k++ {
+					aki, akj := a[k][i], a[k][j]
+					a[k][i] = c*aki - s*akj
+					a[k][j] = s*aki + c*akj
+				}
+				for k := 0; k < p; k++ {
+					vki, vkj := v[k][i], v[k][j]
+					v[k][i] = c*vki - s*vkj
+					v[k][j] = s*vki + c*vkj
+				}
+			}
+		}
+	}
+	values = make([]float64, p)
+	for i := 0; i < p; i++ {
+		values[i] = a[i][i]
+	}
+	return values, v
+}
+
+// LinearFit fits y = a + b·x by ordinary least squares, returning the
+// intercept a, slope b and the coefficient of determination R².
+// It is used for the linear flush-cost model f(l) of the PICL case
+// study and for workload characterization.
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, errors.New("stats: LinearFit needs two equal-length samples of size >= 2")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, errors.New("stats: LinearFit with constant x")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1, nil
+	}
+	ssRes := 0.0
+	for i := range xs {
+		e := ys[i] - (a + b*xs[i])
+		ssRes += e * e
+	}
+	r2 = 1 - ssRes/ssTot
+	return a, b, r2, nil
+}

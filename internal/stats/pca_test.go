@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	m := [][]float64{{3, 0}, {0, 1}}
+	vals, vecs := JacobiEigen(m)
+	// Eigenvalues 3 and 1 in some order.
+	got := []float64{vals[0], vals[1]}
+	if !(almostEq(got[0], 3) && almostEq(got[1], 1)) && !(almostEq(got[0], 1) && almostEq(got[1], 3)) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// Eigenvectors of a diagonal matrix are axis-aligned.
+	for j := 0; j < 2; j++ {
+		n := math.Hypot(vecs[0][j], vecs[1][j])
+		if math.Abs(n-1) > 1e-9 {
+			t.Fatalf("eigenvector %d not unit: %v", j, n)
+		}
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJacobiEigenSymmetric(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs := JacobiEigen(m)
+	hi, lo := math.Max(vals[0], vals[1]), math.Min(vals[0], vals[1])
+	if !almostEq(hi, 3) || !almostEq(lo, 1) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// Verify A v = lambda v for each column.
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 2; i++ {
+			av := m[i][0]*vecs[0][j] + m[i][1]*vecs[1][j]
+			if math.Abs(av-vals[j]*vecs[i][j]) > 1e-8 {
+				t.Fatalf("A v != lambda v for column %d", j)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenTraceInvariant(t *testing.T) {
+	m := [][]float64{
+		{4, 1, 0.5},
+		{1, 3, 0.2},
+		{0.5, 0.2, 2},
+	}
+	vals, _ := JacobiEigen(m)
+	sum := vals[0] + vals[1] + vals[2]
+	almost(t, sum, 9, 1e-9, "trace")
+}
+
+func TestPCACorrelatedData(t *testing.T) {
+	// x2 = 2*x1 + small noise: first PC should explain nearly all
+	// variance with balanced loadings.
+	st := rng.New(21)
+	var data [][]float64
+	for i := 0; i < 500; i++ {
+		x := st.Normal(0, 1)
+		data = append(data, []float64{x, 2*x + st.Normal(0, 0.01)})
+	}
+	res, err := PCA([]string{"x1", "x2"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VarianceExplained[0] < 0.99 {
+		t.Fatalf("first PC explains %v", res.VarianceExplained[0])
+	}
+	if math.Abs(math.Abs(res.Components[0][0])-math.Abs(res.Components[0][1])) > 0.02 {
+		t.Fatalf("correlation-PCA loadings should be balanced: %v", res.Components[0])
+	}
+}
+
+func TestPCADominantVariable(t *testing.T) {
+	// y strongly driven by a, weakly by b -> on PC1, a and y load
+	// heavily, b lightly; dominant among {a,b} must be a. Include
+	// only the factor columns plus response as the paper does when
+	// attributing influence.
+	st := rng.New(22)
+	var data [][]float64
+	for i := 0; i < 800; i++ {
+		a := st.Normal(0, 1)
+		b := st.Normal(0, 1)
+		y := 5*a + 0.3*b + st.Normal(0, 0.2)
+		data = append(data, []float64{a, b, y})
+	}
+	res, err := PCA([]string{"a", "b", "latency"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc1 := res.Components[0]
+	absA := math.Abs(pc1[0])
+	absB := math.Abs(pc1[1])
+	if absA <= absB {
+		t.Fatalf("a should dominate b on PC1: |a|=%v |b|=%v", absA, absB)
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := PCA([]string{"x"}, [][]float64{{1}}); err == nil {
+		t.Fatal("too few observations accepted")
+	}
+	if _, err := PCA(nil, [][]float64{{}, {}}); err == nil {
+		t.Fatal("zero variables accepted")
+	}
+	if _, err := PCA([]string{"x"}, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("row width mismatch accepted")
+	}
+	if _, err := PCA([]string{"x", "y"}, [][]float64{{1, 1}, {2, 1}, {3, 1}}); err == nil {
+		t.Fatal("zero-variance column accepted")
+	}
+}
+
+func TestPCAEigenvalueSum(t *testing.T) {
+	st := rng.New(23)
+	var data [][]float64
+	for i := 0; i < 300; i++ {
+		data = append(data, []float64{st.Float64(), st.Normal(3, 2), st.Exp(1)})
+	}
+	res, err := PCA([]string{"u", "n", "e"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.Eigenvalues {
+		sum += v
+	}
+	almost(t, sum, 3, 1e-6, "eigenvalue sum (correlation PCA)")
+	// Eigenvalues sorted decreasing.
+	for i := 1; i < len(res.Eigenvalues); i++ {
+		if res.Eigenvalues[i] > res.Eigenvalues[i-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3.1, 5.0, 7.1, 8.9, 11.0}
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a, 1.06, 0.15, "intercept")
+	almost(t, b, 1.97, 0.1, "slope")
+	if r2 < 0.99 {
+		t.Fatalf("R² = %v", r2)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{5, 7, 9}
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a, 5, 1e-10, "a")
+	almost(t, b, 2, 1e-10, "b")
+	almost(t, r2, 1, 1e-10, "r2")
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	a, b, r2, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a, 4, 1e-10, "a")
+	almost(t, b, 0, 1e-10, "b")
+	almost(t, r2, 1, 1e-10, "r2 for constant y")
+}

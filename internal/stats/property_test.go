@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/rng"
+)
+
+// Property-based invariants on the statistical substrate, via
+// testing/quick.
+
+func TestSummaryInvariantsProperty(t *testing.T) {
+	st := rng.New(71)
+	check := func(n uint8) bool {
+		size := int(n%100) + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = st.Normal(0, 100)
+		}
+		s := Summarize(xs)
+		if s.N != size {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Variance < 0 {
+			return false
+		}
+		// Shifting by a constant shifts the mean, keeps the variance.
+		shifted := make([]float64, size)
+		for i := range xs {
+			shifted[i] = xs[i] + 1000
+		}
+		s2 := Summarize(shifted)
+		return math.Abs(s2.Mean-(s.Mean+1000)) < 1e-6 &&
+			math.Abs(s2.Variance-s.Variance) < 1e-4
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileMonotoneProperty(t *testing.T) {
+	st := rng.New(72)
+	check := func(dfRaw uint8) bool {
+		df := int(dfRaw%60) + 1
+		p1 := st.Uniform(0.01, 0.98)
+		p2 := p1 + st.Uniform(0.001, 0.99-p1)
+		return TQuantile(df, p1) < TQuantile(df, p2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCIWidthShrinksProperty(t *testing.T) {
+	// More data -> narrower interval (same underlying distribution).
+	st := rng.New(73)
+	for trial := 0; trial < 20; trial++ {
+		small := make([]float64, 10)
+		large := make([]float64, 400)
+		for i := range large {
+			v := st.Normal(50, 5)
+			if i < len(small) {
+				small[i] = v
+			}
+			large[i] = v
+		}
+		ws := MeanCI(small, 0.90).HalfWidth()
+		wl := MeanCI(large, 0.90).HalfWidth()
+		if wl >= ws {
+			t.Fatalf("trial %d: CI did not shrink (%v -> %v)", trial, ws, wl)
+		}
+	}
+}
+
+func TestFactorialEffectsRecoverAdditiveModelProperty(t *testing.T) {
+	// For any additive response y = c + a*A + b*B (no noise), the
+	// factorial analysis must recover the coefficients exactly and
+	// attribute zero variation to the interaction.
+	st := rng.New(74)
+	check := func() bool {
+		c := st.Uniform(-100, 100)
+		a := st.Uniform(-50, 50)
+		b := st.Uniform(-50, 50)
+		d := &Design2kr{Factors: []Factor{{Name: "A"}, {Name: "B"}}, R: 1}
+		resp := make([][]float64, 4)
+		for run := 0; run < 4; run++ {
+			lv := d.Levels(run)
+			resp[run] = []float64{c + a*float64(lv[0]) + b*float64(lv[1])}
+		}
+		an, err := d.Analyze(resp, 0.9)
+		if err != nil {
+			return false
+		}
+		eI, _ := an.EffectByName("I")
+		eA, _ := an.EffectByName("A")
+		eB, _ := an.EffectByName("B")
+		eAB, _ := an.EffectByName("AxB")
+		return math.Abs(eI.Value-c) < 1e-9 && math.Abs(eA.Value-a) < 1e-9 &&
+			math.Abs(eB.Value-b) < 1e-9 && math.Abs(eAB.Value) < 1e-9
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	st := rng.New(75)
+	check := func() bool {
+		a := st.Uniform(0.5, 20)
+		b := st.Uniform(0.5, 20)
+		x1 := st.Uniform(0.01, 0.5)
+		x2 := x1 + st.Uniform(0.01, 0.49)
+		return RegIncBeta(a, b, x1) <= RegIncBeta(a, b, x2)+1e-12
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Regenerative-process analysis. The paper's PICL evaluation (§3.1.3)
+// rests on "the observation that the process of filling and flushing a
+// buffer is a regenerative process ... the proportion of time spent by
+// the instrumentation system in the 'flushing state' throughout program
+// execution is the same as the proportion of time spent in this state
+// during one cycle (Smith's theorem)". This file provides the
+// renewal-reward estimator used to turn simulated cycles into long-run
+// rates with confidence intervals.
+
+// Cycle is one regeneration cycle: its Length (total cycle time or
+// arrivals, depending on the chosen denominator) and the Reward
+// accumulated during it (e.g. number of flushes, or time in the
+// flushing state).
+type Cycle struct {
+	Length float64
+	Reward float64
+}
+
+// RenewalReward estimates the long-run reward rate E[R]/E[L] of a
+// regenerative process from observed cycles, with a confidence
+// interval computed by the classical regenerative (ratio) estimator
+// using the delta method.
+func RenewalReward(cycles []Cycle, confidence float64) (Interval, error) {
+	n := len(cycles)
+	if n < 2 {
+		return Interval{}, errors.New("stats: renewal-reward needs >= 2 cycles")
+	}
+	var sumR, sumL float64
+	for _, c := range cycles {
+		sumR += c.Reward
+		sumL += c.Length
+	}
+	if sumL <= 0 {
+		return Interval{}, errors.New("stats: renewal-reward with non-positive total length")
+	}
+	meanR := sumR / float64(n)
+	meanL := sumL / float64(n)
+	rate := meanR / meanL
+
+	// Variance of Z_i = R_i - rate * L_i.
+	var s2 float64
+	for _, c := range cycles {
+		z := c.Reward - rate*c.Length
+		s2 += z * z
+	}
+	s2 /= float64(n - 1)
+	se := math.Sqrt(s2/float64(n)) / meanL
+
+	h := TQuantile(n-1, 1-(1-confidence)/2) * se
+	return Interval{Mean: rate, Lo: rate - h, Hi: rate + h, Confidence: confidence}, nil
+}
+
+// TimeAverage computes the time-average of a piecewise-constant
+// process described by (time, value) change points over the horizon
+// [start, end]. The value holds from its change point until the next.
+// It is the estimator behind "average buffer length" style metrics.
+func TimeAverage(times, values []float64, start, end float64) (float64, error) {
+	if len(times) != len(values) {
+		return 0, errors.New("stats: TimeAverage length mismatch")
+	}
+	if end <= start {
+		return 0, errors.New("stats: TimeAverage with empty horizon")
+	}
+	area := 0.0
+	cur := 0.0
+	last := start
+	for i, t := range times {
+		if t < last {
+			if t < start {
+				// Change point before the horizon establishes the
+				// initial value.
+				cur = values[i]
+				continue
+			}
+			return 0, errors.New("stats: TimeAverage times not sorted")
+		}
+		if t > end {
+			break
+		}
+		area += cur * (t - last)
+		cur = values[i]
+		last = t
+	}
+	area += cur * (end - last)
+	return area / (end - start), nil
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); values
+// outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Under   int
+	Over    int
+	samples int
+}
+
+// NewHistogram creates a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.samples++
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard fp edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the number of observations recorded.
+func (h *Histogram) N() int { return h.samples }
+
+// BucketMid returns the midpoint of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of in-range observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	in := h.samples - h.Under - h.Over
+	if in == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(in)
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func TestRenewalRewardExact(t *testing.T) {
+	// Deterministic cycles: reward 1 per length 4 -> rate 0.25.
+	var cycles []Cycle
+	for i := 0; i < 10; i++ {
+		cycles = append(cycles, Cycle{Length: 4, Reward: 1})
+	}
+	iv, err := RenewalReward(cycles, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, iv.Mean, 0.25, 1e-12, "rate")
+	almost(t, iv.HalfWidth(), 0, 1e-12, "deterministic half width")
+}
+
+func TestRenewalRewardStochastic(t *testing.T) {
+	// Cycle length ~ Exp(rate 0.5) (mean 2), reward ~ 1 per cycle:
+	// long-run rate = 1/2.
+	st := rng.New(77)
+	var cycles []Cycle
+	for i := 0; i < 2000; i++ {
+		cycles = append(cycles, Cycle{Length: st.Exp(0.5), Reward: 1})
+	}
+	iv, err := RenewalReward(cycles, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(0.5) && (iv.Mean < 0.45 || iv.Mean > 0.55) {
+		t.Fatalf("renewal rate %v not near 0.5", iv)
+	}
+}
+
+func TestRenewalRewardCoverage(t *testing.T) {
+	// Empirical CI coverage of the ratio estimator.
+	st := rng.New(78)
+	const trials = 200
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		var cycles []Cycle
+		for i := 0; i < 100; i++ {
+			l := st.Exp(1)
+			cycles = append(cycles, Cycle{Length: l + 1, Reward: l})
+		}
+		// E[reward]/E[length] = 1/(1+1) = 0.5.
+		iv, err := RenewalReward(cycles, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(0.5) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.82 || frac > 0.97 {
+		t.Fatalf("renewal-reward CI coverage %v", frac)
+	}
+}
+
+func TestRenewalRewardErrors(t *testing.T) {
+	if _, err := RenewalReward([]Cycle{{Length: 1, Reward: 1}}, 0.9); err == nil {
+		t.Fatal("single cycle accepted")
+	}
+	if _, err := RenewalReward([]Cycle{{Length: 0}, {Length: 0}}, 0.9); err == nil {
+		t.Fatal("zero total length accepted")
+	}
+}
+
+func TestTimeAverage(t *testing.T) {
+	// Value 0 on [0,1), 2 on [1,3), 1 on [3,4): average = (0+4+1)/4.
+	times := []float64{0, 1, 3}
+	values := []float64{0, 2, 1}
+	avg, err := TimeAverage(times, values, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, avg, 1.25, 1e-12, "time average")
+}
+
+func TestTimeAverageInitialValueBeforeHorizon(t *testing.T) {
+	// A change point before start establishes the initial value.
+	times := []float64{-5, 2}
+	values := []float64{3, 7}
+	avg, err := TimeAverage(times, values, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 on [0,2), 7 on [2,4) -> 5.
+	almost(t, avg, 5, 1e-12, "time average with prefix")
+}
+
+func TestTimeAverageErrors(t *testing.T) {
+	if _, err := TimeAverage([]float64{1}, []float64{1, 2}, 0, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := TimeAverage(nil, nil, 3, 3); err == nil {
+		t.Fatal("empty horizon accepted")
+	}
+	if _, err := TimeAverage([]float64{2, 1}, []float64{1, 1}, 0, 3); err == nil {
+		t.Fatal("unsorted times accepted")
+	}
+}
+
+func TestTimeAverageTailTruncation(t *testing.T) {
+	// Change points after end are ignored.
+	times := []float64{0, 10}
+	values := []float64{4, 100}
+	avg, err := TimeAverage(times, values, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, avg, 4, 1e-12, "tail truncation")
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(v)
+	}
+	if h.N() != 8 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bucket 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	almost(t, h.BucketMid(0), 1, 1e-12, "bucket mid")
+	almost(t, h.Fraction(0), 2.0/5.0, 1e-12, "fraction")
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSmithTheoremConsistency(t *testing.T) {
+	// Smith's theorem check used by the PICL analysis: the long-run
+	// fraction of time in the "flushing" state equals
+	// E[flush]/E[cycle]. Simulate fill(Erlang) + flush(const) cycles.
+	st := rng.New(80)
+	const l = 20
+	const alpha = 0.5
+	const flush = 3.0
+	var cycles []Cycle
+	for i := 0; i < 3000; i++ {
+		fill := st.Erlang(l, alpha)
+		cycles = append(cycles, Cycle{Length: fill + flush, Reward: flush})
+	}
+	iv, err := RenewalReward(cycles, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flush / (l/alpha + flush)
+	if !iv.Contains(want) {
+		almost(t, iv.Mean, want, 0.002, "flushing-state fraction")
+	}
+}

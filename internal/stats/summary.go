@@ -1,0 +1,248 @@
+// Package stats implements the statistical machinery the paper's
+// evaluation methodology relies on (Jain, "The Art of Computer Systems
+// Performance Analysis", which the paper cites as [11]):
+//
+//   - sample summaries and Student-t confidence intervals, used to
+//     report metric means "within 90% confidence intervals" (§3.2.2,
+//     §3.3.2);
+//   - 2^k·r factorial experiment designs with effect estimation and
+//     allocation of variation (§3.2.2, §3.3.2);
+//   - principal component analysis, used in §3.3.2 to identify the
+//     inter-arrival rate as the dominant factor;
+//   - regenerative-process analysis (Smith's theorem), used in §3.1.3
+//     to derive long-run flushing frequencies;
+//   - histograms and simple linear regression for workload
+//     characterization (§5, on-going work item 3).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds moment statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs using a numerically stable
+// single-pass (Welford) algorithm. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	if len(xs) == 0 {
+		return s
+	}
+	s.N = len(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	mean, m2 := 0.0, 0.0
+	for i, x := range xs {
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = mean
+	if s.N > 1 {
+		s.Variance = m2 / float64(s.N-1)
+	}
+	return s
+}
+
+// StdDev returns the sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.N))
+}
+
+// CV returns the coefficient of variation (stddev/mean), or 0 for a
+// zero mean.
+func (s Summary) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Abs(s.Mean)
+}
+
+// Interval is a two-sided confidence interval for a mean.
+type Interval struct {
+	Mean       float64
+	Lo, Hi     float64
+	Confidence float64 // e.g. 0.90
+}
+
+// Contains reports whether v lies within the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// HalfWidth returns the half-width of the interval.
+func (iv Interval) HalfWidth() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// String renders the interval in the "m ± h (c%)" form used by the
+// experiment reports.
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4g ± %.3g (%.0f%%)", iv.Mean, iv.HalfWidth(), iv.Confidence*100)
+}
+
+// MeanCI returns the Student-t confidence interval for the mean of xs
+// at the given confidence level (e.g. 0.90 for the paper's 90%
+// intervals). Samples of size < 2 yield a degenerate interval.
+func MeanCI(xs []float64, confidence float64) Interval {
+	s := Summarize(xs)
+	iv := Interval{Mean: s.Mean, Lo: s.Mean, Hi: s.Mean, Confidence: confidence}
+	if s.N < 2 {
+		return iv
+	}
+	h := TQuantile(s.N-1, 1-(1-confidence)/2) * s.StdErr()
+	iv.Lo, iv.Hi = s.Mean-h, s.Mean+h
+	return iv
+}
+
+// TQuantile returns the quantile function (inverse CDF) of Student's t
+// distribution with df degrees of freedom at probability p in (0, 1).
+// It inverts the regularized incomplete beta function by bisection on
+// the CDF, which is plenty accurate for confidence-interval use.
+func TQuantile(df int, p float64) float64 {
+	if df <= 0 {
+		panic("stats: TQuantile with non-positive df")
+	}
+	if p <= 0 || p >= 1 {
+		panic("stats: TQuantile probability out of (0,1)")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// The CDF is monotone; bracket then bisect.
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(df, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns the CDF of Student's t distribution with df degrees of
+// freedom evaluated at x, via the regularized incomplete beta function.
+func TCDF(df int, x float64) float64 {
+	if x == 0 {
+		return 0.5
+	}
+	v := float64(df)
+	ib := RegIncBeta(v/2, 0.5, v/(v+x*x))
+	if x > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// NormalCDF returns the standard normal CDF at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// RegIncBeta returns the regularized incomplete beta function
+// I_x(a, b), computed with the standard continued-fraction expansion
+// (Lentz's algorithm).
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	// Use the symmetry relation for faster convergence.
+	if x > (a+1)/(a+b+2) {
+		return 1 - RegIncBeta(b, a, 1-x)
+	}
+	const eps = 1e-14
+	const tiny = 1e-300
+	c := 1.0
+	d := 1 - (a+b)*x/(a+1)
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	result := d
+	for m := 1; m <= 500; m++ {
+		fm := float64(m)
+		// Even step.
+		num := fm * (b - fm) * x / ((a + 2*fm - 1) * (a + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		result *= d * c
+		// Odd step.
+		num = -(a + fm) * (a + b + fm) * x / ((a + 2*fm) * (a + 2*fm + 1))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		delta := d * c
+		result *= delta
+		if math.Abs(delta-1) < eps {
+			break
+		}
+	}
+	return front * result
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It sorts a copy.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1], nil
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac, nil
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }

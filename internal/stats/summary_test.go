@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/rng"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v ± %v", what, got, want, tol)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	almost(t, s.Mean, 5, 1e-12, "mean")
+	almost(t, s.Variance, 32.0/7.0, 1e-12, "variance")
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Fatalf("bad min/max/n: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Variance != 0 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestSummarizeMatchesNaive(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 2
+		st := rng.New(seed)
+		xs := make([]float64, size)
+		var sum float64
+		for i := range xs {
+			xs[i] = st.Normal(5, 20)
+			sum += xs[i]
+		}
+		mean := sum / float64(size)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(size-1)
+		s := Summarize(xs)
+		return math.Abs(s.Mean-mean) < 1e-9 && math.Abs(s.Variance-naiveVar) < 1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		df   int
+		p    float64
+		want float64
+	}{
+		{1, 0.95, 6.3138},
+		{5, 0.95, 2.0150},
+		{10, 0.975, 2.2281},
+		{30, 0.95, 1.6973},
+		{49, 0.95, 1.6766},
+		{100, 0.975, 1.9840},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.df, c.p)
+		almost(t, got, c.want, 0.002, "TQuantile")
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []int{2, 7, 29} {
+		hi := TQuantile(df, 0.9)
+		lo := TQuantile(df, 0.1)
+		almost(t, hi+lo, 0, 1e-6, "t quantile symmetry")
+	}
+	if v := TQuantile(10, 0.5); v != 0 {
+		t.Fatalf("median of t should be 0, got %v", v)
+	}
+}
+
+func TestTCDFInvertsQuantile(t *testing.T) {
+	for _, df := range []int{3, 12, 60} {
+		for _, p := range []float64{0.05, 0.3, 0.7, 0.99} {
+			x := TQuantile(df, p)
+			almost(t, TCDF(df, x), p, 1e-6, "TCDF(TQuantile)")
+		}
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	almost(t, NormalCDF(0), 0.5, 1e-12, "Phi(0)")
+	almost(t, NormalCDF(1.6449), 0.95, 1e-4, "Phi(1.645)")
+	almost(t, NormalCDF(-1.96), 0.025, 1e-4, "Phi(-1.96)")
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("RegIncBeta edge values wrong")
+	}
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		almost(t, RegIncBeta(1, 1, x), x, 1e-10, "I_x(1,1)")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	almost(t, RegIncBeta(2.5, 4, 0.3), 1-RegIncBeta(4, 2.5, 0.7), 1e-10, "beta symmetry")
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// With 90% CIs over repeated normal samples, roughly 90% of
+	// intervals should contain the true mean.
+	st := rng.New(99)
+	const trials = 400
+	const trueMean = 7.0
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 20)
+		for j := range xs {
+			xs[j] = st.Normal(trueMean, 2)
+		}
+		if MeanCI(xs, 0.90).Contains(trueMean) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("90%% CI empirical coverage %v", frac)
+	}
+}
+
+func TestMeanCIDegenerate(t *testing.T) {
+	iv := MeanCI([]float64{5}, 0.9)
+	if iv.Lo != 5 || iv.Hi != 5 || iv.Mean != 5 {
+		t.Fatalf("single-sample CI should be degenerate: %+v", iv)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Mean: 10, Lo: 8, Hi: 12, Confidence: 0.9}
+	if !iv.Contains(9) || iv.Contains(13) {
+		t.Fatal("Contains wrong")
+	}
+	almost(t, iv.HalfWidth(), 2, 1e-12, "half width")
+	if iv.String() == "" {
+		t.Fatal("empty interval string")
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	xs := []float64{9, 1, 3, 7, 5}
+	m, err := Median(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, m, 5, 1e-12, "median")
+	q, err := Quantile(xs, 0)
+	if err != nil || q != 1 {
+		t.Fatalf("q0 = %v err %v", q, err)
+	}
+	q, err = Quantile(xs, 1)
+	if err != nil || q != 9 {
+		t.Fatalf("q1 = %v err %v", q, err)
+	}
+	q, err = Quantile(xs, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, q, 3, 1e-12, "q25")
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("quantile of empty should error")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("quantile out of range should error")
+	}
+}
+
+func TestSummaryDerived(t *testing.T) {
+	s := Summarize([]float64{4, 4, 4, 4})
+	if s.StdDev() != 0 || s.StdErr() != 0 || s.CV() != 0 {
+		t.Fatalf("constant-sample derived stats should be 0: %+v", s)
+	}
+	var empty Summary
+	if empty.StdErr() != 0 {
+		t.Fatal("empty StdErr should be 0")
+	}
+	s2 := Summarize([]float64{1, 3})
+	almost(t, s2.CV(), math.Sqrt(2)/2, 1e-12, "CV")
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// Causal ordering. "To avoid problems due to the lack of a global
+// clock, we use the technique of assigning logical time-stamps, as
+// implemented by VIZIR. If an arriving event is in correct causal
+// order, it is assigned a logical time-stamp and stored in an output
+// buffer ... If the arriving event is not in causal order, it is added
+// in one (or multiple) input buffer(s) to reconstruct the causal order
+// of the data before dispatch to a tool." (§3.3)
+//
+// Orderer implements exactly that: per-source sequence tracking plus
+// send/recv matching with Lamport clock assignment. Events arrive in
+// arbitrary network order; Add returns every event that became
+// dispatchable (in causal order, stamped with Logical timestamps).
+
+// SourceKey identifies an event source (node, process).
+type SourceKey struct {
+	Node, Process int32
+}
+
+// seqRecord is a Record plus the per-source sequence number assigned
+// at capture time; the LIS stamps Tag-independent sequence numbers
+// into Payload for kinds that do not use it, but to stay general the
+// Orderer takes the sequence explicitly.
+type seqRecord struct {
+	rec Record
+	seq uint64
+}
+
+// Orderer reconstructs causal order from out-of-order event arrivals
+// and assigns Lamport logical timestamps.
+//
+// Causality model:
+//   - events from the same source are ordered by their capture
+//     sequence numbers (program order);
+//   - a KindRecv event additionally happens-after the matching
+//     KindSend (matched by Tag: send and recv carry the same message
+//     tag, with Payload holding the peer node).
+//
+// An event is dispatchable when its program-order predecessor has been
+// dispatched and, for receives, the matching send has been dispatched.
+type Orderer struct {
+	clock      uint64
+	nextSeq    map[SourceKey]uint64
+	held       map[SourceKey][]seqRecord // out-of-order input buffers
+	sendSeen   map[msgKey]int            // multiset of dispatched sends
+	recvsHeld  map[msgKey][]seqRecord    // receives waiting for sends
+	heldCount  int
+	maxHeld    int
+	dispatched uint64
+}
+
+type msgKey struct {
+	from, to int32
+	tag      uint16
+}
+
+// NewOrderer returns an empty Orderer whose Lamport clock starts at 1.
+func NewOrderer() *Orderer {
+	return &Orderer{
+		nextSeq:   map[SourceKey]uint64{},
+		held:      map[SourceKey][]seqRecord{},
+		sendSeen:  map[msgKey]int{},
+		recvsHeld: map[msgKey][]seqRecord{},
+	}
+}
+
+// Held returns the number of events currently held back out of order —
+// the instantaneous input-buffer length of §3.3's "average buffer
+// length" metric.
+func (o *Orderer) Held() int { return o.heldCount }
+
+// MaxHeld returns the maximum number of simultaneously held events.
+func (o *Orderer) MaxHeld() int { return o.maxHeld }
+
+// Dispatched returns the total number of events released in causal
+// order.
+func (o *Orderer) Dispatched() uint64 { return o.dispatched }
+
+// Add offers an event with its per-source capture sequence number
+// (0-based, contiguous per source). It returns the events that became
+// dispatchable, in causal order, each stamped with a Lamport logical
+// timestamp.
+func (o *Orderer) Add(rec Record, seq uint64) []Record {
+	var out []Record
+	o.offer(seqRecord{rec: rec, seq: seq}, &out)
+	// Releasing one event can unblock chains across sources; offer
+	// held events repeatedly until a fixed point. The data volumes
+	// here are ISM input buffers, small by construction.
+	for {
+		progressed := false
+		for key, buf := range o.held {
+			want := o.nextSeq[key]
+			for len(buf) > 0 {
+				idx := -1
+				for i, h := range buf {
+					if h.seq == want {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					break
+				}
+				h := buf[idx]
+				buf = append(buf[:idx], buf[idx+1:]...)
+				o.heldCount--
+				if o.tryDispatch(h, &out) {
+					want = o.nextSeq[key]
+					progressed = true
+				} else {
+					// Re-held as a receive waiting for its send;
+					// program order is satisfied so do not requeue here.
+					break
+				}
+			}
+			if len(buf) == 0 {
+				delete(o.held, key)
+			} else {
+				o.held[key] = buf
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+func (o *Orderer) offer(h seqRecord, out *[]Record) {
+	key := SourceKey{h.rec.Node, h.rec.Process}
+	if h.seq != o.nextSeq[key] {
+		if h.seq < o.nextSeq[key] {
+			// Duplicate or replayed event; drop.
+			return
+		}
+		o.held[key] = append(o.held[key], h)
+		o.heldCount++
+		if o.heldCount > o.maxHeld {
+			o.maxHeld = o.heldCount
+		}
+		return
+	}
+	o.tryDispatch(h, out)
+}
+
+// tryDispatch dispatches h if its message dependency is satisfied.
+// Program order must already hold. It reports whether h was
+// dispatched.
+func (o *Orderer) tryDispatch(h seqRecord, out *[]Record) bool {
+	if h.rec.Kind == KindRecv {
+		mk := msgKey{from: int32(h.rec.Payload), to: h.rec.Node, tag: h.rec.Tag}
+		if o.sendSeen[mk] == 0 {
+			o.recvsHeld[mk] = append(o.recvsHeld[mk], h)
+			o.heldCount++
+			if o.heldCount > o.maxHeld {
+				o.maxHeld = o.heldCount
+			}
+			return false
+		}
+		o.sendSeen[mk]--
+	}
+	o.release(h, out)
+	return true
+}
+
+func (o *Orderer) release(h seqRecord, out *[]Record) {
+	key := SourceKey{h.rec.Node, h.rec.Process}
+	o.clock++
+	h.rec.Logical = o.clock
+	*out = append(*out, h.rec)
+	o.dispatched++
+	o.nextSeq[key] = h.seq + 1
+
+	if h.rec.Kind == KindSend {
+		mk := msgKey{from: h.rec.Node, to: int32(h.rec.Payload), tag: h.rec.Tag}
+		o.sendSeen[mk]++
+		// Unblock any receive waiting on this send.
+		if waiting := o.recvsHeld[mk]; len(waiting) > 0 {
+			r := waiting[0]
+			o.recvsHeld[mk] = waiting[1:]
+			if len(o.recvsHeld[mk]) == 0 {
+				delete(o.recvsHeld, mk)
+			}
+			o.heldCount--
+			o.sendSeen[mk]--
+			o.release(r, out)
+		}
+	}
+}
+
+// CheckCausal verifies that a dispatched stream is causally
+// consistent: logical timestamps strictly increase, per-source
+// sequence respects program order, and no receive precedes its send.
+func CheckCausal(rs []Record) error {
+	var lastLogical uint64
+	sends := map[msgKey]int{}
+	for i, r := range rs {
+		if r.Logical <= lastLogical {
+			return fmt.Errorf("trace: record %d logical %d not increasing", i, r.Logical)
+		}
+		lastLogical = r.Logical
+		switch r.Kind {
+		case KindSend:
+			sends[msgKey{from: r.Node, to: int32(r.Payload), tag: r.Tag}]++
+		case KindRecv:
+			mk := msgKey{from: int32(r.Payload), to: r.Node, tag: r.Tag}
+			if sends[mk] == 0 {
+				return fmt.Errorf("trace: record %d receive before matching send", i)
+			}
+			sends[mk]--
+		}
+	}
+	return nil
+}

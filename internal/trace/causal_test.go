@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func TestOrdererInOrderPassThrough(t *testing.T) {
+	o := NewOrderer()
+	var all []Record
+	for i := 0; i < 5; i++ {
+		out := o.Add(Record{Node: 0, Kind: KindUser, Time: int64(i)}, uint64(i))
+		all = append(all, out...)
+	}
+	if len(all) != 5 {
+		t.Fatalf("dispatched %d", len(all))
+	}
+	for i, r := range all {
+		if r.Logical != uint64(i+1) {
+			t.Fatalf("logical stamps %v", all)
+		}
+	}
+	if o.Held() != 0 {
+		t.Fatalf("held %d", o.Held())
+	}
+	if err := CheckCausal(all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrdererReordersProgramOrder(t *testing.T) {
+	o := NewOrderer()
+	// Arrivals out of order: seq 2, 0, 1.
+	if out := o.Add(Record{Node: 0, Kind: KindUser, Tag: 2}, 2); len(out) != 0 {
+		t.Fatalf("seq 2 dispatched early: %v", out)
+	}
+	if o.Held() != 1 {
+		t.Fatalf("held %d", o.Held())
+	}
+	out := o.Add(Record{Node: 0, Kind: KindUser, Tag: 0}, 0)
+	if len(out) != 1 || out[0].Tag != 0 {
+		t.Fatalf("seq 0 dispatch: %v", out)
+	}
+	out = o.Add(Record{Node: 0, Kind: KindUser, Tag: 1}, 1)
+	if len(out) != 2 || out[0].Tag != 1 || out[1].Tag != 2 {
+		t.Fatalf("release chain: %v", out)
+	}
+	if o.Held() != 0 || o.MaxHeld() != 1 {
+		t.Fatalf("held %d maxHeld %d", o.Held(), o.MaxHeld())
+	}
+}
+
+func TestOrdererRecvWaitsForSend(t *testing.T) {
+	o := NewOrderer()
+	// Recv on node 1 arrives before the matching send from node 0.
+	recv := Record{Node: 1, Kind: KindRecv, Tag: 42, Payload: 0}
+	if out := o.Add(recv, 0); len(out) != 0 {
+		t.Fatalf("recv dispatched before send: %v", out)
+	}
+	if o.Held() != 1 {
+		t.Fatalf("held %d", o.Held())
+	}
+	send := Record{Node: 0, Kind: KindSend, Tag: 42, Payload: 1}
+	out := o.Add(send, 0)
+	if len(out) != 2 {
+		t.Fatalf("send should release both: %v", out)
+	}
+	if out[0].Kind != KindSend || out[1].Kind != KindRecv {
+		t.Fatalf("order wrong: %v", out)
+	}
+	if out[0].Logical >= out[1].Logical {
+		t.Fatal("send must precede recv logically")
+	}
+	if err := CheckCausal(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrdererDuplicateDropped(t *testing.T) {
+	o := NewOrderer()
+	o.Add(Record{Node: 0, Kind: KindUser}, 0)
+	if out := o.Add(Record{Node: 0, Kind: KindUser}, 0); len(out) != 0 {
+		t.Fatalf("duplicate dispatched: %v", out)
+	}
+	if o.Dispatched() != 1 {
+		t.Fatalf("dispatched %d", o.Dispatched())
+	}
+}
+
+func TestOrdererMultipleSources(t *testing.T) {
+	o := NewOrderer()
+	var all []Record
+	all = append(all, o.Add(Record{Node: 0, Kind: KindUser}, 0)...)
+	all = append(all, o.Add(Record{Node: 1, Kind: KindUser}, 0)...)
+	all = append(all, o.Add(Record{Node: 0, Process: 1, Kind: KindUser}, 0)...)
+	if len(all) != 3 {
+		t.Fatalf("dispatched %d", len(all))
+	}
+	if err := CheckCausal(all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrdererChainAcrossSources(t *testing.T) {
+	o := NewOrderer()
+	// Node 1: recv(seq 0) then user(seq 1); both held until node 0's send.
+	if out := o.Add(Record{Node: 1, Kind: KindRecv, Tag: 5, Payload: 0}, 0); len(out) != 0 {
+		t.Fatal("early dispatch")
+	}
+	if out := o.Add(Record{Node: 1, Kind: KindUser}, 1); len(out) != 0 {
+		t.Fatal("program-order violation")
+	}
+	out := o.Add(Record{Node: 0, Kind: KindSend, Tag: 5, Payload: 1}, 0)
+	if len(out) != 3 {
+		t.Fatalf("expected full release, got %v", out)
+	}
+	if err := CheckCausal(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrdererRandomizedDeliveries shuffles a causally valid execution
+// and checks the orderer always reconstructs a causally valid stream
+// containing every event.
+func TestOrdererRandomizedDeliveries(t *testing.T) {
+	st := rng.New(404)
+	for trial := 0; trial < 50; trial++ {
+		// Build an execution: P processes, each sends to the next and
+		// receives from the previous, with user events interleaved.
+		const P = 4
+		type item struct {
+			rec Record
+			seq uint64
+		}
+		var items []item
+		seqs := make([]uint64, P)
+		add := func(node int, r Record) {
+			r.Node = int32(node)
+			items = append(items, item{rec: r, seq: seqs[node]})
+			seqs[node]++
+		}
+		// Round-based sends: every round, node i sends tag=round*P+i
+		// to node (i+1)%P, which receives it in a later position.
+		for round := 0; round < 3; round++ {
+			for i := 0; i < P; i++ {
+				add(i, Record{Kind: KindUser})
+				tag := uint16(round*P + i)
+				add(i, Record{Kind: KindSend, Tag: tag, Payload: int64((i + 1) % P)})
+			}
+			for i := 0; i < P; i++ {
+				tag := uint16(round*P + (i+P-1)%P)
+				add(i, Record{Kind: KindRecv, Tag: tag, Payload: int64((i + P - 1) % P)})
+			}
+		}
+		// Shuffle delivery order.
+		st.Shuffle(len(items), func(a, b int) { items[a], items[b] = items[b], items[a] })
+		o := NewOrderer()
+		var out []Record
+		for _, it := range items {
+			out = append(out, o.Add(it.rec, it.seq)...)
+		}
+		if len(out) != len(items) {
+			t.Fatalf("trial %d: dispatched %d of %d (held %d)", trial, len(out), len(items), o.Held())
+		}
+		if err := CheckCausal(out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if o.Held() != 0 {
+			t.Fatalf("trial %d: %d events stuck", trial, o.Held())
+		}
+	}
+}
+
+func TestCheckCausalDetectsViolations(t *testing.T) {
+	// Non-increasing logical stamps.
+	bad := []Record{{Logical: 2}, {Logical: 2}}
+	if CheckCausal(bad) == nil {
+		t.Fatal("non-increasing logical accepted")
+	}
+	// Receive before send.
+	bad2 := []Record{
+		{Logical: 1, Node: 1, Kind: KindRecv, Tag: 3, Payload: 0},
+		{Logical: 2, Node: 0, Kind: KindSend, Tag: 3, Payload: 1},
+	}
+	if CheckCausal(bad2) == nil {
+		t.Fatal("recv-before-send accepted")
+	}
+}

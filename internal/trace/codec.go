@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format. Each file starts with a magic/version header;
+// records are fixed-width little-endian, chosen so a flush of l
+// records is a single contiguous write — the property the PICL flush
+// cost model f(l) = c0 + c1·l depends on.
+
+const (
+	magic         = 0x50524953 // "PRIS"
+	formatVersion = 1
+	// RecordSize is the encoded size of one record in bytes.
+	RecordSize = 4 + 4 + 1 + 2 + 8 + 8 + 8 + 1 // +1 pad to 36
+)
+
+// ErrBadHeader is returned when a trace header is malformed.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// Writer encodes records to an io.Writer in the binary trace format.
+type Writer struct {
+	w       *bufio.Writer
+	wrote   int
+	started bool
+}
+
+// NewWriter creates a trace Writer on w. The header is written lazily
+// on the first record (or by Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (tw *Writer) writeHeader() error {
+	if tw.started {
+		return nil
+	}
+	tw.started = true
+	var h [8]byte
+	binary.LittleEndian.PutUint32(h[0:], magic)
+	binary.LittleEndian.PutUint32(h[4:], formatVersion)
+	_, err := tw.w.Write(h[:])
+	return err
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	var buf [RecordSize]byte
+	EncodeRecord(&buf, r)
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.wrote++
+	return nil
+}
+
+// WriteAll appends all records.
+func (tw *Writer) WriteAll(rs []Record) error {
+	for _, r := range rs {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() int { return tw.wrote }
+
+// Flush writes the header if needed and flushes buffered output.
+func (tw *Writer) Flush() error {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// EncodeRecord encodes r into buf.
+func EncodeRecord(buf *[RecordSize]byte, r Record) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(r.Node))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(r.Process))
+	buf[8] = byte(r.Kind)
+	binary.LittleEndian.PutUint16(buf[9:], r.Tag)
+	binary.LittleEndian.PutUint64(buf[11:], uint64(r.Time))
+	binary.LittleEndian.PutUint64(buf[19:], r.Logical)
+	binary.LittleEndian.PutUint64(buf[27:], uint64(r.Payload))
+	buf[35] = 0
+}
+
+// DecodeRecord decodes a record from buf.
+func DecodeRecord(buf *[RecordSize]byte) Record {
+	return Record{
+		Node:    int32(binary.LittleEndian.Uint32(buf[0:])),
+		Process: int32(binary.LittleEndian.Uint32(buf[4:])),
+		Kind:    Kind(buf[8]),
+		Tag:     binary.LittleEndian.Uint16(buf[9:]),
+		Time:    int64(binary.LittleEndian.Uint64(buf[11:])),
+		Logical: binary.LittleEndian.Uint64(buf[19:]),
+		Payload: int64(binary.LittleEndian.Uint64(buf[27:])),
+	}
+}
+
+// Reader decodes records from an io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader creates a trace Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (tr *Reader) readHeader() error {
+	if tr.started {
+		return nil
+	}
+	tr.started = true
+	var h [8]byte
+	if _, err := io.ReadFull(tr.r, h[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrBadHeader)
+	}
+	if v := binary.LittleEndian.Uint32(h[4:]); v != formatVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadHeader, v)
+	}
+	return nil
+}
+
+// Read returns the next record, or io.EOF at end of trace.
+func (tr *Reader) Read() (Record, error) {
+	if err := tr.readHeader(); err != nil {
+		return Record{}, err
+	}
+	var buf [RecordSize]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	r := DecodeRecord(&buf)
+	if !r.Kind.Valid() {
+		return Record{}, fmt.Errorf("trace: invalid kind %d", r.Kind)
+	}
+	return r, nil
+}
+
+// ReadAll reads records until EOF.
+func (tr *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		r, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+// MarshalText renders records in the line-oriented text form, one
+// record per line, suitable for diffing and for ParaGraph-style
+// off-line consumers.
+func MarshalText(w io.Writer, rs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs {
+		if _, err := fmt.Fprintln(bw, r.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// UnmarshalText parses the line-oriented text form.
+func UnmarshalText(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rec, err := ParseRecord(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// ParseRecord parses a single text-form record line.
+func ParseRecord(s string) (Record, error) {
+	f := strings.Fields(s)
+	if len(f) != 7 {
+		return Record{}, fmt.Errorf("want 7 fields, got %d", len(f))
+	}
+	var r Record
+	node, err := strconv.ParseInt(f[0], 10, 32)
+	if err != nil {
+		return r, err
+	}
+	proc, err := strconv.ParseInt(f[1], 10, 32)
+	if err != nil {
+		return r, err
+	}
+	kind, ok := kindFromName(f[2])
+	if !ok {
+		return r, fmt.Errorf("unknown kind %q", f[2])
+	}
+	tag, err := strconv.ParseUint(f[3], 10, 16)
+	if err != nil {
+		return r, err
+	}
+	tm, err := strconv.ParseInt(f[4], 10, 64)
+	if err != nil {
+		return r, err
+	}
+	logical, err := strconv.ParseUint(f[5], 10, 64)
+	if err != nil {
+		return r, err
+	}
+	payload, err := strconv.ParseInt(f[6], 10, 64)
+	if err != nil {
+		return r, err
+	}
+	r = Record{Node: int32(node), Process: int32(proc), Kind: kind,
+		Tag: uint16(tag), Time: tm, Logical: logical, Payload: payload}
+	return r, nil
+}
+
+func kindFromName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}

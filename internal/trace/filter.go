@@ -1,0 +1,89 @@
+package trace
+
+// Selection utilities for off-line analysis tools: slicing merged
+// traces by node, kind and time window, the primitive queries beneath
+// profile and animation views.
+
+// Filter returns the records for which keep reports true, preserving
+// order. The input is not modified.
+func Filter(rs []Record, keep func(Record) bool) []Record {
+	var out []Record
+	for _, r := range rs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByNode returns the records of one node.
+func ByNode(rs []Record, node int32) []Record {
+	return Filter(rs, func(r Record) bool { return r.Node == node })
+}
+
+// ByKind returns the records of one kind.
+func ByKind(rs []Record, kind Kind) []Record {
+	return Filter(rs, func(r Record) bool { return r.Kind == kind })
+}
+
+// TimeWindow returns records with from <= Time < to.
+func TimeWindow(rs []Record, from, to int64) []Record {
+	return Filter(rs, func(r Record) bool { return r.Time >= from && r.Time < to })
+}
+
+// Split partitions a merged trace into per-node traces, preserving
+// each node's record order. The resulting map's slices share no
+// backing with the input.
+func Split(rs []Record) map[int32][]Record {
+	out := map[int32][]Record{}
+	for _, r := range rs {
+		out[r.Node] = append(out[r.Node], r)
+	}
+	return out
+}
+
+// Nodes returns the distinct node ids present, in ascending order.
+func Nodes(rs []Record) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, r := range rs {
+		if !seen[r.Node] {
+			seen[r.Node] = true
+			out = append(out, r.Node)
+		}
+	}
+	// Insertion sort: node sets are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Span returns the first and last timestamps of a trace; ok is false
+// for an empty trace.
+func Span(rs []Record) (first, last int64, ok bool) {
+	if len(rs) == 0 {
+		return 0, 0, false
+	}
+	first, last = rs[0].Time, rs[0].Time
+	for _, r := range rs[1:] {
+		if r.Time < first {
+			first = r.Time
+		}
+		if r.Time > last {
+			last = r.Time
+		}
+	}
+	return first, last, true
+}
+
+// CountByKind tallies records per kind.
+func CountByKind(rs []Record) map[Kind]int {
+	out := map[Kind]int{}
+	for _, r := range rs {
+		out[r.Kind]++
+	}
+	return out
+}

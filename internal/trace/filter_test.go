@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+)
+
+func filterFixture() []Record {
+	return []Record{
+		{Node: 0, Kind: KindUser, Time: 10},
+		{Node: 1, Kind: KindSend, Time: 20, Tag: 1, Payload: 0},
+		{Node: 0, Kind: KindRecv, Time: 30, Tag: 1, Payload: 1},
+		{Node: 2, Kind: KindUser, Time: 40},
+		{Node: 1, Kind: KindSample, Time: 50},
+	}
+}
+
+func TestFilterAndByNode(t *testing.T) {
+	rs := filterFixture()
+	got := ByNode(rs, 1)
+	if len(got) != 2 || got[0].Kind != KindSend || got[1].Kind != KindSample {
+		t.Fatalf("ByNode %v", got)
+	}
+	if len(ByNode(rs, 9)) != 0 {
+		t.Fatal("phantom node")
+	}
+	// Input untouched.
+	if len(rs) != 5 {
+		t.Fatal("input modified")
+	}
+}
+
+func TestByKind(t *testing.T) {
+	rs := filterFixture()
+	if got := ByKind(rs, KindUser); len(got) != 2 {
+		t.Fatalf("ByKind %v", got)
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	rs := filterFixture()
+	got := TimeWindow(rs, 20, 40)
+	if len(got) != 2 || got[0].Time != 20 || got[1].Time != 30 {
+		t.Fatalf("window %v", got)
+	}
+	if len(TimeWindow(rs, 100, 200)) != 0 {
+		t.Fatal("empty window not empty")
+	}
+}
+
+func TestSplitRoundTripsThroughMerge(t *testing.T) {
+	rs := filterFixture()
+	SortByTime(rs)
+	parts := Split(rs)
+	if len(parts) != 3 {
+		t.Fatalf("parts %v", parts)
+	}
+	var traces [][]Record
+	for _, node := range Nodes(rs) {
+		traces = append(traces, parts[node])
+	}
+	merged := Merge(traces...)
+	if len(merged) != len(rs) {
+		t.Fatalf("merge lost records")
+	}
+	for i := range rs {
+		if merged[i] != rs[i] {
+			t.Fatalf("split/merge not identity at %d", i)
+		}
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	rs := []Record{{Node: 5}, {Node: 1}, {Node: 5}, {Node: 3}}
+	got := Nodes(rs)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("nodes %v", got)
+	}
+	if Nodes(nil) != nil {
+		t.Fatal("empty nodes")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	first, last, ok := Span(filterFixture())
+	if !ok || first != 10 || last != 50 {
+		t.Fatalf("span %d %d %v", first, last, ok)
+	}
+	if _, _, ok := Span(nil); ok {
+		t.Fatal("empty span ok")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	counts := CountByKind(filterFixture())
+	if counts[KindUser] != 2 || counts[KindSend] != 1 || counts[KindFlush] != 0 {
+		t.Fatalf("counts %v", counts)
+	}
+}

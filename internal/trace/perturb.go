@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"errors"
+	"sort"
+)
+
+// Perturbation compensation, after Malony, Reed and Wijshoff
+// ("Performance Measurement Intrusion and Perturbation Analysis", the
+// paper's reference [16], discussed in §4): "The goal of perturbation
+// compensation is to reconstruct the actual program behavior from the
+// perturbed behavior as it may be recorded by the IS."
+//
+// The model implemented here is the standard time-based one: every
+// captured event carries a fixed per-event instrumentation overhead,
+// and every IS flush inserts a known stall (recorded as KindFlush
+// markers whose Payload is the stall duration in ns). Compensation
+// subtracts, per process timeline, the accumulated overhead from each
+// event's timestamp, then re-establishes cross-process consistency by
+// delaying receives to not precede their matching (compensated) sends.
+
+// CompensateOptions parameterizes perturbation compensation.
+type CompensateOptions struct {
+	// PerEventOverheadNs is the capture cost charged to every
+	// non-flush record.
+	PerEventOverheadNs int64
+	// MinMessageLatencyNs is the minimum send->recv latency enforced
+	// when re-aligning messages (models wire time).
+	MinMessageLatencyNs int64
+	// DropFlushRecords removes KindFlush markers from the output.
+	DropFlushRecords bool
+}
+
+// Compensate returns a new trace with instrumentation perturbation
+// removed under the given model. The input must be time-sorted; the
+// output is time-sorted. Records are copied, not mutated in place.
+func Compensate(rs []Record, opt CompensateOptions) ([]Record, error) {
+	if opt.PerEventOverheadNs < 0 || opt.MinMessageLatencyNs < 0 {
+		return nil, errors.New("trace: negative compensation parameters")
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Time < rs[i-1].Time {
+			return nil, errors.New("trace: compensate requires time-sorted input")
+		}
+	}
+	out := make([]Record, 0, len(rs))
+	// Accumulated removed time per process timeline.
+	removed := map[SourceKey]int64{}
+	for _, r := range rs {
+		key := SourceKey{r.Node, r.Process}
+		switch r.Kind {
+		case KindFlush:
+			// The whole stall is IS artifact: remove it from this
+			// timeline's future.
+			removed[key] += r.Payload
+			if !opt.DropFlushRecords {
+				c := r
+				c.Time -= removed[key] - r.Payload // flush starts before its own stall
+				out = append(out, c)
+			}
+		default:
+			c := r
+			c.Time -= removed[key]
+			out = append(out, c)
+			removed[key] += opt.PerEventOverheadNs
+		}
+	}
+
+	// Re-align messages: a receive may now precede its send; push it
+	// (and transitively later events of its timeline) forward.
+	pending := map[msgKey][]int64{} // send times by message key, FIFO
+	shift := map[SourceKey]int64{}  // forward shift per timeline
+	for i := range out {
+		key := SourceKey{out[i].Node, out[i].Process}
+		out[i].Time += shift[key]
+		switch out[i].Kind {
+		case KindSend:
+			mk := msgKey{from: out[i].Node, to: int32(out[i].Payload), tag: out[i].Tag}
+			pending[mk] = append(pending[mk], out[i].Time)
+		case KindRecv:
+			mk := msgKey{from: int32(out[i].Payload), to: out[i].Node, tag: out[i].Tag}
+			q := pending[mk]
+			if len(q) == 0 {
+				return nil, errors.New("trace: receive without matching send during compensation")
+			}
+			sendT := q[0]
+			pending[mk] = q[1:]
+			if earliest := sendT + opt.MinMessageLatencyNs; out[i].Time < earliest {
+				delta := earliest - out[i].Time
+				out[i].Time = earliest
+				shift[key] += delta
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out, nil
+}
+
+// OverheadReport quantifies IS perturbation present in a trace.
+type OverheadReport struct {
+	Events        int
+	FlushCount    int
+	FlushStallNs  int64 // total stall time recorded by flush markers
+	SpanNs        int64 // last - first timestamp
+	FlushFraction float64
+}
+
+// MeasureOverhead scans a trace for IS-induced overhead markers.
+func MeasureOverhead(rs []Record) OverheadReport {
+	var rep OverheadReport
+	if len(rs) == 0 {
+		return rep
+	}
+	minT, maxT := rs[0].Time, rs[0].Time
+	for _, r := range rs {
+		if r.Time < minT {
+			minT = r.Time
+		}
+		if r.Time > maxT {
+			maxT = r.Time
+		}
+		if r.Kind == KindFlush {
+			rep.FlushCount++
+			rep.FlushStallNs += r.Payload
+		} else {
+			rep.Events++
+		}
+	}
+	rep.SpanNs = maxT - minT
+	if rep.SpanNs > 0 {
+		rep.FlushFraction = float64(rep.FlushStallNs) / float64(rep.SpanNs)
+	}
+	return rep
+}

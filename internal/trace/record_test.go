@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/rng"
+)
+
+func TestKindString(t *testing.T) {
+	if KindSend.String() != "send" || KindFlush.String() != "flush" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+	if !KindSample.Valid() || Kind(numKinds).Valid() {
+		t.Fatal("Valid wrong")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Node: 2, Process: 1, Kind: KindSend, Tag: 9, Time: 100, Logical: 5, Payload: 3}
+	want := "2 1 send 9 100 5 3"
+	if r.String() != want {
+		t.Fatalf("String() = %q, want %q", r.String(), want)
+	}
+}
+
+func TestBeforeOrdering(t *testing.T) {
+	a := Record{Time: 1, Node: 5, Process: 9}
+	b := Record{Time: 2, Node: 0, Process: 0}
+	if !a.Before(b) || b.Before(a) {
+		t.Fatal("time ordering wrong")
+	}
+	c := Record{Time: 1, Node: 4}
+	if !c.Before(a) {
+		t.Fatal("node tiebreak wrong")
+	}
+	d := Record{Time: 1, Node: 5, Process: 3}
+	if !d.Before(a) {
+		t.Fatal("process tiebreak wrong")
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	rs := []Record{
+		{Time: 30}, {Time: 10}, {Time: 20, Node: 1}, {Time: 20, Node: 0},
+	}
+	SortByTime(rs)
+	if rs[0].Time != 10 || rs[1].Time != 20 || rs[1].Node != 0 || rs[3].Time != 30 {
+		t.Fatalf("sorted %v", rs)
+	}
+}
+
+func TestSortByLogical(t *testing.T) {
+	rs := []Record{
+		{Logical: 3}, {Logical: 1}, {Logical: 2, Node: 1}, {Logical: 2, Node: 0},
+	}
+	SortByLogical(rs)
+	if rs[0].Logical != 1 || rs[1].Node != 0 || rs[2].Node != 1 || rs[3].Logical != 3 {
+		t.Fatalf("sorted %v", rs)
+	}
+}
+
+func TestMergeTwoTraces(t *testing.T) {
+	a := []Record{{Time: 1, Node: 0}, {Time: 5, Node: 0}, {Time: 9, Node: 0}}
+	b := []Record{{Time: 2, Node: 1}, {Time: 3, Node: 1}}
+	m := Merge(a, b)
+	if len(m) != 5 {
+		t.Fatalf("merged %d", len(m))
+	}
+	times := []int64{1, 2, 3, 5, 9}
+	for i, r := range m {
+		if r.Time != times[i] {
+			t.Fatalf("merge order %v", m)
+		}
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if got := Merge(); len(got) != 0 {
+		t.Fatal("empty merge")
+	}
+	if got := Merge(nil, nil); len(got) != 0 {
+		t.Fatal("nil traces")
+	}
+	a := []Record{{Time: 4}}
+	if got := Merge(a, nil); len(got) != 1 || got[0].Time != 4 {
+		t.Fatal("single merge")
+	}
+}
+
+func TestMergePropertySorted(t *testing.T) {
+	st := rng.New(31)
+	check := func(nTraces uint8) bool {
+		k := int(nTraces%6) + 1
+		var traces [][]Record
+		total := 0
+		for i := 0; i < k; i++ {
+			n := st.Intn(40)
+			tr := make([]Record, n)
+			tm := int64(0)
+			for j := range tr {
+				tm += int64(st.Intn(100))
+				tr[j] = Record{Node: int32(i), Time: tm}
+			}
+			traces = append(traces, tr)
+			total += n
+		}
+		m := Merge(traces...)
+		if len(m) != total {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i].Before(m[i-1]) {
+				return false
+			}
+		}
+		// Per-node subsequences preserved.
+		pos := map[int32]int64{}
+		for _, r := range m {
+			if r.Time < pos[r.Node] {
+				return false
+			}
+			pos[r.Node] = r.Time
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	rs := []Record{
+		{Time: 1, Kind: KindBlockIn},
+		{Time: 2, Kind: KindUser},
+		{Time: 3, Kind: KindBlockOut},
+	}
+	if err := Validate(rs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rs   []Record
+	}{
+		{"time reversal", []Record{{Time: 5}, {Time: 3}}},
+		{"bad kind", []Record{{Time: 1, Kind: Kind(99)}}},
+		{"unmatched out", []Record{{Time: 1, Kind: KindBlockOut}}},
+		{"unclosed in", []Record{{Time: 1, Kind: KindBlockIn}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.rs); err == nil {
+			t.Fatalf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestValidatePerProcessNesting(t *testing.T) {
+	// Interleaved blocks on different processes are fine.
+	rs := []Record{
+		{Time: 1, Process: 0, Kind: KindBlockIn},
+		{Time: 2, Process: 1, Kind: KindBlockIn},
+		{Time: 3, Process: 0, Kind: KindBlockOut},
+		{Time: 4, Process: 1, Kind: KindBlockOut},
+	}
+	if err := Validate(rs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package vista
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyticValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Sources = 0
+	if _, err := Analytic(bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestAnalyticZeroSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkewMean = 0
+	res, err := Analytic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfOrderProb != 0 || res.HoldMs != 0 {
+		t.Fatalf("zero skew: %+v", res)
+	}
+	// Latency reduces to M/G/1 wait + service.
+	if math.Abs(res.MeanLatencyMs-(res.QueueWaitMs+res.MeanServiceMs)) > 1e-12 {
+		t.Fatalf("latency decomposition: %+v", res)
+	}
+}
+
+func TestAnalyticStability(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MeanInterArrival = 5 // rho > 1 under MISO overhead
+	cfg.Buffering = MISO
+	res, err := Analytic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho <= 1 {
+		t.Fatalf("expected overload, rho = %v", res.Rho)
+	}
+	if !math.IsInf(res.QueueWaitMs, 1) {
+		t.Fatalf("overloaded queue wait should be +Inf, got %v", res.QueueWaitMs)
+	}
+}
+
+// TestAnalyticMatchesSimulation compares the closed-form approximation
+// against long simulations across both configurations and a range of
+// rates — Table 7's "queuing model evaluation and simulation" pairing.
+func TestAnalyticMatchesSimulation(t *testing.T) {
+	for _, b := range []Buffering{SISO, MISO} {
+		for _, ia := range []float64{10, 25, 50, 100} {
+			cfg := DefaultConfig()
+			cfg.Buffering = b
+			cfg.MeanInterArrival = ia
+			cfg.Horizon = 2_000_000
+			an, err := Analytic(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relLat := math.Abs(an.MeanLatencyMs-sim.MeanLatencyMs) / sim.MeanLatencyMs
+			if relLat > 0.12 {
+				t.Fatalf("%s ia=%v: analytic latency %.3f vs sim %.3f (%.1f%% off)",
+					b, ia, an.MeanLatencyMs, sim.MeanLatencyMs, relLat*100)
+			}
+			relOOO := math.Abs(an.OutOfOrderProb - sim.HoldBackRatio)
+			if relOOO > 0.02 {
+				t.Fatalf("%s ia=%v: analytic OOO %.4f vs sim hold-back %.4f",
+					b, ia, an.OutOfOrderProb, sim.HoldBackRatio)
+			}
+		}
+	}
+}
+
+func TestAnalyticOrderingClaims(t *testing.T) {
+	// SISO latency below MISO for the same parameters.
+	cfg := DefaultConfig()
+	cfg.MeanInterArrival = 10
+	siso, err := Analytic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Buffering = MISO
+	miso, err := Analytic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siso.MeanLatencyMs >= miso.MeanLatencyMs {
+		t.Fatalf("analytic SISO %v not below MISO %v", siso.MeanLatencyMs, miso.MeanLatencyMs)
+	}
+	// Buffer rate decreases with inter-arrival time.
+	cfg = DefaultConfig()
+	cfg.MeanInterArrival = 10
+	hi, _ := Analytic(cfg)
+	cfg.MeanInterArrival = 100
+	lo, _ := Analytic(cfg)
+	if hi.BufferRatePerSec <= lo.BufferRatePerSec {
+		t.Fatalf("buffer rate not decreasing: %v vs %v", hi.BufferRatePerSec, lo.BufferRatePerSec)
+	}
+}

@@ -1,0 +1,271 @@
+// Package vista models the Vista (P´RISM) instrumentation system
+// manager of §3.3: a network of two single-server queues (Figure 10)
+// in which event records arrive from application processes, possibly
+// out of causal order, are held in input buffer(s) until causally
+// dispatchable, served by a data processor with normally distributed
+// service times, and placed into an output buffer for tools.
+//
+// Two configurations are compared (§3.3.2): SISO — "one input buffer
+// to store out-of-order instrumentation data from all the processes" —
+// and MISO — "one buffer per each application process" (the Falcon
+// arrangement). The configurations differ in their buffer-maintenance
+// overhead: "maintenance of multiple buffers should incur more
+// overhead, especially in accessing memory (including virtual memory),
+// under high arrival rate conditions."
+package vista
+
+import (
+	"errors"
+	"math"
+
+	"prism/internal/rng"
+	"prism/internal/sim"
+)
+
+// Buffering selects the ISM input configuration of the model.
+type Buffering int
+
+// Configurations of §3.3.2.
+const (
+	SISO Buffering = iota
+	MISO
+)
+
+// String returns the configuration mnemonic.
+func (b Buffering) String() string {
+	if b == SISO {
+		return "SISO"
+	}
+	return "MISO"
+}
+
+// Config parameterizes one Vista ISM simulation.
+type Config struct {
+	// Buffering is the ISM configuration under test.
+	Buffering Buffering
+	// Sources is the number of application processes P.
+	Sources int
+	// MeanInterArrival is the aggregate mean inter-arrival time of
+	// instrumentation data at the ISM (ms); the paper sweeps 10–100.
+	MeanInterArrival float64
+	// SkewMean is the mean of the exponential network skew each
+	// event suffers between generation and ISM arrival (ms); the
+	// skew is what produces out-of-causal-order arrivals.
+	SkewMean float64
+	// ServiceMu and ServiceSigma parameterize the data processor's
+	// normally distributed service time (ms).
+	ServiceMu, ServiceSigma float64
+	// MISOPerBufferCost is the extra service cost per maintained
+	// input buffer under MISO (ms); scales with Sources.
+	MISOPerBufferCost float64
+	// SISOScanCost is the extra service cost under SISO per log2 of
+	// held records (shared priority-buffer management, ms).
+	SISOScanCost float64
+	// Horizon is the simulated time (ms).
+	Horizon float64
+	Seed    uint64
+}
+
+// DefaultConfig is the baseline parameterization of the Figure 11
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Buffering:         SISO,
+		Sources:           8,
+		MeanInterArrival:  50,
+		SkewMean:          15,
+		ServiceMu:         6,
+		ServiceSigma:      1.5,
+		MISOPerBufferCost: 0.25,
+		SISOScanCost:      0.3,
+		Horizon:           200_000,
+		Seed:              1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Sources < 1:
+		return errors.New("vista: need at least one source")
+	case c.MeanInterArrival <= 0:
+		return errors.New("vista: mean inter-arrival must be positive")
+	case c.SkewMean < 0:
+		return errors.New("vista: negative skew")
+	case c.ServiceMu <= 0 || c.ServiceSigma < 0:
+		return errors.New("vista: bad service parameters")
+	case c.MISOPerBufferCost < 0 || c.SISOScanCost < 0:
+		return errors.New("vista: negative overhead costs")
+	case c.Horizon <= 0:
+		return errors.New("vista: horizon must be positive")
+	}
+	return nil
+}
+
+// Result reports the §3.3.2 metrics for one run (Table 7).
+type Result struct {
+	// Arrivals is the number of records that reached the ISM.
+	Arrivals uint64
+	// Dispatched is the number of records that reached the output
+	// buffer.
+	Dispatched uint64
+	// OutOfOrder counts arrivals that had to be buffered because
+	// they were not in causal order.
+	OutOfOrder uint64
+	// MeanLatencyMs is the mean data-processing latency: "the amount
+	// of time between the arrival of instrumentation data at the ISM
+	// and its arrival (after processing) at the output buffer".
+	MeanLatencyMs float64
+	// LatencyVariance is the sample variance of that latency.
+	LatencyVariance float64
+	// AvgBufferLength is the paper's metric: "the ratio of the total
+	// number of instrumentation data records that arrive out of
+	// order (and hence need to be buffered) to the total observation
+	// time", here in records per second.
+	AvgBufferLength float64
+	// HoldBackRatio is Falcon's variant: out-of-order arrivals over
+	// total arrivals.
+	HoldBackRatio float64
+	// MeanHeld is the time-average number of records held in input
+	// buffers awaiting causal predecessors.
+	MeanHeld float64
+	// MeanInputOccupancy is the time-average number of records in the
+	// input stage altogether — held back OR queued for the data
+	// processor. This is the physical "average input buffer length"
+	// of Figure 11's right panel: a slower processor (MISO's
+	// buffer-maintenance overhead) keeps records in the input buffers
+	// longer, so at high arrival rates SISO's occupancy is lower.
+	MeanInputOccupancy float64
+	// ProcessorUtilization is the data processor's busy fraction.
+	ProcessorUtilization float64
+}
+
+type vistaEvent struct {
+	src     int
+	seq     uint64
+	arrival float64
+}
+
+// Run executes one Vista ISM simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := sim.New()
+	root := rng.New(cfg.Seed)
+	arrStream := root.Split()
+	skewStream := root.Split()
+	svcStream := root.Split()
+	srcStream := root.Split()
+
+	var res Result
+	var latency sim.Tally
+	heldTW := sim.NewTimeWeighted(s)
+	occupancyTW := sim.NewTimeWeighted(s)
+
+	nextGenSeq := make([]uint64, cfg.Sources) // per-source generation counter
+	nextArrive := make([]uint64, cfg.Sources) // next seq that is in causal order
+	held := make([]map[uint64]vistaEvent, cfg.Sources)
+	for i := range held {
+		held[i] = map[uint64]vistaEvent{}
+	}
+	heldCount := 0
+	var ready []vistaEvent // causally ordered records awaiting service
+	busy := false
+	busyTW := sim.NewTimeWeighted(s)
+
+	serviceTime := func() float64 {
+		base := svcStream.TruncNormal(cfg.ServiceMu, cfg.ServiceSigma, 0.05)
+		switch cfg.Buffering {
+		case MISO:
+			return base + cfg.MISOPerBufferCost*float64(cfg.Sources)
+		default:
+			return base + cfg.SISOScanCost*math.Log2(1+float64(heldCount))
+		}
+	}
+
+	var serve func()
+	serve = func() {
+		if busy || len(ready) == 0 {
+			return
+		}
+		busy = true
+		busyTW.Set(1)
+		ev := ready[0]
+		ready = ready[1:]
+		occupancyTW.Add(-1)
+		s.Schedule(serviceTime(), func() {
+			// Event reaches the output buffer.
+			res.Dispatched++
+			latency.Add(s.Now() - ev.arrival)
+			busy = false
+			busyTW.Set(0)
+			serve()
+		})
+	}
+
+	arrive := func(ev vistaEvent) {
+		res.Arrivals++
+		occupancyTW.Add(1)
+		if ev.seq != nextArrive[ev.src] {
+			// Out of causal order: a logically earlier event of this
+			// source has not arrived yet; hold in the input buffer.
+			res.OutOfOrder++
+			held[ev.src][ev.seq] = ev
+			heldCount++
+			heldTW.Set(float64(heldCount))
+			return
+		}
+		// In causal order: to the processor queue, then drain any
+		// held successors this arrival unblocks.
+		ready = append(ready, ev)
+		nextArrive[ev.src]++
+		for {
+			nxt, ok := held[ev.src][nextArrive[ev.src]]
+			if !ok {
+				break
+			}
+			delete(held[ev.src], nextArrive[ev.src])
+			heldCount--
+			heldTW.Set(float64(heldCount))
+			ready = append(ready, nxt)
+			nextArrive[ev.src]++
+		}
+		serve()
+	}
+
+	// Generation: an aggregate Poisson stream; each event belongs to
+	// a uniformly chosen source and suffers an exponential skew
+	// before arriving at the ISM.
+	var generate func()
+	generate = func() {
+		src := srcStream.Intn(cfg.Sources)
+		ev := vistaEvent{src: src, seq: nextGenSeq[src]}
+		nextGenSeq[src]++
+		skew := 0.0
+		if cfg.SkewMean > 0 {
+			skew = skewStream.ExpMean(cfg.SkewMean)
+		}
+		s.Schedule(skew, func() {
+			ev.arrival = s.Now()
+			arrive(ev)
+		})
+		s.Schedule(arrStream.ExpMean(cfg.MeanInterArrival), generate)
+	}
+	s.Schedule(arrStream.ExpMean(cfg.MeanInterArrival), generate)
+
+	if err := s.RunUntil(cfg.Horizon, 50_000_000); err != nil {
+		return Result{}, err
+	}
+
+	res.MeanLatencyMs = latency.Mean()
+	res.LatencyVariance = latency.Variance()
+	res.AvgBufferLength = float64(res.OutOfOrder) / (cfg.Horizon / 1000)
+	if res.Arrivals > 0 {
+		res.HoldBackRatio = float64(res.OutOfOrder) / float64(res.Arrivals)
+	}
+	res.MeanHeld = heldTW.Mean()
+	res.MeanInputOccupancy = occupancyTW.Mean()
+	res.ProcessorUtilization = busyTW.Mean()
+	return res, nil
+}

@@ -1,0 +1,240 @@
+package vista
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBufferingString(t *testing.T) {
+	if SISO.String() != "SISO" || MISO.String() != "MISO" {
+		t.Fatal("names")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mods := []func(*Config){
+		func(c *Config) { c.Sources = 0 },
+		func(c *Config) { c.MeanInterArrival = 0 },
+		func(c *Config) { c.SkewMean = -1 },
+		func(c *Config) { c.ServiceMu = 0 },
+		func(c *Config) { c.ServiceSigma = -1 },
+		func(c *Config) { c.MISOPerBufferCost = -1 },
+		func(c *Config) { c.Horizon = 0 },
+	}
+	for i, mod := range mods {
+		c := DefaultConfig()
+		mod(&c)
+		if c.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	bad := DefaultConfig()
+	bad.Horizon = -1
+	if _, err := Run(bad); err == nil {
+		t.Fatal("Run accepted bad config")
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 50_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+	// ~50_000/50 = 1000 arrivals expected.
+	if res.Arrivals < 700 || res.Arrivals > 1300 {
+		t.Fatalf("arrivals %d", res.Arrivals)
+	}
+	if res.Dispatched > res.Arrivals {
+		t.Fatalf("dispatched %d > arrivals %d", res.Dispatched, res.Arrivals)
+	}
+	// Nearly everything should eventually dispatch (small tail in flight).
+	if float64(res.Dispatched) < 0.95*float64(res.Arrivals) {
+		t.Fatalf("only %d of %d dispatched", res.Dispatched, res.Arrivals)
+	}
+	if res.MeanLatencyMs < cfg.ServiceMu {
+		t.Fatalf("latency %v below service mean", res.MeanLatencyMs)
+	}
+	if res.HoldBackRatio < 0 || res.HoldBackRatio > 1 {
+		t.Fatalf("hold-back ratio %v", res.HoldBackRatio)
+	}
+	if res.ProcessorUtilization <= 0 || res.ProcessorUtilization > 1 {
+		t.Fatalf("utilization %v", res.ProcessorUtilization)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 20_000
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a != b {
+		t.Fatalf("same seed diverged")
+	}
+	cfg.Seed = 99
+	c, _ := Run(cfg)
+	if a == c {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestSkewProducesOutOfOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 100_000
+	cfg.MeanInterArrival = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfOrder == 0 {
+		t.Fatal("skewed arrivals produced no out-of-order events")
+	}
+	// Without skew everything from the aggregate stream arrives in
+	// generation order per source: no holding.
+	cfg.SkewMean = 0
+	res0, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.OutOfOrder != 0 {
+		t.Fatalf("zero skew still out of order: %d", res0.OutOfOrder)
+	}
+}
+
+// TestFig11LatencyShape: at short inter-arrival times SISO has lower
+// latency than MISO; the gap closes at long inter-arrival times.
+func TestFig11LatencyShape(t *testing.T) {
+	run := func(b Buffering, ia float64, seed uint64) Result {
+		cfg := DefaultConfig()
+		cfg.Buffering = b
+		cfg.MeanInterArrival = ia
+		cfg.Horizon = 300_000
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	avg := func(b Buffering, ia float64) float64 {
+		sum := 0.0
+		const reps = 5
+		for seed := uint64(1); seed <= reps; seed++ {
+			sum += run(b, ia, seed).MeanLatencyMs
+		}
+		return sum / reps
+	}
+	fastSISO, fastMISO := avg(SISO, 10), avg(MISO, 10)
+	if fastSISO >= fastMISO {
+		t.Fatalf("at high rate SISO (%v) should beat MISO (%v)", fastSISO, fastMISO)
+	}
+	slowSISO, slowMISO := avg(SISO, 100), avg(MISO, 100)
+	gapFast := fastMISO - fastSISO
+	gapSlow := slowMISO - slowSISO
+	if gapSlow >= gapFast {
+		t.Fatalf("gap should shrink at low rate: fast %v vs slow %v", gapFast, gapSlow)
+	}
+}
+
+// TestFig11BufferLengthShape: average input buffer length decreases
+// with inter-arrival time, and SISO is strictly better than MISO at
+// high rates (the paper's right panel).
+func TestFig11BufferLengthShape(t *testing.T) {
+	measure := func(b Buffering, ia float64) (ooo, occ float64) {
+		const reps = 5
+		for seed := uint64(1); seed <= reps; seed++ {
+			cfg := DefaultConfig()
+			cfg.Buffering = b
+			cfg.MeanInterArrival = ia
+			cfg.Horizon = 300_000
+			cfg.Seed = seed
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ooo += res.AvgBufferLength
+			occ += res.MeanInputOccupancy
+		}
+		return ooo / reps, occ / reps
+	}
+	hiOOO, hiOcc := measure(SISO, 10)
+	loOOO, loOcc := measure(SISO, 100)
+	if hiOOO <= loOOO {
+		t.Fatalf("ooo rate not decreasing with inter-arrival: %v <= %v", hiOOO, loOOO)
+	}
+	if hiOcc <= loOcc {
+		t.Fatalf("occupancy not decreasing with inter-arrival: %v <= %v", hiOcc, loOcc)
+	}
+	misoHiOOO, misoHiOcc := measure(MISO, 10)
+	if hiOOO > misoHiOOO*1.05 {
+		t.Fatalf("SISO ooo rate %v materially worse than MISO %v at high rate", hiOOO, misoHiOOO)
+	}
+	if hiOcc >= misoHiOcc {
+		t.Fatalf("SISO occupancy %v not below MISO %v at high rate", hiOcc, misoHiOcc)
+	}
+	// At low rates the configurations converge.
+	_, misoLoOcc := measure(MISO, 100)
+	gapHi := misoHiOcc - hiOcc
+	gapLo := misoLoOcc - loOcc
+	if gapLo >= gapHi {
+		t.Fatalf("occupancy gap did not shrink at low rates: %v vs %v", gapLo, gapHi)
+	}
+}
+
+// TestLatencyVarianceGrowsWithInterArrival reproduces "the data
+// processing latency exhibits higher variance at longer inter-arrival
+// times" — with a fixed horizon, slower streams also estimate from
+// fewer events, so compare per-event variance directly.
+func TestLatencyVarianceGrowsWithInterArrival(t *testing.T) {
+	varAt := func(ia float64) float64 {
+		cfg := DefaultConfig()
+		cfg.MeanInterArrival = ia
+		cfg.Horizon = 400_000
+		sum := 0.0
+		const reps = 5
+		for seed := uint64(1); seed <= reps; seed++ {
+			cfg.Seed = seed
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Relative variance: CV^2 of latency.
+			sum += res.LatencyVariance / (res.MeanLatencyMs * res.MeanLatencyMs)
+		}
+		return sum / reps
+	}
+	fast := varAt(10)
+	slow := varAt(100)
+	if math.IsNaN(fast) || math.IsNaN(slow) {
+		t.Fatal("NaN variance")
+	}
+	if slow <= 0 {
+		t.Fatal("no variance at slow rate")
+	}
+}
+
+func TestProcessorBusierAtHighRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 200_000
+	cfg.MeanInterArrival = 10
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MeanInterArrival = 100
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ProcessorUtilization <= slow.ProcessorUtilization {
+		t.Fatalf("utilization should grow with rate: %v vs %v",
+			fast.ProcessorUtilization, slow.ProcessorUtilization)
+	}
+}

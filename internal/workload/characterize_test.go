@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func gapsOf(p ArrivalProcess, n int, seed uint64) []float64 {
+	s := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Next(s)
+	}
+	return out
+}
+
+func TestCharacterizeClasses(t *testing.T) {
+	cases := []struct {
+		name string
+		p    ArrivalProcess
+		want Class
+	}{
+		{"deterministic", Deterministic{Interval: 10}, Periodic},
+		{"poisson", Poisson{Alpha: 0.2}, PoissonLike},
+		{"mmpp", &MMPP2{RateA: 5, RateB: 0.05, HoldA: 50, HoldB: 500}, BurstyClass},
+	}
+	for _, c := range cases {
+		gaps := gapsOf(c.p, 50_000, 9)
+		got, err := Characterize(gaps)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Class != c.want {
+			t.Fatalf("%s classified as %s (CV %.2f)", c.name, got.Class, got.CV)
+		}
+		// Rate recovered within 5%.
+		if math.Abs(got.Rate-c.p.Rate())/c.p.Rate() > 0.05 {
+			t.Fatalf("%s rate %v, want ~%v", c.name, got.Rate, c.p.Rate())
+		}
+		if !got.RateCI.Contains(got.Rate) {
+			t.Fatalf("%s rate CI %v excludes point estimate", c.name, got.RateCI)
+		}
+		if got.String() == "" || !strings.Contains(got.String(), c.want.String()) {
+			t.Fatalf("%s: bad string %q", c.name, got.String())
+		}
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	if _, err := Characterize([]float64{1}); err == nil {
+		t.Fatal("single gap accepted")
+	}
+	if _, err := Characterize([]float64{1, -1}); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+	if _, err := Characterize([]float64{0, 0}); err == nil {
+		t.Fatal("zero gaps accepted")
+	}
+}
+
+func TestFitRoundTrip(t *testing.T) {
+	// Characterize a process, fit a replacement, and confirm the fit
+	// reproduces the class and rate.
+	for _, p := range []ArrivalProcess{
+		Deterministic{Interval: 25},
+		Poisson{Alpha: 0.5},
+		&MMPP2{RateA: 8, RateB: 0.08, HoldA: 30, HoldB: 300},
+	} {
+		c, err := Characterize(gapsOf(p, 60_000, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitted := c.Fit()
+		if math.Abs(fitted.Rate()-c.Rate)/c.Rate > 0.02 {
+			t.Fatalf("fit rate %v, want ~%v", fitted.Rate(), c.Rate)
+		}
+		refit, err := Characterize(gapsOf(fitted, 60_000, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refit.Class != c.Class {
+			t.Fatalf("fit changed class: %s -> %s", c.Class, refit.Class)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Periodic.String() != "periodic" || PoissonLike.String() != "poisson-like" ||
+		BurstyClass.String() != "bursty" {
+		t.Fatal("names")
+	}
+}
+
+func TestEmpiricalReplay(t *testing.T) {
+	gaps := []float64{1, 2, 3}
+	e, err := NewEmpirical(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(1)
+	got := []float64{e.Next(s), e.Next(s), e.Next(s), e.Next(s)}
+	want := []float64{1, 2, 3, 1} // cycles
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay %v", got)
+		}
+	}
+	if math.Abs(e.Rate()-0.5) > 1e-12 {
+		t.Fatalf("rate %v", e.Rate())
+	}
+	// Mutating the caller's slice must not affect the replay.
+	gaps[0] = 99
+	if e.Next(s) != 2 {
+		t.Fatal("Empirical aliased caller slice")
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewEmpirical([]float64{-1}); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, err := NewEmpirical([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero accepted")
+	}
+}
+
+// TestTraceDrivenModel closes the loop: record gaps from a bursty
+// source, characterize, and verify an Empirical replay reproduces the
+// original sample's statistics exactly.
+func TestTraceDrivenModel(t *testing.T) {
+	original := gapsOf(&Bursty{GapMean: 100, BurstSize: 8, WithinGap: 0.5}, 5000, 21)
+	c, err := Characterize(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != BurstyClass {
+		t.Fatalf("bursty source classified %s", c.Class)
+	}
+	replay, err := NewEmpirical(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := gapsOf(replay, len(original), 22)
+	c2, err := Characterize(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c2.Rate-c.Rate) > 1e-9 || math.Abs(c2.CV-c.CV) > 1e-9 {
+		t.Fatalf("replay statistics diverged: %+v vs %+v", c2, c)
+	}
+}

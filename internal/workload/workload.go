@@ -1,0 +1,180 @@
+// Package workload generates the synthetic application behaviour the
+// experiments drive their instrumentation systems with. The paper's
+// models assume specific arrival processes ("inter-arrival times at
+// each of these buffers are assumed independent and exponentially
+// distributed with rate α", §3.1.2) but also observe that "in
+// event-driven monitoring, it is not uncommon for the rate of arrivals
+// to surge during certain intervals" (§3.3.3); the bursty processes
+// here exercise exactly that regime. Appropriate workload
+// characterization is listed as on-going work item (3) in §5.
+package workload
+
+import (
+	"errors"
+
+	"prism/internal/rng"
+)
+
+// ArrivalProcess produces successive inter-arrival times (model time
+// units, milliseconds by convention).
+type ArrivalProcess interface {
+	// Next returns the time until the next arrival.
+	Next(s *rng.Stream) float64
+	// Rate returns the long-run arrival rate (arrivals per time unit).
+	Rate() float64
+}
+
+// Poisson is a Poisson arrival process with the given rate α — the
+// paper's baseline assumption for instrumentation traffic.
+type Poisson struct{ Alpha float64 }
+
+// Next implements ArrivalProcess.
+func (p Poisson) Next(s *rng.Stream) float64 { return s.Exp(p.Alpha) }
+
+// Rate implements ArrivalProcess.
+func (p Poisson) Rate() float64 { return p.Alpha }
+
+// Deterministic produces arrivals at a fixed interval, the pattern of
+// a periodic sampling probe (the Paradyn LIS traffic of §3.2).
+type Deterministic struct{ Interval float64 }
+
+// Next implements ArrivalProcess.
+func (d Deterministic) Next(*rng.Stream) float64 { return d.Interval }
+
+// Rate implements ArrivalProcess.
+func (d Deterministic) Rate() float64 { return 1 / d.Interval }
+
+// MMPP2 is a two-state Markov-modulated Poisson process: arrivals at
+// RateA or RateB, switching states with exponential holding times.
+// It models the arrival surges of §3.3.3.
+type MMPP2 struct {
+	RateA, RateB float64 // arrival rate in each state
+	HoldA, HoldB float64 // mean state holding times
+
+	inB      bool
+	stateRem float64
+}
+
+// Next implements ArrivalProcess.
+func (m *MMPP2) Next(s *rng.Stream) float64 {
+	elapsed := 0.0
+	for {
+		rate := m.RateA
+		hold := m.HoldA
+		if m.inB {
+			rate = m.RateB
+			hold = m.HoldB
+		}
+		if m.stateRem <= 0 {
+			m.stateRem = s.ExpMean(hold)
+		}
+		gap := s.Exp(rate)
+		if gap <= m.stateRem {
+			m.stateRem -= gap
+			return elapsed + gap
+		}
+		// State switches before the candidate arrival: discard it
+		// (memorylessness) and continue in the other state.
+		elapsed += m.stateRem
+		m.stateRem = 0
+		m.inB = !m.inB
+	}
+}
+
+// Rate implements ArrivalProcess: the time-weighted average rate.
+func (m *MMPP2) Rate() float64 {
+	return (m.RateA*m.HoldA + m.RateB*m.HoldB) / (m.HoldA + m.HoldB)
+}
+
+// Bursty emits arrivals in bursts: gaps between bursts are exponential
+// with mean GapMean, and each burst contains BurstSize arrivals spaced
+// by WithinGap. It models the "burst of arrivals at the ISM" produced
+// by a large LIS buffer flush (§3.3.2).
+type Bursty struct {
+	GapMean   float64
+	BurstSize int
+	WithinGap float64
+
+	remaining int
+}
+
+// Next implements ArrivalProcess.
+func (b *Bursty) Next(s *rng.Stream) float64 {
+	if b.remaining > 0 {
+		b.remaining--
+		return b.WithinGap
+	}
+	b.remaining = b.BurstSize - 1
+	return s.ExpMean(b.GapMean)
+}
+
+// Rate implements ArrivalProcess.
+func (b *Bursty) Rate() float64 {
+	cycle := b.GapMean + float64(b.BurstSize-1)*b.WithinGap
+	return float64(b.BurstSize) / cycle
+}
+
+// Times generates the first n absolute arrival times of a process.
+func Times(p ArrivalProcess, n int, s *rng.Stream) []float64 {
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += p.Next(s)
+		out[i] = t
+	}
+	return out
+}
+
+// AppProfile describes one application process's resource demands for
+// the resource-occupancy (ROCC) experiments: alternating CPU bursts,
+// network operations and idle (think/IO-wait) time, in the style of
+// the shared-workstation characterizations the paper cites (Kleinrock
+// et al. [13]).
+type AppProfile struct {
+	// CPUBurst is the CPU demand between communication steps (ms).
+	CPUBurst rng.Dist
+	// NetOp is the network occupancy per communication step (ms).
+	NetOp rng.Dist
+	// CommProbability is the chance a completed CPU burst is
+	// followed by a network operation (otherwise another burst).
+	CommProbability float64
+	// ThinkTime is idle time inserted after each cycle (ms); nil
+	// means the process is CPU-bound with no idle phases.
+	ThinkTime rng.Dist
+}
+
+// Validate checks the profile for usability.
+func (a AppProfile) Validate() error {
+	if a.CPUBurst == nil || a.NetOp == nil {
+		return errors.New("workload: profile needs CPU and network distributions")
+	}
+	if a.CommProbability < 0 || a.CommProbability > 1 {
+		return errors.New("workload: CommProbability out of [0,1]")
+	}
+	return nil
+}
+
+// DefaultAppProfile is the baseline interactive-plus-compute mix used
+// by the Paradyn ROCC experiments: mean 12 ms CPU bursts, 8 ms network
+// operations after 30% of bursts, and mean 80 ms of think/IO-wait per
+// cycle, giving each process roughly 12% standalone CPU demand so a
+// workstation saturates gradually as processes are added.
+func DefaultAppProfile() AppProfile {
+	return AppProfile{
+		CPUBurst:        rng.Exponential{Rate: 1.0 / 12.0},
+		NetOp:           rng.Exponential{Rate: 1.0 / 8.0},
+		CommProbability: 0.3,
+		ThinkTime:       rng.Exponential{Rate: 1.0 / 80.0},
+	}
+}
+
+// OtherUserProfile models the background load on a shared workstation
+// ("other user processes", Figure 8): sparse, long CPU demands.
+func OtherUserProfile() AppProfile {
+	return AppProfile{
+		CPUBurst:        rng.HyperExpDist{P: 0.9, R1: 0.2, R2: 0.01},
+		NetOp:           rng.Exponential{Rate: 1.0 / 5.0},
+		CommProbability: 0.05,
+		ThinkTime:       rng.Exponential{Rate: 1.0 / 200.0},
+	}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+func empiricalRate(t *testing.T, p ArrivalProcess, n int, seed uint64) float64 {
+	t.Helper()
+	s := rng.New(seed)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		gap := p.Next(s)
+		if gap < 0 {
+			t.Fatalf("negative inter-arrival %v", gap)
+		}
+		total += gap
+	}
+	return float64(n) / total
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := Poisson{Alpha: 0.25}
+	got := empiricalRate(t, p, 200000, 1)
+	if math.Abs(got-0.25)/0.25 > 0.02 {
+		t.Fatalf("empirical rate %v, want ~0.25", got)
+	}
+	if p.Rate() != 0.25 {
+		t.Fatal("declared rate")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Interval: 50}
+	s := rng.New(1)
+	for i := 0; i < 10; i++ {
+		if d.Next(s) != 50 {
+			t.Fatal("interval drifted")
+		}
+	}
+	if math.Abs(d.Rate()-0.02) > 1e-12 {
+		t.Fatalf("rate %v", d.Rate())
+	}
+}
+
+func TestMMPP2Rate(t *testing.T) {
+	m := &MMPP2{RateA: 2, RateB: 0.1, HoldA: 100, HoldB: 300}
+	want := m.Rate()
+	got := empiricalRate(t, m, 300000, 3)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("MMPP2 empirical rate %v, want ~%v", got, want)
+	}
+}
+
+func TestMMPP2Burstiness(t *testing.T) {
+	// The MMPP must have a higher coefficient of variation of
+	// inter-arrival times than a Poisson process of the same rate.
+	m := &MMPP2{RateA: 5, RateB: 0.05, HoldA: 50, HoldB: 500}
+	s := rng.New(4)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g := m.Next(s)
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	cv := math.Sqrt(sumSq/n-mean*mean) / mean
+	if cv <= 1.1 {
+		t.Fatalf("MMPP2 CV %v not bursty (Poisson is 1)", cv)
+	}
+}
+
+func TestBursty(t *testing.T) {
+	b := &Bursty{GapMean: 100, BurstSize: 5, WithinGap: 1}
+	s := rng.New(5)
+	// First arrival: exponential gap; next 4: exactly WithinGap.
+	_ = b.Next(s)
+	for i := 0; i < 4; i++ {
+		if g := b.Next(s); g != 1 {
+			t.Fatalf("within-burst gap %v", g)
+		}
+	}
+	// New burst starts.
+	if g := b.Next(s); g == 1 {
+		t.Fatalf("expected inter-burst gap, got %v", g)
+	}
+	// Long-run rate check.
+	got := empiricalRate(t, &Bursty{GapMean: 100, BurstSize: 5, WithinGap: 1}, 100000, 6)
+	want := (&Bursty{GapMean: 100, BurstSize: 5, WithinGap: 1}).Rate()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("bursty rate %v, want ~%v", got, want)
+	}
+}
+
+func TestTimesMonotone(t *testing.T) {
+	s := rng.New(7)
+	ts := Times(Poisson{Alpha: 1}, 1000, s)
+	if len(ts) != 1000 {
+		t.Fatalf("n = %d", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("times not increasing at %d", i)
+		}
+	}
+}
+
+func TestAppProfileValidate(t *testing.T) {
+	good := DefaultAppProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (AppProfile{}).Validate(); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	bad := DefaultAppProfile()
+	bad.CommProbability = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+	other := OtherUserProfile()
+	if err := other.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Background profile should have longer CPU bursts than the app.
+	if other.CPUBurst.Mean() <= good.CPUBurst.Mean() {
+		t.Fatal("other-user profile not heavier than default")
+	}
+}
