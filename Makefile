@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+# check is the tier-1 gate: vet, build, and the full test suite under
+# the race detector. Run it before every commit.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./...
+
+fmt:
+	gofmt -l -w .

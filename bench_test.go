@@ -14,6 +14,7 @@ import (
 	"prism/internal/cluster"
 	"prism/internal/experiments"
 	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/flow"
 	"prism/internal/isruntime/ism"
 	"prism/internal/isruntime/lis"
 	"prism/internal/isruntime/storage"
@@ -412,3 +413,70 @@ func (w *writableBuffer) Reset() { w.data = w.data[:0]; w.off = 0 }
 
 // Ensure fmt stays imported if benchmarks above change.
 var _ = fmt.Sprintf
+
+// --- pooled vs unpooled hot paths ----------------------------------
+
+// recycleConn consumes messages and recycles pooled batches, as the
+// ISM does after copying records into its input stage. Without the
+// recycle the pool would stay empty and the pooled benchmark would
+// degenerate into the unpooled one.
+type recycleConn struct{}
+
+func (recycleConn) Send(m tp.Message) error   { tp.Recycle(m); return nil }
+func (recycleConn) Recv() (tp.Message, error) { select {} }
+func (recycleConn) Close() error              { return nil }
+
+// BenchmarkCaptureFlush measures the LIS capture path including the
+// flush that fires every `capacity` records, pooled batches against
+// per-flush allocation.
+func BenchmarkCaptureFlush(b *testing.B) {
+	run := func(b *testing.B, opts ...lis.Option) {
+		l, err := lis.NewBuffered(0, 64, recycleConn{}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		r := trace.Record{Kind: trace.KindUser}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Capture(r)
+		}
+	}
+	b.Run("pooled", func(b *testing.B) { run(b) })
+	b.Run("unpooled", func(b *testing.B) { run(b, lis.WithUnpooledBatches()) })
+}
+
+// BenchmarkWireEncode measures TP frame encoding: the pooled
+// WriteMessage path (reused encode buffer, batch returned to the pool)
+// against building each frame in a fresh allocation.
+func BenchmarkWireEncode(b *testing.B) {
+	records := make([]trace.Record, 32)
+	for i := range records {
+		records[i] = trace.Record{Node: 1, Kind: trace.KindUser, Tag: uint16(i)}
+	}
+	b.Run("pooled", func(b *testing.B) {
+		var buf writableBuffer
+		b.ReportAllocs()
+		b.SetBytes(int64(32 * trace.RecordSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			batch := flow.GetBatch(32)
+			batch = append(batch, records...)
+			if err := tp.WriteMessage(&buf, tp.PooledDataMessage(0, batch)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(32 * trace.RecordSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tp.AppendMessage(nil, tp.DataMessage(0, records)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

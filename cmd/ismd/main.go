@@ -5,9 +5,15 @@
 // instrumented application nodes that forward to this manager — the
 // deployment of Figure 2 across real processes.
 //
+// The manager reports through a runtime metrics registry; -publish
+// periodically re-injects those metrics into the managed stream as
+// trace records (the IS instrumenting itself), and shutdown prints the
+// full registry snapshot.
+//
 // Usage:
 //
 //	ismd [-addr 127.0.0.1:7311] [-spool trace.bin] [-miso] [-stats 2s]
+//	     [-overflow drop-oldest|block|drop-newest] [-publish 0]
 package main
 
 import (
@@ -19,8 +25,12 @@ import (
 	"time"
 
 	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/flow"
 	"prism/internal/isruntime/ism"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
+	"prism/internal/report"
+	"prism/internal/trace"
 )
 
 func main() {
@@ -28,11 +38,24 @@ func main() {
 	spool := flag.String("spool", "", "spool merged trace to this file")
 	miso := flag.Bool("miso", false, "use MISO input buffering (default SISO)")
 	statsEvery := flag.Duration("stats", 2*time.Second, "statistics print interval")
+	overflow := flag.String("overflow", "drop-oldest", "input overflow policy: drop-oldest, block or drop-newest")
+	publish := flag.Duration("publish", 0, "self-publish runtime metrics into the stream at this interval (0 disables)")
 	flag.Parse()
 
-	cfg := ism.Config{Buffering: ism.SISO, Ordered: true}
+	reg := metrics.NewRegistry()
+	cfg := ism.Config{Buffering: ism.SISO, Ordered: true, Metrics: reg}
 	if *miso {
 		cfg.Buffering = ism.MISO
+	}
+	switch *overflow {
+	case "drop-oldest":
+		cfg.Overflow = flow.DropOldest
+	case "block":
+		cfg.Overflow = flow.Block
+	case "drop-newest":
+		cfg.Overflow = flow.DropNewest
+	default:
+		log.Fatalf("ismd: unknown overflow policy %q", *overflow)
 	}
 	var spoolFile *os.File
 	if *spool != "" {
@@ -45,12 +68,23 @@ func main() {
 		spoolFile = f
 	}
 
-	manager := ism.New(cfg, event.NewRealClock())
-	ln, err := tp.Listen(*addr)
+	clock := event.NewRealClock()
+	manager := ism.New(cfg, clock)
+	ln, err := tp.Listen(*addr, tp.WithConnMetrics(reg))
 	if err != nil {
 		log.Fatalf("ismd: %v", err)
 	}
 	log.Printf("ismd: %s ISM listening on %s", cfg.Buffering, ln.Addr())
+
+	stopPublish := make(chan struct{})
+	if *publish > 0 {
+		// The manager's own metrics flow through the same pipeline as
+		// application data, attributed to synthetic node -1.
+		pub := metrics.NewPublisher(reg, -1, clock, metrics.SinkFunc(func(r trace.Record) {
+			manager.Inject(tp.DataMessage(-1, []trace.Record{r}))
+		}))
+		go pub.Run(stopPublish, *publish)
+	}
 
 	go func() {
 		for {
@@ -76,6 +110,7 @@ func main() {
 				time.Duration(st.MeanLatencyNs))
 		case <-interrupt:
 			log.Printf("ismd: shutting down")
+			close(stopPublish)
 			manager.Broadcast(tp.CtlShutdown, 0)
 			ln.Close()
 			manager.Drain()
@@ -85,6 +120,9 @@ func main() {
 			st := manager.Stats()
 			fmt.Printf("final: arrived=%d dispatched=%d out-of-order=%d hold-back=%.3f\n",
 				st.Arrived, st.Dispatched, st.OutOfOrder, st.HoldBackRatio)
+			if err := report.RenderMetrics(os.Stdout, "ISM runtime metrics", reg.Snapshot()); err != nil {
+				log.Printf("ismd: metrics: %v", err)
+			}
 			if spoolFile != nil {
 				fmt.Printf("trace spooled to %s\n", spoolFile.Name())
 			}

@@ -7,7 +7,7 @@
 //
 //	lisnode [-ism 127.0.0.1:7311] [-node 0] [-procs 4] [-rate 200]
 //	        [-policy buffered|forwarding|daemon] [-buffer 64]
-//	        [-duration 10s] [-seed 1]
+//	        [-duration 10s] [-seed 1] [-dial-timeout 5s] [-io-timeout 0]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 	"prism/internal/isruntime/event"
 	"prism/internal/isruntime/lis"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
 	"prism/internal/rng"
 )
@@ -33,9 +34,17 @@ func main() {
 	buffer := flag.Int("buffer", 64, "local buffer capacity (buffered) / pipe depth (daemon)")
 	duration := flag.Duration("duration", 10*time.Second, "run time")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "give up connecting to the ISM after this long")
+	ioTimeout := flag.Duration("io-timeout", 0, "per-operation read/write deadline on the ISM connection (0 = none)")
 	flag.Parse()
 
-	conn, err := tp.Dial(*ismAddr)
+	reg := metrics.NewRegistry()
+	connOpts := []tp.ConnOption{tp.WithConnMetrics(reg)}
+	if *ioTimeout > 0 {
+		connOpts = append(connOpts,
+			tp.WithReadTimeout(*ioTimeout), tp.WithWriteTimeout(*ioTimeout))
+	}
+	conn, err := tp.DialTimeout(*ismAddr, *dialTimeout, connOpts...)
 	if err != nil {
 		log.Fatalf("lisnode: %v", err)
 	}
@@ -44,12 +53,12 @@ func main() {
 	var server lis.LIS
 	switch *policy {
 	case "buffered":
-		server, err = lis.NewBuffered(int32(*node), *buffer, conn)
+		server, err = lis.NewBuffered(int32(*node), *buffer, conn, lis.WithMetrics(reg))
 	case "forwarding":
-		server, err = lis.NewForwarding(int32(*node), conn)
+		server, err = lis.NewForwarding(int32(*node), conn, lis.WithMetrics(reg))
 	case "daemon":
 		var d *lis.Daemon
-		d, err = lis.NewDaemon(int32(*node), conn, *buffer, 16)
+		d, err = lis.NewDaemon(int32(*node), conn, *buffer, 16, lis.WithMetrics(reg))
 		if err == nil {
 			for p := 0; p < *procs; p++ {
 				d.AttachProcess(int32(p))
@@ -115,4 +124,7 @@ func main() {
 	st := server.Stats()
 	fmt.Printf("node %d done: captured=%d forwarded=%d flushes=%d dropped=%d\n",
 		*node, st.Captured, st.Forwarded, st.Flushes, st.Dropped)
+	snap := reg.Snapshot()
+	fmt.Printf("transport: msgs=%g bytes=%g errors=%g\n",
+		snap.Value("tp.msgs_sent"), snap.Value("tp.bytes_sent"), snap.Value("tp.send_errors"))
 }

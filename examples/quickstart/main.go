@@ -21,6 +21,7 @@ import (
 	"prism/internal/isruntime/event"
 	"prism/internal/isruntime/ism"
 	"prism/internal/isruntime/lis"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
 	"prism/internal/trace"
 )
@@ -33,10 +34,14 @@ const (
 
 func main() {
 	// 1. The manager: causal ordering on, spooling to a buffer (a
-	// real deployment would hand it a file).
+	// real deployment would hand it a file). One shared metrics
+	// registry observes every runtime layer.
 	var spool bytes.Buffer
 	clock := event.NewRealClock()
-	manager := ism.New(ism.Config{Buffering: ism.SISO, Ordered: true, Spool: &spool}, clock)
+	registry := metrics.NewRegistry()
+	manager := ism.New(ism.Config{
+		Buffering: ism.SISO, Ordered: true, Spool: &spool, Metrics: registry,
+	}, clock)
 
 	// 2. A statistics tool subscribed through the environment.
 	environment := env.New(manager)
@@ -51,7 +56,7 @@ func main() {
 	for n := 0; n < nodes; n++ {
 		local, remote := tp.Pipe(64)
 		manager.Serve(remote)
-		server, err := lis.NewBuffered(int32(n), 32, local)
+		server, err := lis.NewBuffered(int32(n), 32, local, lis.WithMetrics(registry))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,4 +135,11 @@ func main() {
 	}
 	fmt.Printf("trace: %d records, causally ordered, %d bytes spooled\n",
 		len(records), spoolBytes)
+
+	// 7. The IS measured itself along the way: every layer reported
+	// into the shared registry, and a Snapshot exports it.
+	fmt.Println("runtime metrics:")
+	for _, m := range registry.Snapshot() {
+		fmt.Printf("  %-24s %g\n", m.Name, m.Value)
+	}
 }

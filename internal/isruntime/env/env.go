@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"prism/internal/isruntime/ism"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/trace"
 )
 
@@ -35,17 +36,31 @@ type Tool interface {
 	Finish() error
 }
 
+// Option configures an Environment at construction time.
+type Option func(*Environment)
+
+// WithMetrics counts per-tool consumption through the given registry:
+// each attached tool gets an env.<name>.consumed counter.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(e *Environment) { e.reg = reg }
+}
+
 // Environment binds tools to an ISM.
 type Environment struct {
 	ism *ism.ISM
+	reg *metrics.Registry
 
 	mu    sync.Mutex
 	tools map[string]Tool
 }
 
 // New creates an environment around a running ISM.
-func New(m *ism.ISM) *Environment {
-	return &Environment{ism: m, tools: map[string]Tool{}}
+func New(m *ism.ISM, opts ...Option) *Environment {
+	e := &Environment{ism: m, tools: map[string]Tool{}}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Attach registers a tool and subscribes it to the ISM stream.
@@ -57,7 +72,15 @@ func (e *Environment) Attach(t Tool) error {
 		return fmt.Errorf("env: duplicate tool %q", t.Name())
 	}
 	e.tools[t.Name()] = t
-	e.ism.Subscribe(t.Name(), t.Consume)
+	consume := t.Consume
+	if e.reg != nil {
+		consumed := e.reg.Scope("env").Scope(t.Name()).Counter("consumed")
+		consume = func(r trace.Record) {
+			consumed.Inc()
+			t.Consume(r)
+		}
+	}
+	e.ism.Subscribe(t.Name(), consume)
 	return nil
 }
 

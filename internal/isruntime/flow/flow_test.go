@@ -1,0 +1,289 @@
+package flow
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prism/internal/trace"
+)
+
+func TestPolicyString(t *testing.T) {
+	cases := map[OverflowPolicy]string{
+		Block: "block", DropNewest: "drop-newest",
+		DropOldest: "drop-oldest", SpillToStorage: "spill",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+		if !p.Valid() {
+			t.Fatalf("%v should be valid", p)
+		}
+	}
+	if got := OverflowPolicy(42).String(); got != "policy(42)" {
+		t.Fatalf("unknown policy renders %q", got)
+	}
+	if OverflowPolicy(42).Valid() || OverflowPolicy(-1).Valid() {
+		t.Fatal("out-of-range policies should be invalid")
+	}
+}
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := GetBatch(8)
+	if len(b) != 0 || cap(b) < 8 {
+		t.Fatalf("fresh batch len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, trace.Record{Tag: 1}, trace.Record{Tag: 2})
+	PutBatch(b)
+	b2 := GetBatch(4)
+	if len(b2) != 0 {
+		t.Fatalf("recycled batch not empty: %d", len(b2))
+	}
+	// Zero-capacity puts are a no-op, larger requests fall through to
+	// a fresh allocation.
+	PutBatch(nil)
+	big := GetBatch(1 << 12)
+	if cap(big) < 1<<12 {
+		t.Fatalf("cap %d", cap(big))
+	}
+	PutBatch(big)
+}
+
+func TestQueueValidation(t *testing.T) {
+	if _, err := NewQueue[int](0, Block, nil); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewQueue[int](4, OverflowPolicy(9), nil); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+}
+
+func TestQueueFIFOAndStats(t *testing.T) {
+	q, err := NewQueue[int](4, Block, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Len() != 4 || q.Cap() != 4 || q.Policy() != Block {
+		t.Fatal("accessors")
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d got %d/%v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty")
+	}
+	st := q.Stats()
+	if st.Pushed != 4 || st.Dropped != 0 || st.Peak != 4 || st.Len != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueDropNewest(t *testing.T) {
+	q, _ := NewQueue[int](2, DropNewest, nil)
+	var lost []int
+	q.OnDrop(func(v int) { lost = append(lost, v) })
+	q.Push(1)
+	q.Push(2)
+	if q.Push(3) {
+		t.Fatal("push into full DropNewest queue succeeded")
+	}
+	if v, _ := q.TryPop(); v != 1 {
+		t.Fatalf("head %d", v)
+	}
+	if len(lost) != 1 || lost[0] != 3 {
+		t.Fatalf("lost %v", lost)
+	}
+	if st := q.Stats(); st.Dropped != 1 || st.Pushed != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q, _ := NewQueue[int](2, DropOldest, nil)
+	var lost []int
+	q.OnDrop(func(v int) { lost = append(lost, v) })
+	q.Push(1)
+	q.Push(2)
+	if !q.Push(3) { // displaces 1
+		t.Fatal("DropOldest push failed")
+	}
+	if v, _ := q.TryPop(); v != 2 {
+		t.Fatalf("head %d", v)
+	}
+	if v, _ := q.TryPop(); v != 3 {
+		t.Fatalf("tail %d", v)
+	}
+	if len(lost) != 1 || lost[0] != 1 {
+		t.Fatalf("lost %v", lost)
+	}
+}
+
+func TestQueueSpillToStorage(t *testing.T) {
+	var spilled []int
+	q, _ := NewQueue[int](2, SpillToStorage, func(v int) error {
+		spilled = append(spilled, v)
+		return nil
+	})
+	q.Push(1)
+	q.Push(2)
+	q.Push(3) // spills 1
+	if len(spilled) != 1 || spilled[0] != 1 {
+		t.Fatalf("spilled %v", spilled)
+	}
+	st := q.Stats()
+	if st.Spilled != 1 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// A failing spill target degrades to a drop.
+	qf, _ := NewQueue[int](1, SpillToStorage, func(int) error { return errors.New("disk full") })
+	qf.Push(1)
+	qf.Push(2)
+	if st := qf.Stats(); st.SpillErrors != 1 || st.Dropped != 1 {
+		t.Fatalf("fail stats %+v", st)
+	}
+
+	// Nil spill degrades to DropOldest.
+	qn, _ := NewQueue[int](1, SpillToStorage, nil)
+	qn.Push(1)
+	qn.Push(2)
+	if st := qn.Stats(); st.Dropped != 1 || st.Spilled != 0 {
+		t.Fatalf("nil-spill stats %+v", st)
+	}
+}
+
+func TestQueueBlockBackpressure(t *testing.T) {
+	q, _ := NewQueue[int](1, Block, nil)
+	q.Push(1)
+	pushed := make(chan struct{})
+	go func() {
+		q.Push(2) // must wait for the consumer
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push did not block on full queue")
+	case <-time.After(5 * time.Millisecond):
+	}
+	if v, ok := q.PopWait(); !ok || v != 1 {
+		t.Fatalf("pop %d/%v", v, ok)
+	}
+	select {
+	case <-pushed:
+	case <-time.After(time.Second):
+		t.Fatal("push never unblocked")
+	}
+	st := q.Stats()
+	if st.Blocked != 1 || st.BlockedNs <= 0 {
+		t.Fatalf("blocked accounting %+v", st)
+	}
+}
+
+func TestQueueCloseSemantics(t *testing.T) {
+	q, _ := NewQueue[int](4, Block, nil)
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	q.Close() // idempotent
+	if q.Push(3) {
+		t.Fatal("push after close succeeded")
+	}
+	// Consumers drain what remains.
+	if v, ok := q.PopWait(); !ok || v != 1 {
+		t.Fatalf("drain %d/%v", v, ok)
+	}
+	if v, ok := q.PopWait(); !ok || v != 2 {
+		t.Fatalf("drain %d/%v", v, ok)
+	}
+	if _, ok := q.PopWait(); ok {
+		t.Fatal("PopWait after drain should fail")
+	}
+	if st := q.Stats(); st.Dropped != 1 {
+		t.Fatalf("close-drop not counted: %+v", st)
+	}
+
+	// A producer blocked on a full queue is released by Close.
+	qb, _ := NewQueue[int](1, Block, nil)
+	qb.Push(1)
+	released := make(chan bool, 1)
+	go func() { released <- qb.Push(2) }()
+	time.Sleep(2 * time.Millisecond)
+	qb.Close()
+	select {
+	case ok := <-released:
+		if ok {
+			t.Fatal("blocked push reported success after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not release blocked producer")
+	}
+}
+
+// TestQueueConcurrentStress hammers each policy with concurrent
+// producers and a consumer, checking conservation: every pushed
+// element is popped, dropped, or spilled. Run with -race.
+func TestQueueConcurrentStress(t *testing.T) {
+	for _, policy := range []OverflowPolicy{Block, DropNewest, DropOldest, SpillToStorage} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			var spilled atomic.Uint64
+			var spillFn func(int) error
+			if policy == SpillToStorage {
+				spillFn = func(int) error {
+					spilled.Add(1)
+					return nil
+				}
+			}
+			q, err := NewQueue[int](8, policy, spillFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const producers = 8
+			const each = 500
+			var consumed atomic.Uint64
+			var wg sync.WaitGroup
+			consumerDone := make(chan struct{})
+			go func() {
+				defer close(consumerDone)
+				for {
+					if _, ok := q.PopWait(); !ok {
+						return
+					}
+					consumed.Add(1)
+				}
+			}()
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						q.Push(p*each + i)
+					}
+				}(p)
+			}
+			wg.Wait()
+			q.Close()
+			<-consumerDone
+			st := q.Stats()
+			total := consumed.Load() + st.Dropped + spilled.Load()
+			if total != producers*each {
+				t.Fatalf("%v: %d consumed + %d dropped + %d spilled != %d",
+					policy, consumed.Load(), st.Dropped, spilled.Load(), producers*each)
+			}
+			if policy == Block && st.Dropped != 0 {
+				t.Fatalf("Block dropped %d", st.Dropped)
+			}
+		})
+	}
+}

@@ -1,114 +1,126 @@
 package ism
 
-import "sync"
+import (
+	"sync"
 
-// Input buffer stages. The SISO stage is one FIFO shared by all
-// sources; the MISO stage keeps one FIFO per source and scans sources
-// round-robin on pop — the per-buffer maintenance work that makes MISO
-// "incur more overhead, especially in accessing memory ... under high
-// arrival rate conditions" (§3.3.2).
+	"prism/internal/isruntime/flow"
+)
+
+// Input buffer stages, built on flow.Queue so the overflow discipline
+// is pluggable and uniform with the LIS and TP layers. The SISO stage
+// is one bounded FIFO shared by all sources; the MISO stage keeps one
+// FIFO per source and scans sources round-robin on pop — the
+// per-buffer maintenance work that makes MISO "incur more overhead,
+// especially in accessing memory ... under high arrival rate
+// conditions" (§3.3.2).
 type inputStage interface {
-	// push enqueues an envelope from the given source node. When the
-	// stage is at capacity the oldest record of the target buffer is
-	// dropped (monitoring favors fresh data over stale backlog).
+	// push enqueues an envelope from the given source node, applying
+	// the stage's overflow policy when the target buffer is full.
 	push(node int32, e envelope)
-	// pop dequeues the next envelope, reporting false when empty.
+	// pop dequeues the next envelope, reporting false when empty. It
+	// never blocks.
 	pop() (envelope, bool)
 	// empty reports whether no envelopes are queued.
 	empty() bool
-	// dropped returns the number of records displaced by overflow.
+	// dropped returns the number of records lost to overflow or close.
 	dropped() uint64
+	// spilled returns the number of records demoted to the spill
+	// target under SpillToStorage.
+	spilled() uint64
+	// close rejects further pushes (counted as drops); queued
+	// envelopes remain poppable.
+	close()
+}
+
+// spillEnvelope adapts a storage spill target to envelope elements.
+func spillEnvelope(s flow.Spill) func(envelope) error {
+	if s == nil {
+		return nil
+	}
+	return func(e envelope) error { return s.Append(e.rec) }
 }
 
 type sisoStage struct {
-	mu    sync.Mutex
-	buf   []envelope
-	cap   int
-	drops uint64
+	q *flow.Queue[envelope]
 }
 
-func newSISOStage(capacity int) *sisoStage {
-	return &sisoStage{cap: capacity}
-}
-
-func (s *sisoStage) push(_ int32, e envelope) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.buf) >= s.cap {
-		s.buf = s.buf[1:]
-		s.drops++
+// newSISOStage builds the shared-FIFO stage. The policy must be valid
+// (the ISM constructor checks).
+func newSISOStage(capacity int, policy flow.OverflowPolicy, spill flow.Spill) *sisoStage {
+	q, err := flow.NewQueue[envelope](capacity, policy, spillEnvelope(spill))
+	if err != nil {
+		panic(err)
 	}
-	s.buf = append(s.buf, e)
+	return &sisoStage{q: q}
 }
 
-func (s *sisoStage) pop() (envelope, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.buf) == 0 {
-		return envelope{}, false
-	}
-	e := s.buf[0]
-	s.buf = s.buf[1:]
-	return e, true
-}
+func (s *sisoStage) push(_ int32, e envelope) { s.q.Push(e) }
 
-func (s *sisoStage) empty() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.buf) == 0
-}
+func (s *sisoStage) pop() (envelope, bool) { return s.q.TryPop() }
 
-func (s *sisoStage) dropped() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.drops
-}
+func (s *sisoStage) empty() bool { return s.q.Len() == 0 }
+
+func (s *sisoStage) dropped() uint64 { return s.q.Stats().Dropped }
+
+func (s *sisoStage) spilled() uint64 { return s.q.Stats().Spilled }
+
+func (s *sisoStage) close() { s.q.Close() }
 
 type misoStage struct {
+	cap    int
+	policy flow.OverflowPolicy
+	spill  func(envelope) error
+
 	mu     sync.Mutex
 	order  []int32
-	queues map[int32][]envelope
-	cap    int
+	queues map[int32]*flow.Queue[envelope]
 	next   int // round-robin cursor
-	total  int
-	drops  uint64
+	closed bool
 }
 
-func newMISOStage(capacityPerSource int) *misoStage {
-	return &misoStage{queues: map[int32][]envelope{}, cap: capacityPerSource}
+func newMISOStage(capacityPerSource int, policy flow.OverflowPolicy, spill flow.Spill) *misoStage {
+	if !policy.Valid() {
+		panic("ism: invalid overflow policy")
+	}
+	return &misoStage{
+		cap:    capacityPerSource,
+		policy: policy,
+		spill:  spillEnvelope(spill),
+		queues: map[int32]*flow.Queue[envelope]{},
+	}
 }
 
+// push enqueues into the source's own buffer, creating it on first
+// arrival. The queue push runs outside the stage lock so a Block
+// policy stalls only this producer, not the stage.
 func (s *misoStage) push(node int32, e envelope) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	q, ok := s.queues[node]
 	if !ok {
+		var err error
+		q, err = flow.NewQueue[envelope](s.cap, s.policy, s.spill)
+		if err != nil {
+			s.mu.Unlock()
+			panic(err)
+		}
+		if s.closed {
+			q.Close()
+		}
+		s.queues[node] = q
 		s.order = append(s.order, node)
 	}
-	if len(q) >= s.cap {
-		q = q[1:]
-		s.drops++
-		s.total--
-	}
-	s.queues[node] = append(q, e)
-	s.total++
+	s.mu.Unlock()
+	q.Push(e)
 }
 
 func (s *misoStage) pop() (envelope, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.total == 0 {
-		return envelope{}, false
-	}
 	// Round-robin scan across per-source buffers.
 	n := len(s.order)
 	for i := 0; i < n; i++ {
 		node := s.order[(s.next+i)%n]
-		q := s.queues[node]
-		if len(q) > 0 {
-			e := q[0]
-			s.queues[node] = q[1:]
-			s.total--
+		if e, ok := s.queues[node].TryPop(); ok {
 			s.next = (s.next + i + 1) % n
 			return e, true
 		}
@@ -119,11 +131,39 @@ func (s *misoStage) pop() (envelope, bool) {
 func (s *misoStage) empty() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.total == 0
+	for _, q := range s.queues {
+		if q.Len() > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *misoStage) dropped() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.drops
+	var n uint64
+	for _, q := range s.queues {
+		n += q.Stats().Dropped
+	}
+	return n
+}
+
+func (s *misoStage) spilled() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, q := range s.queues {
+		n += q.Stats().Spilled
+	}
+	return n
+}
+
+func (s *misoStage) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, q := range s.queues {
+		q.Close()
+	}
 }

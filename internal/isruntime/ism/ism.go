@@ -12,15 +12,22 @@
 // data processor performing causal ordering with logical timestamps,
 // an output buffer dispatching to subscribed tools, and optional
 // spooling to a trace file for off-line use.
+//
+// The input stage is a bounded flow.Queue with a pluggable overflow
+// policy (Config.Overflow); activity is reported through an
+// ism-scoped metrics.Registry of which Stats() is a snapshot view.
 package ism
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
 	"prism/internal/trace"
 )
@@ -53,6 +60,18 @@ type Config struct {
 	// InputCapacity bounds each input buffer (records). Zero means
 	// a generous default.
 	InputCapacity int
+	// Overflow selects what the input stage does when a buffer is
+	// full. The zero value, flow.DropOldest, keeps the monitoring
+	// default: displace stale backlog to admit fresh data. Block
+	// applies backpressure to the LIS readers; SpillToStorage demotes
+	// the displaced records to OverflowSpill.
+	Overflow flow.OverflowPolicy
+	// OverflowSpill receives records displaced under SpillToStorage
+	// (e.g. an isruntime/storage.Hierarchy).
+	OverflowSpill flow.Spill
+	// Metrics, when non-nil, is the registry the ISM reports through
+	// (under the "ism" scope). Nil gets a private registry.
+	Metrics *metrics.Registry
 	// Spool, when non-nil, receives every dispatched record in the
 	// binary trace format (the off-line storage path of Figure 2).
 	Spool io.Writer
@@ -69,7 +88,8 @@ type Config struct {
 	OutputCapacity int
 }
 
-// Stats is a snapshot of ISM activity and performance.
+// Stats is a snapshot of ISM activity and performance, read from the
+// ISM's metrics registry.
 type Stats struct {
 	Arrived       uint64  // records received from LISes
 	Dispatched    uint64  // records delivered to the output buffer
@@ -85,14 +105,47 @@ type Stats struct {
 	OutputQueued int
 	// Delivered counts records handed to subscribers.
 	Delivered uint64
-	// InputDropped counts records displaced by input-stage overflow
-	// (monitoring favors fresh data over stale backlog).
+	// InputDropped counts records lost to input-stage overflow.
 	InputDropped uint64
+	// InputSpilled counts records demoted to OverflowSpill.
+	InputSpilled uint64
 }
 
 type envelope struct {
 	rec     trace.Record
 	arrival int64
+}
+
+// ismCounters is the metric set the manager reports under the "ism"
+// scope.
+type ismCounters struct {
+	arrived      *metrics.Counter
+	dispatched   *metrics.Counter
+	outOfOrder   *metrics.Counter
+	controlsSeen *metrics.Counter
+	delivered    *metrics.Counter
+	held         *metrics.Gauge
+	maxHeld      *metrics.Gauge
+	latency      *metrics.Histogram
+	reg          *metrics.Registry
+}
+
+func newISMCounters(reg *metrics.Registry) ismCounters {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := reg.Scope("ism")
+	return ismCounters{
+		arrived:      s.Counter("arrived"),
+		dispatched:   s.Counter("dispatched"),
+		outOfOrder:   s.Counter("out_of_order"),
+		controlsSeen: s.Counter("controls_seen"),
+		delivered:    s.Counter("delivered"),
+		held:         s.Gauge("held"),
+		maxHeld:      s.Gauge("max_held"),
+		latency:      s.Histogram("latency_ns"),
+		reg:          reg,
+	}
 }
 
 // ISM is a running instrumentation system manager. Create with New,
@@ -101,6 +154,7 @@ type envelope struct {
 type ISM struct {
 	cfg   Config
 	clock event.Clock
+	ctr   ismCounters
 
 	input inputStage
 	avail chan struct{}
@@ -113,15 +167,16 @@ type ISM struct {
 	out       chan trace.Record
 	outDone   chan struct{}
 	outPushed atomic.Uint64
-	delivered atomic.Uint64
+
+	// scratch carries the single-record dispatch of the unordered
+	// path; process runs on the one processor goroutine, so no
+	// per-record slice allocation is needed.
+	scratch [1]trace.Record
 
 	mu        sync.Mutex
 	orderer   *trace.Orderer
 	subs      []subscriber
 	spool     *trace.Writer
-	stats     Stats
-	latSum    float64
-	latN      uint64
 	closed    bool
 	serveWG   sync.WaitGroup
 	lisConns  []tp.Conn
@@ -133,10 +188,14 @@ type subscriber struct {
 	fn   func(trace.Record)
 }
 
-// New creates and starts an ISM.
+// New creates and starts an ISM. It panics on an invalid overflow
+// policy (a configuration, not runtime, error).
 func New(cfg Config, clock event.Clock) *ISM {
 	if cfg.InputCapacity <= 0 {
 		cfg.InputCapacity = 1 << 16
+	}
+	if !cfg.Overflow.Valid() {
+		panic(fmt.Sprintf("ism: invalid overflow policy %v", cfg.Overflow))
 	}
 	if clock == nil {
 		clock = event.NewRealClock()
@@ -144,14 +203,15 @@ func New(cfg Config, clock event.Clock) *ISM {
 	m := &ISM{
 		cfg:   cfg,
 		clock: clock,
+		ctr:   newISMCounters(cfg.Metrics),
 		avail: make(chan struct{}, 1),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
 	if cfg.Buffering == SISO {
-		m.input = newSISOStage(cfg.InputCapacity)
+		m.input = newSISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
 	} else {
-		m.input = newMISOStage(cfg.InputCapacity)
+		m.input = newMISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
 	}
 	if cfg.Ordered {
 		m.orderer = trace.NewOrderer()
@@ -167,6 +227,9 @@ func New(cfg Config, clock event.Clock) *ISM {
 	go m.run()
 	return m
 }
+
+// Metrics returns the registry the ISM reports through.
+func (m *ISM) Metrics() *metrics.Registry { return m.ctr.reg }
 
 // dispatchOutput drains the output buffer to the subscribed tools.
 func (m *ISM) dispatchOutput() {
@@ -190,7 +253,7 @@ func (m *ISM) emit(r trace.Record) {
 	for _, s := range subs {
 		s.fn(r)
 	}
-	m.delivered.Add(1)
+	m.ctr.delivered.Inc()
 }
 
 // Subscribe registers a tool sink; every dispatched record is passed
@@ -259,12 +322,14 @@ func (m *ISM) GangFlush(timeout time.Duration) int {
 }
 
 // Inject feeds one message directly into the ISM (used by in-process
-// deployments and tests).
+// deployments and tests). Pooled data messages are recycled once
+// their records are copied into the input stage — the ISM is the end
+// of the batch's ownership chain.
 func (m *ISM) Inject(msg tp.Message) {
 	switch msg.Type {
 	case tp.MsgControl:
+		m.ctr.controlsSeen.Inc()
 		m.mu.Lock()
-		m.stats.ControlsSeen++
 		acks := m.flushAcks
 		m.mu.Unlock()
 		if msg.Control == tp.CtlFlushDone && acks != nil {
@@ -280,6 +345,7 @@ func (m *ISM) Inject(msg tp.Message) {
 			m.input.push(msg.Node, envelope{rec: r, arrival: now})
 			m.signal()
 		}
+		tp.Recycle(msg)
 	}
 }
 
@@ -316,7 +382,8 @@ func (m *ISM) run() {
 func (m *ISM) process(env envelope) {
 	defer m.processed.Add(1)
 	if m.orderer == nil {
-		m.deliver([]trace.Record{env.rec}, env.arrival, false)
+		m.scratch[0] = env.rec
+		m.deliver(m.scratch[:1], env.arrival, false)
 		return
 	}
 	out := m.addOrdered(env.rec)
@@ -335,27 +402,24 @@ func (m *ISM) addOrdered(r trace.Record) []trace.Record {
 
 func (m *ISM) deliver(rs []trace.Record, arrival int64, outOfOrder bool) {
 	now := m.clock.Now()
-	m.mu.Lock()
-	m.stats.Arrived++
+	m.ctr.arrived.Inc()
 	if outOfOrder {
-		m.stats.OutOfOrder++
+		m.ctr.outOfOrder.Inc()
 	}
 	if m.orderer != nil {
-		m.stats.Held = m.orderer.Held()
-		m.stats.MaxHeld = m.orderer.MaxHeld()
+		m.mu.Lock()
+		held := int64(m.orderer.Held())
+		maxHeld := int64(m.orderer.MaxHeld())
+		m.mu.Unlock()
+		m.ctr.held.Set(held)
+		m.ctr.maxHeld.SetMax(maxHeld)
 	}
-	lat := now - arrival
 	if len(rs) > 0 {
 		// Latency is attributed to the arriving record that caused
 		// dispatch; held records' latency is folded in when released.
-		m.latSum += float64(lat)
-		m.latN++
-		if lat > m.stats.MaxLatencyNs {
-			m.stats.MaxLatencyNs = lat
-		}
+		m.ctr.latency.Observe(now - arrival)
 	}
-	m.stats.Dispatched += uint64(len(rs))
-	m.mu.Unlock()
+	m.ctr.dispatched.Add(uint64(len(rs)))
 
 	for _, r := range rs {
 		if m.out != nil {
@@ -367,22 +431,28 @@ func (m *ISM) deliver(rs []trace.Record, arrival int64, outOfOrder bool) {
 	}
 }
 
-// Stats returns a snapshot of ISM statistics.
+// Stats returns a snapshot of ISM statistics — a view over the
+// metrics registry plus input-stage accounting.
 func (m *ISM) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.stats
+	st := Stats{
+		Arrived:       m.ctr.arrived.Value(),
+		Dispatched:    m.ctr.dispatched.Value(),
+		OutOfOrder:    m.ctr.outOfOrder.Value(),
+		Held:          int(m.ctr.held.Value()),
+		MaxHeld:       int(m.ctr.maxHeld.Value()),
+		MeanLatencyNs: m.ctr.latency.Mean(),
+		MaxLatencyNs:  m.ctr.latency.Max(),
+		ControlsSeen:  m.ctr.controlsSeen.Value(),
+		Delivered:     m.ctr.delivered.Value(),
+		InputDropped:  m.input.dropped(),
+		InputSpilled:  m.input.spilled(),
+	}
 	if st.Arrived > 0 {
 		st.HoldBackRatio = float64(st.OutOfOrder) / float64(st.Arrived)
 	}
-	if m.latN > 0 {
-		st.MeanLatencyNs = m.latSum / float64(m.latN)
-	}
-	st.Delivered = m.delivered.Load()
 	if m.out != nil {
 		st.OutputQueued = int(m.outPushed.Load() - st.Delivered)
 	}
-	st.InputDropped = m.input.dropped()
 	return st
 }
 
@@ -392,15 +462,16 @@ func (m *ISM) Stats() Stats {
 // covered.
 func (m *ISM) Drain() {
 	target := m.pushed.Load()
-	// Records displaced by input-stage overflow are never processed;
-	// count them against the target or overload would hang Drain.
-	for m.processed.Load()+m.input.dropped() < target {
+	// Records displaced by input-stage overflow are never processed —
+	// whether dropped or spilled to storage, they count against the
+	// target or overload would hang Drain.
+	for m.processed.Load()+m.input.dropped()+m.input.spilled() < target {
 		m.signal()
 		time.Sleep(50 * time.Microsecond)
 	}
 	if m.out != nil {
 		outTarget := m.outPushed.Load()
-		for m.delivered.Load() < outTarget {
+		for m.ctr.delivered.Value() < outTarget {
 			time.Sleep(50 * time.Microsecond)
 		}
 	}
@@ -408,7 +479,8 @@ func (m *ISM) Drain() {
 
 // Close stops the processor after draining buffered input, flushes the
 // spool, and returns. Serve goroutines exit when their connections
-// close (the caller owns the connections).
+// close (the caller owns the connections). The input stage is closed
+// last so late injections fail fast instead of accumulating.
 func (m *ISM) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -419,6 +491,7 @@ func (m *ISM) Close() error {
 	m.mu.Unlock()
 	close(m.stop)
 	<-m.done
+	m.input.close()
 	if m.out != nil {
 		close(m.out)
 		<-m.outDone

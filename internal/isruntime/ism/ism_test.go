@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/flow"
 	"prism/internal/isruntime/lis"
 	"prism/internal/isruntime/tp"
 	"prism/internal/trace"
@@ -466,7 +467,7 @@ func TestDrainTerminatesUnderOverflow(t *testing.T) {
 }
 
 func TestStageOverflowDrops(t *testing.T) {
-	s := newSISOStage(2)
+	s := newSISOStage(2, flow.DropOldest, nil)
 	s.push(0, envelope{rec: trace.Record{Tag: 1}})
 	s.push(0, envelope{rec: trace.Record{Tag: 2}})
 	s.push(0, envelope{rec: trace.Record{Tag: 3}}) // displaces tag 1
@@ -477,7 +478,7 @@ func TestStageOverflowDrops(t *testing.T) {
 	if !ok || e.rec.Tag != 2 {
 		t.Fatalf("head %+v", e)
 	}
-	m := newMISOStage(1)
+	m := newMISOStage(1, flow.DropOldest, nil)
 	m.push(0, envelope{rec: trace.Record{Tag: 1}})
 	m.push(0, envelope{rec: trace.Record{Tag: 2}})
 	if m.dropped() != 1 {

@@ -1,7 +1,9 @@
 package lis
 
 import (
+	"errors"
 	"io"
+	"net"
 
 	"prism/internal/isruntime/tp"
 )
@@ -37,9 +39,16 @@ func ControlLoop(conn tp.Conn, server LIS) error {
 			if err == io.EOF {
 				return nil
 			}
+			// Control traffic is sporadic: a connection-level read
+			// deadline firing on an idle wait is not a failure.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
 			return err
 		}
 		if msg.Type != tp.MsgControl {
+			tp.Recycle(msg) // pooled data payloads go back to the pool
 			continue
 		}
 		switch msg.Control {

@@ -2,11 +2,14 @@ package lis
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"prism/internal/trace"
 
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
 )
 
@@ -17,32 +20,35 @@ import (
 // (Unix pipes in Paradyn, §3.2.2); a daemon goroutine drains the pipes
 // and forwards samples to the ISM.
 //
-// When the daemon cannot keep up "the pipes become full and
-// application processes, blocked" (§3.2.3); Capture on a full pipe
-// blocks and the blocked time is accounted in Stats-adjacent counters
-// so the bottleneck effect is observable.
+// The pipes are flow.Queue stages, so their overflow discipline is
+// pluggable. Under the default Block policy, when the daemon cannot
+// keep up "the pipes become full and application processes, blocked"
+// (§3.2.3); Capture on a full pipe blocks and the blocked time is
+// accounted per pipe so the bottleneck effect is observable. The lossy
+// and spilling policies (WithOverflow) trade that perturbation for
+// data loss or demotion to storage instead.
 type Daemon struct {
-	node    int32
-	conn    tp.Conn
-	pipeCap int
-	batch   int
+	node     int32
+	conn     tp.Conn
+	pipeCap  int
+	batch    int
+	policy   flow.OverflowPolicy
+	spill    func(trace.Record) error
+	unpooled bool
+	ctr      lisCounters
 
-	mu       sync.Mutex
-	pipes    map[int32]chan trace.Record
-	stats    Stats
-	paused   bool
-	blocked  time.Duration // cumulative producer blocked time
-	blockers uint64        // captures that had to block
+	mu     sync.Mutex
+	pipes  map[int32]*flow.Queue[trace.Record]
+	paused bool
 
-	wg      sync.WaitGroup
-	stopped chan struct{}
-	once    sync.Once
+	wg   sync.WaitGroup
+	once sync.Once
 }
 
 // NewDaemon creates a daemon LIS for node forwarding over conn.
 // pipeCap is the bounded capacity of each application process's pipe;
 // batch is the maximum number of records forwarded per data message.
-func NewDaemon(node int32, conn tp.Conn, pipeCap, batch int) (*Daemon, error) {
+func NewDaemon(node int32, conn tp.Conn, pipeCap, batch int, opts ...Option) (*Daemon, error) {
 	if conn == nil {
 		return nil, errors.New("lis: nil connection")
 	}
@@ -52,25 +58,56 @@ func NewDaemon(node int32, conn tp.Conn, pipeCap, batch int) (*Daemon, error) {
 	if batch < 1 {
 		return nil, errors.New("lis: batch must be >= 1")
 	}
-	return &Daemon{
-		node:    node,
-		conn:    conn,
-		pipeCap: pipeCap,
-		batch:   batch,
-		pipes:   map[int32]chan trace.Record{},
-		stopped: make(chan struct{}),
-	}, nil
+	var o options
+	o.overflow = flow.Block
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.overflow.Valid() {
+		return nil, fmt.Errorf("lis: invalid overflow policy %v", o.overflow)
+	}
+	d := &Daemon{
+		node:     node,
+		conn:     conn,
+		pipeCap:  pipeCap,
+		batch:    batch,
+		policy:   o.overflow,
+		unpooled: o.unpooled,
+		ctr:      newLISCounters(node, o.registry),
+		pipes:    map[int32]*flow.Queue[trace.Record]{},
+	}
+	if o.spill != nil {
+		sp := flow.SpillRecord(o.spill)
+		spilled := d.ctr.spilled
+		d.spill = func(r trace.Record) error {
+			err := sp(r)
+			if err == nil {
+				spilled.Inc()
+			}
+			return err
+		}
+	}
+	return d, nil
 }
+
+// Metrics returns the registry this LIS reports through.
+func (d *Daemon) Metrics() *metrics.Registry { return d.ctr.reg }
 
 // AttachProcess creates (or returns) the pipe for an application
 // process and starts its drainer. Call before the process emits.
-func (d *Daemon) AttachProcess(process int32) chan<- trace.Record {
+func (d *Daemon) AttachProcess(process int32) *flow.Queue[trace.Record] {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if p, ok := d.pipes[process]; ok {
 		return p
 	}
-	p := make(chan trace.Record, d.pipeCap)
+	p, err := flow.NewQueue[trace.Record](d.pipeCap, d.policy, d.spill)
+	if err != nil {
+		// Capacity and policy were validated in NewDaemon.
+		panic(err)
+	}
+	dropped := d.ctr.dropped
+	p.OnDrop(func(trace.Record) { dropped.Inc() })
 	d.pipes[process] = p
 	d.wg.Add(1)
 	go d.drain(p)
@@ -78,95 +115,84 @@ func (d *Daemon) AttachProcess(process int32) chan<- trace.Record {
 }
 
 // Capture implements event.Sink: it deposits the record into its
-// process's pipe, blocking if the pipe is full. Records from processes
-// never attached are dropped and counted.
+// process's pipe. Under the Block policy a full pipe blocks the
+// capture (the §3.2.3 effect, accounted in BlockedTime); under lossy
+// policies the overflow discipline decides which record is lost or
+// spilled. Records from processes never attached are dropped and
+// counted.
 func (d *Daemon) Capture(r trace.Record) {
 	d.mu.Lock()
 	if d.paused {
-		d.stats.Dropped++
 		d.mu.Unlock()
+		d.ctr.dropped.Inc()
 		return
 	}
 	p, ok := d.pipes[r.Process]
 	d.mu.Unlock()
 	if !ok {
-		d.mu.Lock()
-		d.stats.Dropped++
-		d.mu.Unlock()
+		d.ctr.dropped.Inc()
 		return
 	}
-	select {
-	case p <- r:
-		d.mu.Lock()
-		d.stats.Captured++
-		d.mu.Unlock()
-		return
-	default:
+	if p.Push(r) {
+		d.ctr.captured.Inc()
 	}
-	// Pipe full: block, and account the stall (the §3.2.3 effect).
-	start := time.Now()
-	select {
-	case p <- r:
-		d.mu.Lock()
-		d.stats.Captured++
-		d.blocked += time.Since(start)
-		d.blockers++
-		d.mu.Unlock()
-	case <-d.stopped:
-		d.mu.Lock()
-		d.stats.Dropped++
-		d.mu.Unlock()
-	}
+	// Push failures (overflow or closed pipe) are counted by OnDrop.
 }
 
-// drain forwards records from one pipe in batches.
-func (d *Daemon) drain(p <-chan trace.Record) {
+// drain forwards records from one pipe in pooled batches until the
+// pipe is closed and empty.
+func (d *Daemon) drain(p *flow.Queue[trace.Record]) {
 	defer d.wg.Done()
-	buf := make([]trace.Record, 0, d.batch)
+	buf := d.newBuf()
 	flush := func() {
 		if len(buf) == 0 {
 			return
 		}
-		batch := make([]trace.Record, len(buf))
-		copy(batch, buf)
-		buf = buf[:0]
-		if d.conn.Send(tp.DataMessage(d.node, batch)) == nil {
-			d.mu.Lock()
-			d.stats.Forwarded += uint64(len(batch))
-			d.stats.Flushes++
-			d.mu.Unlock()
+		n := uint64(len(buf))
+		var msg tp.Message
+		if d.unpooled {
+			msg = tp.DataMessage(d.node, buf)
+		} else {
+			msg = tp.PooledDataMessage(d.node, buf)
+		}
+		buf = d.newBuf()
+		if d.conn.Send(msg) == nil {
+			d.ctr.forwarded.Add(n)
+			d.ctr.flushes.Inc()
 		}
 	}
 	for {
-		select {
-		case r := <-p:
-			buf = append(buf, r)
-			// Opportunistically batch whatever is already queued.
-			for len(buf) < d.batch {
-				select {
-				case r := <-p:
-					buf = append(buf, r)
-				default:
-					goto send
-				}
-			}
-		send:
+		r, ok := p.PopWait()
+		if !ok {
 			flush()
-		case <-d.stopped:
-			// Final drain of anything left in the pipe.
-			for {
-				select {
-				case r := <-p:
-					buf = append(buf, r)
-					if len(buf) == d.batch {
-						flush()
-					}
-				default:
-					flush()
-					return
-				}
-			}
+			d.recycle(buf)
+			return
 		}
+		buf = append(buf, r)
+		// Opportunistically batch whatever is already queued.
+		for len(buf) < d.batch {
+			r, ok := p.TryPop()
+			if !ok {
+				break
+			}
+			buf = append(buf, r)
+		}
+		flush()
+	}
+}
+
+// newBuf allocates or recycles an empty forwarding batch.
+func (d *Daemon) newBuf() []trace.Record {
+	if d.unpooled {
+		return make([]trace.Record, 0, d.batch)
+	}
+	return flow.GetBatch(d.batch)
+}
+
+// recycle returns a batch to the pool unless pooling is disabled.
+func (d *Daemon) recycle(batch flow.Batch) {
+	if !d.unpooled {
+		flow.PutBatch(batch)
 	}
 }
 
@@ -183,24 +209,50 @@ func (d *Daemon) Pause(on bool) {
 }
 
 // Stats implements LIS.
-func (d *Daemon) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
+func (d *Daemon) Stats() Stats { return d.ctr.stats() }
 
 // BlockedTime returns the cumulative time application processes spent
 // blocked on full pipes, and how many captures blocked — the direct
-// observable of the daemon-bottleneck effect.
+// observable of the daemon-bottleneck effect. Non-Block policies never
+// block, so both values stay zero.
 func (d *Daemon) BlockedTime() (time.Duration, uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.blocked, d.blockers
+	var ns int64
+	var n uint64
+	for _, p := range d.pipes {
+		st := p.Stats()
+		ns += st.BlockedNs
+		n += st.Blocked
+	}
+	return time.Duration(ns), n
+}
+
+// PipeStats returns the flow statistics of every attached pipe, keyed
+// by process id.
+func (d *Daemon) PipeStats() map[int32]flow.QueueStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int32]flow.QueueStats, len(d.pipes))
+	for proc, p := range d.pipes {
+		out[proc] = p.Stats()
+	}
+	return out
 }
 
 // Close stops the drainers after they empty their pipes.
 func (d *Daemon) Close() error {
-	d.once.Do(func() { close(d.stopped) })
+	d.once.Do(func() {
+		d.mu.Lock()
+		pipes := make([]*flow.Queue[trace.Record], 0, len(d.pipes))
+		for _, p := range d.pipes {
+			pipes = append(pipes, p)
+		}
+		d.mu.Unlock()
+		for _, p := range pipes {
+			p.Close()
+		}
+	})
 	d.wg.Wait()
 	return nil
 }

@@ -12,13 +12,22 @@
 //     filled by application processes (§3.2);
 //   - Forwarding: Vista-style bufferless event forwarding, "only one
 //     system call per event" (§3.3).
+//
+// All three are built on the shared flow core: batches travel through
+// the flow batch pool (no per-flush allocation), bounded stages apply
+// flow.OverflowPolicy uniformly, and every activity counter lives in a
+// metrics.Registry (lis.node<N>.captured, .forwarded, .flushes,
+// .dropped), of which the legacy Stats() snapshot is a thin view.
 package lis
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
 	"prism/internal/trace"
 )
@@ -34,22 +43,28 @@ const (
 	// FAOF flushes all buffers when one fills ("Flush All the
 	// buffers when One Fills"); requires a Gang coordinator.
 	FAOF
+	numPolicies
 )
 
-// String returns the policy mnemonic.
+// String returns the policy mnemonic, or policy(N) for unknown values.
 func (p Policy) String() string {
-	if p == FOF {
+	switch p {
+	case FOF:
 		return "FOF"
+	case FAOF:
+		return "FAOF"
 	}
-	return "FAOF"
+	return fmt.Sprintf("policy(%d)", int(p))
 }
 
-// Stats summarizes a LIS's activity.
+// Stats summarizes a LIS's activity. It is a point-in-time view over
+// the LIS's metrics registry.
 type Stats struct {
 	Captured  uint64 // records accepted from sensors
 	Forwarded uint64 // records sent to the ISM
 	Flushes   uint64 // flush operations performed
 	Dropped   uint64 // records dropped (capture disabled or overflow policy)
+	Spilled   uint64 // records demoted to the spill target (SpillToStorage)
 }
 
 // LIS is the common surface of all local instrumentation servers.
@@ -63,6 +78,96 @@ type LIS interface {
 	Close() error
 }
 
+// Option configures a LIS at construction time.
+type Option func(*options)
+
+type options struct {
+	registry *metrics.Registry
+	unpooled bool
+	pending  int
+	overflow flow.OverflowPolicy
+	spill    flow.Spill
+	async    bool
+}
+
+// WithMetrics reports the LIS's activity through the given registry
+// under the lis.node<N> scope. Without it each LIS keeps a private
+// registry.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *options) { o.registry = reg }
+}
+
+// WithUnpooledBatches disables the flow batch pool for this LIS, so
+// every flush allocates a fresh record slice — the pre-pooling
+// behaviour, kept for benchmark comparison.
+func WithUnpooledBatches() Option {
+	return func(o *options) { o.unpooled = true }
+}
+
+// WithOverflow selects the overflow policy (and optional spill target)
+// for the LIS's bounded stages — the Daemon's per-process pipes. The
+// default is flow.Block, the paper's §3.2.3 backpressure behaviour.
+func WithOverflow(policy flow.OverflowPolicy, spill flow.Spill) Option {
+	return func(o *options) {
+		o.overflow = policy
+		o.spill = spill
+	}
+}
+
+// WithAsyncFlush decouples capture from transfer: flushed batches are
+// handed to a bounded pending stage (depth pending) drained by a
+// sender goroutine, and the overflow policy governs what happens when
+// the connection cannot keep up — Block applies backpressure to the
+// capturing goroutine, DropNewest/DropOldest shed batches, and
+// SpillToStorage demotes the displaced batch to spill. Without this
+// option flushes run synchronously on the capturing goroutine (the
+// paper's direct-flush perturbation).
+func WithAsyncFlush(pending int, policy flow.OverflowPolicy, spill flow.Spill) Option {
+	return func(o *options) {
+		o.async = true
+		o.pending = pending
+		o.overflow = policy
+		o.spill = spill
+	}
+}
+
+// lisCounters is the metric set every LIS family reports.
+type lisCounters struct {
+	captured  *metrics.Counter
+	forwarded *metrics.Counter
+	flushes   *metrics.Counter
+	dropped   *metrics.Counter
+	spilled   *metrics.Counter
+	occupancy *metrics.Gauge
+	reg       *metrics.Registry
+}
+
+func newLISCounters(node int32, reg *metrics.Registry) lisCounters {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := reg.Scope(fmt.Sprintf("lis.node%d", node))
+	return lisCounters{
+		captured:  s.Counter("captured"),
+		forwarded: s.Counter("forwarded"),
+		flushes:   s.Counter("flushes"),
+		dropped:   s.Counter("dropped"),
+		spilled:   s.Counter("spilled"),
+		occupancy: s.Gauge("occupancy"),
+		reg:       reg,
+	}
+}
+
+func (c lisCounters) stats() Stats {
+	return Stats{
+		Captured:  c.captured.Value(),
+		Forwarded: c.forwarded.Value(),
+		Flushes:   c.flushes.Value(),
+		Dropped:   c.dropped.Value(),
+		Spilled:   c.spilled.Value(),
+	}
+}
+
 // Buffered is the PICL-style LIS: a fixed-capacity local record buffer
 // flushed to the ISM as one data message. The zero value is not
 // usable; construct with NewBuffered.
@@ -71,29 +176,110 @@ type Buffered struct {
 	capacity int
 	conn     tp.Conn
 	onFull   func(*Buffered) // policy hook; nil means flush self (FOF)
+	unpooled bool
+	ctr      lisCounters
 
 	mu      sync.Mutex
 	buf     []trace.Record
-	stats   Stats
 	stopped bool
+
+	// Async-flush mode (WithAsyncFlush): full batches queue here and
+	// the sender goroutine drains them to the conn.
+	pending    *flow.Queue[flow.Batch]
+	senderDone chan struct{}
 }
 
 // NewBuffered creates a buffered LIS for node with the given local
 // buffer capacity (the paper's l), forwarding over conn. The returned
 // LIS implements the FOF policy; attach it to a Gang for FAOF.
-func NewBuffered(node int32, capacity int, conn tp.Conn) (*Buffered, error) {
+func NewBuffered(node int32, capacity int, conn tp.Conn, opts ...Option) (*Buffered, error) {
 	if capacity < 1 {
 		return nil, errors.New("lis: buffer capacity must be >= 1")
 	}
 	if conn == nil {
 		return nil, errors.New("lis: nil connection")
 	}
-	return &Buffered{
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	b := &Buffered{
 		node:     node,
 		capacity: capacity,
 		conn:     conn,
-		buf:      make([]trace.Record, 0, capacity),
-	}, nil
+		unpooled: o.unpooled,
+		ctr:      newLISCounters(node, o.registry),
+	}
+	b.buf = b.newBuf()
+	if o.async {
+		if o.pending < 1 {
+			return nil, errors.New("lis: async pending depth must be >= 1")
+		}
+		var spill func(flow.Batch) error
+		if o.spill != nil {
+			sp := o.spill
+			spilled := b.ctr.spilled
+			spill = func(batch flow.Batch) error {
+				err := sp.Append(batch...)
+				if err == nil {
+					spilled.Add(uint64(len(batch)))
+					b.recycle(batch)
+				}
+				return err
+			}
+		}
+		q, err := flow.NewQueue[flow.Batch](o.pending, o.overflow, spill)
+		if err != nil {
+			return nil, err
+		}
+		dropped := b.ctr.dropped
+		q.OnDrop(func(batch flow.Batch) {
+			dropped.Add(uint64(len(batch)))
+			b.recycle(batch)
+		})
+		b.pending = q
+		b.senderDone = make(chan struct{})
+		go b.sender()
+	}
+	return b, nil
+}
+
+// newBuf allocates or recycles an empty capture buffer.
+func (b *Buffered) newBuf() []trace.Record {
+	if b.unpooled {
+		return make([]trace.Record, 0, b.capacity)
+	}
+	return flow.GetBatch(b.capacity)
+}
+
+// recycle returns a batch to the pool unless pooling is disabled.
+func (b *Buffered) recycle(batch flow.Batch) {
+	if !b.unpooled {
+		flow.PutBatch(batch)
+	}
+}
+
+// msg wraps a batch as a data message, marking pool ownership.
+func (b *Buffered) msg(batch []trace.Record) tp.Message {
+	if b.unpooled {
+		return tp.DataMessage(b.node, batch)
+	}
+	return tp.PooledDataMessage(b.node, batch)
+}
+
+// sender drains pending batches to the connection (async mode). The
+// conn takes ownership of each pooled batch.
+func (b *Buffered) sender() {
+	defer close(b.senderDone)
+	for {
+		batch, ok := b.pending.PopWait()
+		if !ok {
+			return
+		}
+		if b.conn.Send(b.msg(batch)) == nil {
+			b.ctr.forwarded.Add(uint64(len(batch)))
+		}
+	}
 }
 
 // Node returns the node id this LIS serves.
@@ -102,21 +288,25 @@ func (b *Buffered) Node() int32 { return b.node }
 // Capacity returns the local buffer capacity l.
 func (b *Buffered) Capacity() int { return b.capacity }
 
+// Metrics returns the registry this LIS reports through.
+func (b *Buffered) Metrics() *metrics.Registry { return b.ctr.reg }
+
 // Capture implements event.Sink. When the buffer reaches capacity the
 // policy hook runs: plain FOF flushes this buffer; under a Gang the
 // coordinator flushes every member (FAOF).
 func (b *Buffered) Capture(r trace.Record) {
 	b.mu.Lock()
 	if b.stopped {
-		b.stats.Dropped++
 		b.mu.Unlock()
+		b.ctr.dropped.Inc()
 		return
 	}
 	b.buf = append(b.buf, r)
-	b.stats.Captured++
 	full := len(b.buf) >= b.capacity
 	onFull := b.onFull
+	b.ctr.occupancy.Set(int64(len(b.buf)))
 	b.mu.Unlock()
+	b.ctr.captured.Inc()
 
 	if !full {
 		return
@@ -136,7 +326,9 @@ func (b *Buffered) Len() int {
 }
 
 // Flush sends the buffered records to the ISM as one data message.
-// An empty buffer is a no-op (and not counted as a flush).
+// An empty buffer is a no-op (and not counted as a flush). In async
+// mode the batch is enqueued for the sender goroutine and the overflow
+// policy applies when the pending stage is full.
 func (b *Buffered) Flush() error {
 	b.mu.Lock()
 	if len(b.buf) == 0 {
@@ -144,29 +336,37 @@ func (b *Buffered) Flush() error {
 		return nil
 	}
 	batch := b.buf
-	b.buf = make([]trace.Record, 0, b.capacity)
-	b.stats.Flushes++
-	b.stats.Forwarded += uint64(len(batch))
+	b.buf = b.newBuf()
+	b.ctr.occupancy.Set(0)
 	conn := b.conn
 	b.mu.Unlock()
+	b.ctr.flushes.Inc()
 
-	return conn.Send(tp.DataMessage(b.node, batch))
+	if b.pending != nil {
+		b.pending.Push(batch) // drops/spills are accounted by the hooks
+		return nil
+	}
+	n := uint64(len(batch))
+	err := conn.Send(b.msg(batch))
+	b.ctr.forwarded.Add(n)
+	return err
 }
 
 // Stats implements LIS.
-func (b *Buffered) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
-}
+func (b *Buffered) Stats() Stats { return b.ctr.stats() }
 
 // Close flushes remaining records and marks the LIS stopped. The
 // connection is left open for the caller to close (it may be shared).
 func (b *Buffered) Close() error {
 	err := b.Flush()
 	b.mu.Lock()
+	alreadyStopped := b.stopped
 	b.stopped = true
 	b.mu.Unlock()
+	if b.pending != nil && !alreadyStopped {
+		b.pending.Close()
+		<-b.senderDone
+	}
 	return err
 }
 
@@ -215,45 +415,60 @@ func (g *Gang) GangFlushes() uint64 {
 // sent to the ISM immediately ("event forwarding involves only one
 // system call per event", §3.3).
 type Forwarding struct {
-	node int32
-	conn tp.Conn
+	node     int32
+	conn     tp.Conn
+	unpooled bool
+	ctr      lisCounters
 
 	mu      sync.Mutex
-	stats   Stats
 	stopped bool
 }
 
 // NewForwarding creates a forwarding LIS.
-func NewForwarding(node int32, conn tp.Conn) (*Forwarding, error) {
+func NewForwarding(node int32, conn tp.Conn, opts ...Option) (*Forwarding, error) {
 	if conn == nil {
 		return nil, errors.New("lis: nil connection")
 	}
-	return &Forwarding{node: node, conn: conn}, nil
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Forwarding{
+		node: node, conn: conn, unpooled: o.unpooled,
+		ctr: newLISCounters(node, o.registry),
+	}, nil
 }
+
+// Metrics returns the registry this LIS reports through.
+func (f *Forwarding) Metrics() *metrics.Registry { return f.ctr.reg }
 
 // Capture implements event.Sink.
 func (f *Forwarding) Capture(r trace.Record) {
 	f.mu.Lock()
-	if f.stopped {
-		f.stats.Dropped++
-		f.mu.Unlock()
+	stopped := f.stopped
+	f.mu.Unlock()
+	if stopped {
+		f.ctr.dropped.Inc()
 		return
 	}
-	f.stats.Captured++
-	f.stats.Forwarded++
-	f.mu.Unlock()
-	_ = f.conn.Send(tp.DataMessage(f.node, []trace.Record{r}))
+	f.ctr.captured.Inc()
+	f.ctr.forwarded.Inc()
+	var msg tp.Message
+	if f.unpooled {
+		msg = tp.DataMessage(f.node, []trace.Record{r})
+	} else {
+		batch := flow.GetBatch(1)
+		batch = append(batch, r)
+		msg = tp.PooledDataMessage(f.node, batch)
+	}
+	_ = f.conn.Send(msg)
 }
 
 // Flush implements LIS; a forwarding LIS holds nothing back.
 func (f *Forwarding) Flush() error { return nil }
 
 // Stats implements LIS.
-func (f *Forwarding) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
-}
+func (f *Forwarding) Stats() Stats { return f.ctr.stats() }
 
 // Close implements LIS.
 func (f *Forwarding) Close() error {

@@ -18,8 +18,14 @@ import (
 	"io"
 	"sync"
 
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/trace"
 )
+
+// A Hierarchy is a valid spill target for every flow stage
+// (lis.WithOverflow, ism.Config.OverflowSpill, tp pipe spills).
+var _ flow.Spill = (*Hierarchy)(nil)
 
 // Discipline selects the main-buffer management policy.
 type Discipline int
@@ -48,6 +54,29 @@ type Stats struct {
 	Peak        int    // maximum main-buffer occupancy
 }
 
+// Option configures a Hierarchy at construction time.
+type Option func(*Hierarchy)
+
+// WithMetrics mirrors the hierarchy's activity into the given registry
+// under the "storage" scope (storage.appended, storage.spills,
+// storage.to_disk, storage.overwritten, storage.resident).
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(h *Hierarchy) {
+		s := reg.Scope("storage")
+		h.m = &hierMetrics{
+			appended: s.Counter("appended"), spills: s.Counter("spills"),
+			toDisk: s.Counter("to_disk"), overwritten: s.Counter("overwritten"),
+			resident: s.Gauge("resident"),
+		}
+	}
+}
+
+// hierMetrics is the optional registry-backed counter set.
+type hierMetrics struct {
+	appended, spills, toDisk, overwritten *metrics.Counter
+	resident                              *metrics.Gauge
+}
+
 // Hierarchy is a two-level store: a bounded in-memory main buffer over
 // an optional next level (any io.Writer; typically a file, receiving
 // the binary trace format). It is safe for concurrent use.
@@ -58,13 +87,14 @@ type Hierarchy struct {
 	main       []trace.Record
 	next       *trace.Writer
 	stats      Stats
+	m          *hierMetrics
 	closed     bool
 }
 
 // New creates a hierarchy with the given main-buffer capacity. next
 // may be nil only in Ring mode (a pure flight recorder); Spill mode
 // requires a next level to spill into.
-func New(d Discipline, capacity int, next io.Writer) (*Hierarchy, error) {
+func New(d Discipline, capacity int, next io.Writer, opts ...Option) (*Hierarchy, error) {
 	if capacity < 1 {
 		return nil, errors.New("storage: capacity must be >= 1")
 	}
@@ -74,6 +104,9 @@ func New(d Discipline, capacity int, next io.Writer) (*Hierarchy, error) {
 	h := &Hierarchy{discipline: d, capacity: capacity}
 	if next != nil {
 		h.next = trace.NewWriter(next)
+	}
+	for _, opt := range opts {
+		opt(h)
 	}
 	return h, nil
 }
@@ -87,6 +120,9 @@ func (h *Hierarchy) Append(rs ...trace.Record) error {
 	}
 	for _, r := range rs {
 		h.stats.Appended++
+		if h.m != nil {
+			h.m.appended.Inc()
+		}
 		if len(h.main) >= h.capacity {
 			switch h.discipline {
 			case Spill:
@@ -96,6 +132,9 @@ func (h *Hierarchy) Append(rs ...trace.Record) error {
 			case Ring:
 				h.main = h.main[1:]
 				h.stats.Overwritten++
+				if h.m != nil {
+					h.m.overwritten.Inc()
+				}
 			}
 		}
 		h.main = append(h.main, r)
@@ -104,6 +143,9 @@ func (h *Hierarchy) Append(rs ...trace.Record) error {
 		}
 	}
 	h.stats.Resident = len(h.main)
+	if h.m != nil {
+		h.m.resident.Set(int64(len(h.main)))
+	}
 	return nil
 }
 
@@ -119,6 +161,10 @@ func (h *Hierarchy) spillLocked() error {
 	}
 	h.stats.Spills++
 	h.stats.ToDisk += uint64(len(h.main))
+	if h.m != nil {
+		h.m.spills.Inc()
+		h.m.toDisk.Add(uint64(len(h.main)))
+	}
 	h.main = h.main[:0]
 	return nil
 }

@@ -4,7 +4,59 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
+
+	"prism/internal/isruntime/metrics"
+	"prism/internal/trace"
 )
+
+// ConnOption configures a stream connection (timeouts, metrics).
+type ConnOption func(*connOptions)
+
+type connOptions struct {
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	registry     *metrics.Registry
+}
+
+// WithReadTimeout bounds each Recv: a peer that stops sending for
+// longer than d causes Recv to fail with a timeout error instead of
+// wedging the reader forever.
+func WithReadTimeout(d time.Duration) ConnOption {
+	return func(o *connOptions) { o.readTimeout = d }
+}
+
+// WithWriteTimeout bounds each Send: a peer that stops draining causes
+// Send to fail with a timeout error instead of blocking the LIS.
+func WithWriteTimeout(d time.Duration) ConnOption {
+	return func(o *connOptions) { o.writeTimeout = d }
+}
+
+// WithConnMetrics reports transport activity (tp.msgs_sent,
+// tp.bytes_sent, tp.msgs_recv, tp.bytes_recv, tp.send_errors) through
+// the given registry.
+func WithConnMetrics(reg *metrics.Registry) ConnOption {
+	return func(o *connOptions) { o.registry = reg }
+}
+
+// connMetrics is the per-connection counter set under the tp scope.
+type connMetrics struct {
+	msgsSent, bytesSent *metrics.Counter
+	msgsRecv, bytesRecv *metrics.Counter
+	sendErrors          *metrics.Counter
+}
+
+func newConnMetrics(reg *metrics.Registry) *connMetrics {
+	if reg == nil {
+		return nil
+	}
+	s := reg.Scope("tp")
+	return &connMetrics{
+		msgsSent: s.Counter("msgs_sent"), bytesSent: s.Counter("bytes_sent"),
+		msgsRecv: s.Counter("msgs_recv"), bytesRecv: s.Counter("bytes_recv"),
+		sendErrors: s.Counter("send_errors"),
+	}
+}
 
 // TCP transport: the socket-based TP variant. A streamConn adapts a
 // net.Conn to the Conn interface with buffered framing. Writes are
@@ -12,8 +64,10 @@ import (
 // one connection; reads are expected from a single consumer (the usual
 // LIS->ISM arrangement).
 type streamConn struct {
-	nc net.Conn
-	r  *bufio.Reader
+	nc   net.Conn
+	r    *bufio.Reader
+	opts connOptions
+	m    *connMetrics
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -24,11 +78,17 @@ type streamConn struct {
 
 // NewStreamConn wraps a net.Conn (or any equivalent) as a message
 // Conn.
-func NewStreamConn(nc net.Conn) Conn {
+func NewStreamConn(nc net.Conn, opts ...ConnOption) Conn {
+	var o connOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	return &streamConn{
-		nc: nc,
-		r:  bufio.NewReaderSize(nc, 64<<10),
-		w:  bufio.NewWriterSize(nc, 64<<10),
+		nc:   nc,
+		r:    bufio.NewReaderSize(nc, 64<<10),
+		w:    bufio.NewWriterSize(nc, 64<<10),
+		opts: o,
+		m:    newConnMetrics(o.registry),
 	}
 }
 
@@ -38,15 +98,40 @@ func NewStreamConn(nc net.Conn) Conn {
 func (c *streamConn) Send(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.opts.writeTimeout > 0 {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.opts.writeTimeout))
+	}
+	n := frameHeaderSize + len(m.Records)*trace.RecordSize
 	if err := WriteMessage(c.w, m); err != nil {
+		if c.m != nil {
+			c.m.sendErrors.Inc()
+		}
 		return err
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		if c.m != nil {
+			c.m.sendErrors.Inc()
+		}
+		return err
+	}
+	if c.m != nil {
+		c.m.msgsSent.Inc()
+		c.m.bytesSent.Add(uint64(n))
+	}
+	return nil
 }
 
 // Recv implements Conn.
 func (c *streamConn) Recv() (Message, error) {
-	return ReadMessage(c.r)
+	if c.opts.readTimeout > 0 {
+		_ = c.nc.SetReadDeadline(time.Now().Add(c.opts.readTimeout))
+	}
+	m, err := ReadMessage(c.r)
+	if err == nil && c.m != nil {
+		c.m.msgsRecv.Inc()
+		c.m.bytesRecv.Add(uint64(frameHeaderSize + len(m.Records)*trace.RecordSize))
+	}
+	return m, err
 }
 
 // Close implements Conn.
@@ -56,17 +141,19 @@ func (c *streamConn) Close() error {
 }
 
 // Listener accepts TCP message connections for an ISM endpoint.
+// Options given to Listen apply to every accepted connection.
 type Listener struct {
-	l net.Listener
+	l    net.Listener
+	opts []ConnOption
 }
 
 // Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
-func Listen(addr string) (*Listener, error) {
+func Listen(addr string, opts ...ConnOption) (*Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Listener{l: l}, nil
+	return &Listener{l: l, opts: opts}, nil
 }
 
 // Addr returns the bound address, useful with port 0.
@@ -78,17 +165,27 @@ func (ln *Listener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewStreamConn(nc), nil
+	return NewStreamConn(nc, ln.opts...), nil
 }
 
 // Close stops the listener.
 func (ln *Listener) Close() error { return ln.l.Close() }
 
 // Dial connects to an ISM TCP endpoint.
-func Dial(addr string) (Conn, error) {
+func Dial(addr string, opts ...ConnOption) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewStreamConn(nc), nil
+	return NewStreamConn(nc, opts...), nil
+}
+
+// DialTimeout connects to an ISM TCP endpoint, failing after timeout
+// instead of hanging an LIS on an unreachable manager.
+func DialTimeout(addr string, timeout time.Duration, opts ...ConnOption) (Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamConn(nc, opts...), nil
 }

@@ -12,6 +12,13 @@
 // Both carry the same Message type, which multiplexes instrumentation
 // data batches and control signals (the ISM-to-tool and ISM-to-process
 // control traffic of Figure 2).
+//
+// Record batches travel through the flow core's batch pool: a message
+// built with PooledDataMessage marks its record slice pool-owned, and
+// whichever layer finishes with the data (the wire encoder, a policy
+// drop, or the ISM after copying into its input stage) recycles it
+// with flow.PutBatch. After Send returns, the sender must not touch a
+// pooled message's records.
 package tp
 
 import (
@@ -19,7 +26,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
+	"prism/internal/isruntime/flow"
 	"prism/internal/trace"
 )
 
@@ -70,11 +79,23 @@ type Message struct {
 	Control Control
 	Arg     int64 // control argument
 	Records []trace.Record
+	// Pooled marks Records as owned by the flow batch pool: the final
+	// consumer must return the slice with flow.PutBatch. The flag is
+	// transport-local and never encoded on the wire.
+	Pooled bool
 }
 
 // DataMessage builds a data message from node with the given records.
+// The caller retains ownership of the record slice.
 func DataMessage(node int32, records []trace.Record) Message {
 	return Message{Type: MsgData, Node: node, Records: records}
+}
+
+// PooledDataMessage builds a data message whose record slice came from
+// flow.GetBatch; ownership transfers with the message and the final
+// consumer recycles it.
+func PooledDataMessage(node int32, records flow.Batch) Message {
+	return Message{Type: MsgData, Node: node, Records: records, Pooled: true}
 }
 
 // ControlMessage builds a control message.
@@ -82,10 +103,22 @@ func ControlMessage(node int32, ctl Control, arg int64) Message {
 	return Message{Type: MsgControl, Node: node, Control: ctl, Arg: arg}
 }
 
+// Recycle returns a message's record slice to the batch pool if it is
+// pool-owned. Consumers call it once they have copied or discarded the
+// records.
+func Recycle(m Message) {
+	if m.Pooled && m.Records != nil {
+		flow.PutBatch(m.Records)
+	}
+}
+
 // Conn is a bidirectional, ordered, reliable message connection —
 // the abstraction all LIS/ISM/tool endpoints speak.
 type Conn interface {
 	// Send transmits one message. It may block for flow control.
+	// Send takes ownership of pooled messages: after it returns
+	// (success or error) the caller must not touch m.Records if
+	// m.Pooled is set.
 	Send(Message) error
 	// Recv returns the next message, or an error once the peer has
 	// closed (io.EOF for orderly shutdown).
@@ -97,23 +130,43 @@ type Conn interface {
 // ErrClosed is returned for operations on a closed connection.
 var ErrClosed = errors.New("tp: connection closed")
 
+// DropCounter is implemented by lossy transports (pipes with a
+// non-blocking overflow policy) that discard messages under pressure.
+type DropCounter interface {
+	DroppedMessages() uint64
+}
+
 // chanConn is the in-process transport: one direction of a Pipe.
 type chanConn struct {
-	send chan<- Message
-	recv <-chan Message
-	stop chan struct{}
+	send   chan Message
+	recv   chan Message
+	stop   chan struct{}
+	policy flow.OverflowPolicy
+	spill  func(Message) error
+
+	mu      sync.Mutex
+	dropped uint64
 }
 
 // Pipe returns the two ends of an in-process connection with the given
 // buffering per direction. Buffer 0 gives rendezvous semantics; a
 // positive buffer models a bounded kernel pipe, whose fill-up is the
-// blocking effect of §3.2.3.
-func Pipe(buffer int) (Conn, Conn) {
+// blocking effect of §3.2.3. Equivalent to PipePolicy with flow.Block.
+func Pipe(buffer int) (Conn, Conn) { return PipePolicy(buffer, flow.Block, nil) }
+
+// PipePolicy returns an in-process connection whose Send applies the
+// given overflow policy when the pipe is full: Block waits (classic
+// bounded-pipe backpressure), DropNewest discards the arriving
+// message, DropOldest displaces the queued one, and SpillToStorage
+// hands the displaced message to spill (falling back to dropping it
+// when spill is nil or fails). Dropped messages are counted and
+// reported via the DropCounter interface.
+func PipePolicy(buffer int, policy flow.OverflowPolicy, spill func(Message) error) (Conn, Conn) {
 	ab := make(chan Message, buffer)
 	ba := make(chan Message, buffer)
 	stop := make(chan struct{})
-	a := &chanConn{send: ab, recv: ba, stop: stop}
-	b := &chanConn{send: ba, recv: ab, stop: stop}
+	a := &chanConn{send: ab, recv: ba, stop: stop, policy: policy, spill: spill}
+	b := &chanConn{send: ba, recv: ab, stop: stop, policy: policy, spill: spill}
 	return a, b
 }
 
@@ -121,15 +174,71 @@ func Pipe(buffer int) (Conn, Conn) {
 func (c *chanConn) Send(m Message) error {
 	select {
 	case <-c.stop:
+		c.drop(m)
 		return ErrClosed
 	default:
 	}
-	select {
-	case c.send <- m:
-		return nil
-	case <-c.stop:
-		return ErrClosed
+	if c.policy == flow.Block {
+		select {
+		case c.send <- m:
+			return nil
+		case <-c.stop:
+			c.drop(m)
+			return ErrClosed
+		}
 	}
+	// Lossy policies: never block the producer.
+	for {
+		select {
+		case c.send <- m:
+			return nil
+		default:
+		}
+		if c.policy == flow.DropNewest {
+			c.drop(m)
+			return nil
+		}
+		// DropOldest / SpillToStorage: displace the queued head.
+		select {
+		case old := <-c.send:
+			if c.policy == flow.SpillToStorage && c.spill != nil {
+				if err := c.spill(old); err == nil {
+					Recycle(old)
+					continue
+				}
+			}
+			c.drop(old)
+		case <-c.stop:
+			c.drop(m)
+			return ErrClosed
+		default:
+			// Nothing queued to displace (unbuffered pipe, or the
+			// consumer raced us): one last send attempt, then give
+			// the message up rather than block a lossy producer.
+			select {
+			case c.send <- m:
+				return nil
+			default:
+				c.drop(m)
+				return nil
+			}
+		}
+	}
+}
+
+// drop counts a lost message and recycles its pooled records.
+func (c *chanConn) drop(m Message) {
+	c.mu.Lock()
+	c.dropped++
+	c.mu.Unlock()
+	Recycle(m)
+}
+
+// DroppedMessages implements DropCounter.
+func (c *chanConn) DroppedMessages() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Recv implements Conn.
@@ -179,32 +288,62 @@ const frameHeaderSize = 1 + 1 + 4 + 8 + 4
 // from forcing huge allocations.
 const maxFrameRecords = 1 << 20
 
-// WriteMessage encodes m onto w.
-func WriteMessage(w io.Writer, m Message) error {
+// encodeBuffer is a pooled scratch buffer for wire encode/decode, so
+// the per-message frame allocation disappears from the hot path.
+type encodeBuffer struct{ b []byte }
+
+var encodePool = sync.Pool{New: func() any { return new(encodeBuffer) }}
+
+func (e *encodeBuffer) sized(n int) []byte {
+	if cap(e.b) < n {
+		e.b = make([]byte, n)
+	}
+	return e.b[:n]
+}
+
+// AppendMessage appends the wire encoding of m to buf and returns the
+// extended slice. It is the allocation-transparent building block;
+// WriteMessage wraps it with a pooled buffer.
+func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	if m.Type >= numMsgTypes {
-		return fmt.Errorf("tp: invalid message type %d", m.Type)
+		return buf, fmt.Errorf("tp: invalid message type %d", m.Type)
 	}
 	if len(m.Records) > maxFrameRecords {
-		return fmt.Errorf("tp: frame too large (%d records)", len(m.Records))
+		return buf, fmt.Errorf("tp: frame too large (%d records)", len(m.Records))
 	}
-	buf := make([]byte, frameHeaderSize+len(m.Records)*trace.RecordSize)
-	buf[0] = byte(m.Type)
-	buf[1] = byte(m.Control)
-	binary.LittleEndian.PutUint32(buf[2:], uint32(m.Node))
-	binary.LittleEndian.PutUint64(buf[6:], uint64(m.Arg))
-	binary.LittleEndian.PutUint32(buf[14:], uint32(len(m.Records)))
-	off := frameHeaderSize
+	var h [frameHeaderSize]byte
+	h[0] = byte(m.Type)
+	h[1] = byte(m.Control)
+	binary.LittleEndian.PutUint32(h[2:], uint32(m.Node))
+	binary.LittleEndian.PutUint64(h[6:], uint64(m.Arg))
+	binary.LittleEndian.PutUint32(h[14:], uint32(len(m.Records)))
+	buf = append(buf, h[:]...)
 	for _, r := range m.Records {
 		var rb [trace.RecordSize]byte
 		trace.EncodeRecord(&rb, r)
-		copy(buf[off:], rb[:])
-		off += trace.RecordSize
+		buf = append(buf, rb[:]...)
 	}
-	_, err := w.Write(buf)
+	return buf, nil
+}
+
+// WriteMessage encodes m onto w using a pooled frame buffer, then
+// recycles m's record slice if it is pool-owned.
+func WriteMessage(w io.Writer, m Message) error {
+	eb := encodePool.Get().(*encodeBuffer)
+	buf, err := AppendMessage(eb.b[:0], m)
+	eb.b = buf[:0]
+	if err == nil {
+		_, err = w.Write(buf)
+	}
+	encodePool.Put(eb)
+	Recycle(m)
 	return err
 }
 
-// ReadMessage decodes one message from r.
+// ReadMessage decodes one message from r. Record slices are drawn from
+// the flow batch pool and marked Pooled, so pipeline consumers can
+// recycle them once the records are copied out; callers that retain
+// the records simply never recycle.
 func ReadMessage(r io.Reader) (Message, error) {
 	var h [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
@@ -230,19 +369,27 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("tp: oversized frame (%d records)", count)
 	}
 	if count > 0 {
-		m.Records = make([]trace.Record, count)
-		body := make([]byte, int(count)*trace.RecordSize)
+		eb := encodePool.Get().(*encodeBuffer)
+		body := eb.sized(int(count) * trace.RecordSize)
 		if _, err := io.ReadFull(r, body); err != nil {
+			encodePool.Put(eb)
 			return Message{}, fmt.Errorf("tp: truncated frame body: %w", err)
 		}
-		for i := range m.Records {
+		rs := flow.GetBatch(int(count))
+		for i := 0; i < int(count); i++ {
 			var rb [trace.RecordSize]byte
 			copy(rb[:], body[i*trace.RecordSize:])
-			m.Records[i] = trace.DecodeRecord(&rb)
-			if !m.Records[i].Kind.Valid() {
+			rec := trace.DecodeRecord(&rb)
+			if !rec.Kind.Valid() {
+				encodePool.Put(eb)
+				flow.PutBatch(rs)
 				return Message{}, fmt.Errorf("tp: record %d has invalid kind", i)
 			}
+			rs = append(rs, rec)
 		}
+		encodePool.Put(eb)
+		m.Records = rs
+		m.Pooled = true
 	}
 	return m, nil
 }

@@ -1,0 +1,288 @@
+package tp
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/metrics"
+	"prism/internal/trace"
+)
+
+// TestPipeSendAfterClose pins the send-after-close contract: ErrClosed,
+// the message counted as dropped, and pooled payloads recycled rather
+// than leaked.
+func TestPipeSendAfterClose(t *testing.T) {
+	a, b := Pipe(2)
+	_ = b
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	batch := flow.GetBatch(4)
+	batch = append(batch, trace.Record{Kind: trace.KindUser})
+	if err := a.Send(PooledDataMessage(0, batch)); err != ErrClosed {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	dc, ok := a.(DropCounter)
+	if !ok {
+		t.Fatal("pipe conn should count drops")
+	}
+	if dc.DroppedMessages() != 1 {
+		t.Fatalf("dropped %d", dc.DroppedMessages())
+	}
+	// Both ends fail after either closes.
+	if err := b.Send(DataMessage(0, nil)); err != ErrClosed {
+		t.Fatalf("peer send after close = %v", err)
+	}
+}
+
+func TestPipePolicyDropNewest(t *testing.T) {
+	a, _ := PipePolicy(1, flow.DropNewest, nil)
+	if err := a.Send(DataMessage(1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full, no consumer: the arriving message is shed, Send does
+	// not block and does not error.
+	if err := a.Send(DataMessage(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.(DropCounter).DroppedMessages(); n != 1 {
+		t.Fatalf("dropped %d", n)
+	}
+}
+
+func TestPipePolicyDropOldest(t *testing.T) {
+	a, b := PipePolicy(1, flow.DropOldest, nil)
+	_ = a.Send(DataMessage(1, nil))
+	_ = a.Send(DataMessage(2, nil)) // displaces 1
+	got, err := b.Recv()
+	if err != nil || got.Node != 2 {
+		t.Fatalf("recv %+v %v", got, err)
+	}
+	if n := a.(DropCounter).DroppedMessages(); n != 1 {
+		t.Fatalf("dropped %d", n)
+	}
+}
+
+func TestPipePolicySpill(t *testing.T) {
+	var mu sync.Mutex
+	var spilled []Message
+	a, b := PipePolicy(1, flow.SpillToStorage, func(m Message) error {
+		mu.Lock()
+		spilled = append(spilled, m)
+		mu.Unlock()
+		return nil
+	})
+	_ = a.Send(DataMessage(1, nil))
+	_ = a.Send(DataMessage(2, nil)) // spills 1
+	got, err := b.Recv()
+	if err != nil || got.Node != 2 {
+		t.Fatalf("recv %+v %v", got, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(spilled) != 1 || spilled[0].Node != 1 {
+		t.Fatalf("spilled %+v", spilled)
+	}
+	if n := a.(DropCounter).DroppedMessages(); n != 0 {
+		t.Fatalf("spill counted as drop: %d", n)
+	}
+}
+
+// TestPipePolicyLossyNeverBlocks floods an unbuffered lossy pipe with
+// no consumer: Send must return promptly every time.
+func TestPipePolicyLossyNeverBlocks(t *testing.T) {
+	a, _ := PipePolicy(0, flow.DropOldest, nil)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			_ = a.Send(DataMessage(int32(i), nil))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("lossy send blocked")
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	// Success path against a live listener.
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		m, err := conn.Recv()
+		if err == nil {
+			_ = conn.Send(ControlMessage(m.Node, CtlAck, 0))
+		}
+		conn.Close()
+	}()
+	conn, err := DialTimeout(ln.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(DataMessage(1, recs(2))); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := conn.Recv(); err != nil || ack.Control != CtlAck {
+		t.Fatalf("ack %+v %v", ack, err)
+	}
+
+	// Failure path: nobody listens on a freshly released port.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	dead.Close()
+	if _, err := DialTimeout(addr, 250*time.Millisecond); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}
+
+// TestReadTimeout wedges a connection: with WithReadTimeout set, Recv
+// must fail with a timeout instead of hanging forever.
+func TestReadTimeout(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", WithReadTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+	client, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := server.Recv() // client sends nothing
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv succeeded on silent peer")
+		}
+		ne, ok := err.(net.Error)
+		if ok && !ne.Timeout() {
+			t.Fatalf("not a timeout: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv ignored read timeout")
+	}
+}
+
+// TestConnMetrics checks the transport's registry counters across a
+// round trip.
+func TestConnMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ln, err := Listen("127.0.0.1:0", tpOpt(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan Message, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		m, err := conn.Recv()
+		if err == nil {
+			got <- m
+		}
+	}()
+	client, err := Dial(ln.Addr(), WithConnMetrics(reg), WithWriteTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send(DataMessage(0, recs(3))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never received")
+	}
+	snap := reg.Snapshot()
+	wantBytes := float64(frameHeaderSize + 3*trace.RecordSize)
+	if snap.Value("tp.msgs_sent") != 1 || snap.Value("tp.bytes_sent") != wantBytes {
+		t.Fatalf("send metrics %+v", snap)
+	}
+	if snap.Value("tp.msgs_recv") != 1 || snap.Value("tp.bytes_recv") != wantBytes {
+		t.Fatalf("recv metrics %+v", snap)
+	}
+}
+
+// tpOpt is a helper so the server side shares the registry.
+func tpOpt(reg *metrics.Registry) ConnOption { return WithConnMetrics(reg) }
+
+// TestPooledWireRoundTrip checks ownership across the wire: writing a
+// pooled message recycles it, and reading marks the decoded records
+// pooled for the downstream consumer.
+func TestPooledWireRoundTrip(t *testing.T) {
+	var buf writableBuffer
+	batch := flow.GetBatch(4)
+	for i := 0; i < 3; i++ {
+		batch = append(batch, trace.Record{Kind: trace.KindUser, Tag: uint16(i)})
+	}
+	if err := WriteMessage(&buf, PooledDataMessage(2, batch)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Pooled {
+		t.Fatal("decoded records not marked pooled")
+	}
+	if len(m.Records) != 3 || m.Records[1].Tag != 1 {
+		t.Fatalf("decoded %+v", m)
+	}
+	Recycle(m)
+}
+
+// writableBuffer adapts a byte slice as an io.ReadWriter without the
+// bytes.Buffer's internal growth heuristics getting in the way.
+type writableBuffer struct {
+	b []byte
+}
+
+func (w *writableBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *writableBuffer) Read(p []byte) (int, error) {
+	if len(w.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, w.b)
+	w.b = w.b[n:]
+	return n, nil
+}

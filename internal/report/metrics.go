@@ -1,0 +1,35 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"prism/internal/isruntime/metrics"
+)
+
+// RenderMetrics prints a runtime metrics snapshot as a boxed table —
+// the IS reporting on itself (counters like lis.node0.captured,
+// ism.out_of_order, tp.bytes_sent). Histogram rows include their
+// observation count, mean and max.
+func RenderMetrics(w io.Writer, title string, snap metrics.Snapshot) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", min(len(title), 100))); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(snap))
+	for _, m := range snap {
+		var value string
+		switch m.Kind {
+		case metrics.KindHistogram:
+			value = fmt.Sprintf("n=%d mean=%.1f max=%d", m.Count, m.Value, m.Max)
+		default:
+			value = fmt.Sprintf("%g", m.Value)
+		}
+		rows = append(rows, []string{m.Name, m.Kind.String(), value})
+	}
+	if err := renderTable(w, []string{"metric", "kind", "value"}, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

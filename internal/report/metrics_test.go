@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"prism/internal/isruntime/metrics"
+)
+
+func TestRenderMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Scope("lis.node0").Counter("captured").Add(128)
+	reg.Scope("ism").Gauge("held").Set(4)
+	reg.Scope("ism").Histogram("latency_ns").Observe(1000)
+
+	var b strings.Builder
+	if err := RenderMetrics(&b, "IS runtime metrics", reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "IS runtime metrics") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	for _, want := range []string{
+		"lis.node0.captured", "128", "counter",
+		"ism.held", "gauge",
+		"ism.latency_ns", "histogram", "n=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMetricsEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := RenderMetrics(&b, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "metric") {
+		t.Fatal("header row missing")
+	}
+}
