@@ -1,4 +1,8 @@
 GO ?= go
+BENCH ?= .
+BENCHCOUNT ?= 5
+BENCHTIME ?= 1s
+SHA := $(shell git rev-parse --short HEAD)
 
 .PHONY: check vet build test race bench fmt
 
@@ -18,8 +22,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench records a committed baseline: -count runs of every benchmark,
+# aggregated into BENCH_<sha>.json (ns/op min/mean/max, allocs/op, and
+# the GOMAXPROCS/NumCPU context that makes speedups interpretable).
+# Narrow with e.g. `make bench BENCH=FactorialVista BENCHCOUNT=3`.
 bench:
-	$(GO) test -run XXX -bench . -benchmem ./...
+	$(GO) test -run XXX -timeout 0 -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem -count $(BENCHCOUNT) ./... | tee bench.out
+	$(GO) run ./cmd/benchjson -sha $(SHA) < bench.out > BENCH_$(SHA).json
+	@rm -f bench.out
+	@echo wrote BENCH_$(SHA).json
 
 fmt:
 	gofmt -l -w .

@@ -6,7 +6,6 @@
 package prism
 
 import (
-	"fmt"
 	"io"
 	"testing"
 
@@ -29,10 +28,14 @@ import (
 	"prism/internal/workload"
 )
 
-// benchArtifact regenerates one experiment artifact per iteration.
-func benchArtifact(b *testing.B, id string) {
+// benchArtifactAt regenerates one experiment artifact per iteration at
+// the given replication parallelism (0 = all cores, 1 = serial). The
+// Serial/Parallel benchmark pairs below quantify the replication
+// engine's speedup; artifacts are byte-identical at every setting.
+func benchArtifactAt(b *testing.B, id string, parallelism int) {
 	b.Helper()
-	suite := experiments.Suite(experiments.Options{Quick: true})
+	suite := experiments.Suite(experiments.Options{Quick: true, Parallelism: parallelism})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := suite.Run(id); err != nil {
@@ -40,6 +43,10 @@ func benchArtifact(b *testing.B, id string) {
 		}
 	}
 }
+
+// benchArtifact regenerates one experiment artifact per iteration at
+// the default (all-core) parallelism.
+func benchArtifact(b *testing.B, id string) { benchArtifactAt(b, id, 0) }
 
 func BenchmarkTable1(b *testing.B)       { benchArtifact(b, "table1") }
 func BenchmarkTable2(b *testing.B)       { benchArtifact(b, "table2") }
@@ -65,6 +72,14 @@ func BenchmarkAdaptiveCostModel(b *testing.B) { benchArtifact(b, "adaptive-parad
 func BenchmarkAblationQuantum(b *testing.B)   { benchArtifact(b, "abl-quantum") }
 func BenchmarkAblationDisorder(b *testing.B)  { benchArtifact(b, "abl-disorder") }
 func BenchmarkAblationFlushCost(b *testing.B) { benchArtifact(b, "abl-flushcost") }
+
+// Serial counterparts of the most replication-bound artifacts: the
+// ratio Serial/parallel is the replication engine's speedup on this
+// machine (1.0 expected when GOMAXPROCS=1).
+func BenchmarkFactorialVistaSerial(b *testing.B)   { benchArtifactAt(b, "factorial-vista", 1) }
+func BenchmarkFactorialParadynSerial(b *testing.B) { benchArtifactAt(b, "factorial-paradyn", 1) }
+func BenchmarkFig11LatencySerial(b *testing.B)     { benchArtifactAt(b, "fig11latency", 1) }
+func BenchmarkValidationVistaSerial(b *testing.B)  { benchArtifactAt(b, "valid-vista", 1) }
 
 // --- model kernels -------------------------------------------------
 
@@ -410,9 +425,6 @@ func (w *writableBuffer) Read(p []byte) (int, error) {
 }
 
 func (w *writableBuffer) Reset() { w.data = w.data[:0]; w.off = 0 }
-
-// Ensure fmt stays imported if benchmarks above change.
-var _ = fmt.Sprintf
 
 // --- pooled vs unpooled hot paths ----------------------------------
 

@@ -1,0 +1,170 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document suitable for committing alongside the code it
+// measures (the BENCH_<sha>.json files produced by `make bench`).
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 | benchjson -sha $(git rev-parse --short HEAD)
+//
+// Each benchmark line becomes one entry; repeated -count runs of the
+// same benchmark are aggregated into min/mean/max ns/op so the JSON
+// stays reviewable. The environment block records GOMAXPROCS and CPU
+// count, without which speedup numbers are uninterpretable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark output line.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  int64
+	allocsPerOp int64
+	iterations  int64
+}
+
+// entry is the aggregated JSON record for one benchmark name.
+type entry struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"` // GOMAXPROCS suffix of the benchmark name
+	Count       int     `json:"count"` // number of -count runs aggregated
+	Iterations  int64   `json:"iterations"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	NsPerOpMax  float64 `json:"ns_per_op_max"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	GitSHA     string  `json:"git_sha,omitempty"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPU        string  `json:"cpu,omitempty"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	sha := flag.String("sha", "", "git revision to record in the document")
+	flag.Parse()
+
+	doc := document{
+		GitSHA:     *sha,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	samples := map[string][]sample{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		name, s, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, name := range order {
+		doc.Benchmarks = append(doc.Benchmarks, aggregate(name, samples[name]))
+	}
+	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo-4   123   456789 ns/op   10 B/op   2 allocs/op
+func parseBenchLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	var s sample
+	s.iterations = iters
+	got := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+			got = true
+		case "B/op":
+			s.bytesPerOp = int64(v)
+		case "allocs/op":
+			s.allocsPerOp = int64(v)
+		}
+	}
+	return fields[0], s, got
+}
+
+// aggregate folds -count repetitions of one benchmark into min/mean/max.
+func aggregate(name string, ss []sample) entry {
+	e := entry{Name: name, Procs: 1, Count: len(ss)}
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			e.Name, e.Procs = name[:i], p
+		}
+	}
+	e.NsPerOpMin = ss[0].nsPerOp
+	var sum float64
+	for _, s := range ss {
+		if s.nsPerOp < e.NsPerOpMin {
+			e.NsPerOpMin = s.nsPerOp
+		}
+		if s.nsPerOp > e.NsPerOpMax {
+			e.NsPerOpMax = s.nsPerOp
+		}
+		sum += s.nsPerOp
+		e.Iterations += s.iterations
+		// B/op and allocs/op are deterministic per benchmark; keep the
+		// last observation.
+		e.BytesPerOp = s.bytesPerOp
+		e.AllocsPerOp = s.allocsPerOp
+	}
+	e.NsPerOpMean = sum / float64(len(ss))
+	return e
+}

@@ -4,20 +4,24 @@
 //
 // Usage:
 //
-//	isrepro [-quick] [-csv] [-seed N] <experiment|group|all|list> ...
+//	isrepro [-quick] [-csv] [-seed N] [-parallel N] [-times] <experiment|group|all|list> ...
 //
 // Experiments are identified by the paper's artifact numbers (table1,
 // table3, fig5a, fig9left, ...) or by groups (fig5, fig9, fig11,
 // tables, validation, ablations). 'list' prints the catalogue;
 // 'all' runs everything. -quick trades fidelity for speed (small
 // horizons, r=5 instead of the paper's r=50); -csv emits data instead
-// of rendered tables/plots.
+// of rendered tables/plots. -parallel bounds how many experiments and
+// replications run concurrently (default: all cores; artifacts are
+// byte-identical at any setting); -times reports per-experiment wall
+// time on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"prism/internal/experiments"
@@ -28,6 +32,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced horizons and replications (seconds instead of minutes)")
 	csv := flag.Bool("csv", false, "emit CSV data instead of rendered artifacts")
 	seed := flag.Uint64("seed", 0, "seed offset for all experiments")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent experiments and replications (1 = serial; artifacts are identical either way)")
+	times := flag.Bool("times", false, "report per-experiment wall time on stderr")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -35,7 +42,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	suite := experiments.Suite(experiments.Options{Quick: *quick, Seed: *seed})
+	suite := experiments.Suite(experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel})
 
 	if flag.Arg(0) == "list" {
 		fmt.Println("experiments:")
@@ -73,36 +80,41 @@ func main() {
 		}
 	}
 
-	for _, id := range ids {
-		artifact, err := suite.Run(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "isrepro: %v\n", err)
+	// Independent experiments run concurrently (bounded by -parallel);
+	// artifacts come back in request order and render serially, so the
+	// output stream is identical to a serial run.
+	results := suite.RunAll(ids, *parallel)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "isrepro: %v\n", res.Err)
 			os.Exit(1)
 		}
 		if *csv {
-			if err := report.CSV(os.Stdout, artifact); err != nil {
+			if err := report.CSV(os.Stdout, res.Artifact); err != nil {
 				fmt.Fprintf(os.Stderr, "isrepro: %v\n", err)
 				os.Exit(1)
 			}
-			continue
-		}
-		if err := report.Render(os.Stdout, artifact); err != nil {
+		} else if err := report.Render(os.Stdout, res.Artifact); err != nil {
 			fmt.Fprintf(os.Stderr, "isrepro: %v\n", err)
 			os.Exit(1)
+		}
+		if *times {
+			fmt.Fprintf(os.Stderr, "isrepro: %-18s %8.1f ms\n", res.ID, res.Elapsed.Seconds()*1000)
 		}
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: isrepro [-quick] [-csv] [-seed N] <experiment|group|all|list> ...
+	fmt.Fprintf(os.Stderr, `usage: isrepro [-quick] [-csv] [-seed N] [-parallel N] [-times] <experiment|group|all|list> ...
 
 Regenerates the tables and figures of the SC'95 instrumentation-system
 paper. Try:
 
-  isrepro list            catalogue of experiments and groups
-  isrepro -quick fig5     the three Figure 5 panels, fast
-  isrepro table8          the tool-classification table
-  isrepro -quick all      everything, reduced fidelity
+  isrepro list                  catalogue of experiments and groups
+  isrepro -quick fig5           the three Figure 5 panels, fast
+  isrepro table8                the tool-classification table
+  isrepro -quick all            everything, reduced fidelity
+  isrepro -parallel 8 -times all  everything, 8-way parallel, timed
 
 `)
 	flag.PrintDefaults()

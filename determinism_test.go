@@ -1,0 +1,59 @@
+// Serial-vs-parallel determinism regression: the replication engine
+// promises byte-identical artifacts at every -parallel setting. This
+// renders the full quick suite serially and with 8-way parallelism and
+// asserts artifact-for-artifact equality of both output formats. Run
+// under -race (make check), it doubles as a data-race probe on the
+// engine's per-index result slots.
+package prism
+
+import (
+	"bytes"
+	"testing"
+
+	"prism/internal/experiments"
+	"prism/internal/report"
+)
+
+func renderSuite(t *testing.T, parallelism int) map[string][2][]byte {
+	t.Helper()
+	suite := experiments.Suite(experiments.Options{Quick: true, Parallelism: parallelism})
+	out := make(map[string][2][]byte)
+	for _, res := range suite.RunAll(suite.IDs(), parallelism) {
+		if res.Err != nil {
+			t.Fatalf("parallelism %d: %s: %v", parallelism, res.ID, res.Err)
+		}
+		var rendered, csv bytes.Buffer
+		if err := report.Render(&rendered, res.Artifact); err != nil {
+			t.Fatalf("render %s: %v", res.ID, err)
+		}
+		if err := report.CSV(&csv, res.Artifact); err != nil {
+			t.Fatalf("csv %s: %v", res.ID, err)
+		}
+		out[res.ID] = [2][]byte{rendered.Bytes(), csv.Bytes()}
+	}
+	return out
+}
+
+func TestSerialParallelArtifactsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite twice; skipped in -short")
+	}
+	serial := renderSuite(t, 1)
+	parallel := renderSuite(t, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("artifact count differs: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for id, want := range serial {
+		got, ok := parallel[id]
+		if !ok {
+			t.Errorf("%s: missing from parallel run", id)
+			continue
+		}
+		if !bytes.Equal(want[0], got[0]) {
+			t.Errorf("%s: rendered output differs between serial and -parallel 8", id)
+		}
+		if !bytes.Equal(want[1], got[1]) {
+			t.Errorf("%s: CSV output differs between serial and -parallel 8", id)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The parallel replication engine. The paper's evaluation method is
+// replication-heavy by construction — every stochastic table and
+// figure is the mean of r independent simulation replications — and
+// the replications are embarrassingly parallel once their seeds are
+// derived per-identity (SeedFor) instead of from loop state. Replicate
+// is the single execution primitive the whole suite funnels through:
+// a bounded worker pool whose observable behavior (which function runs
+// with which index, where the result lands) is identical to the serial
+// loop it replaces.
+
+// Replicate runs fn(i) for every i in [0, n), at most parallelism at
+// a time. parallelism <= 0 means runtime.GOMAXPROCS(0); parallelism 1
+// degenerates to the plain serial loop.
+//
+// Callers collect results by writing to pre-sized, per-index slots
+// (vals[i] = ...), which keeps aggregation order independent of
+// completion order: the engine guarantees each index is claimed by
+// exactly one worker, so no synchronization is needed on the slots.
+//
+// On error the engine cancels: no new indices are claimed, in-flight
+// calls finish, and the error from the lowest-indexed failed
+// replication observed is returned.
+func Replicate(n, parallelism int, fn func(i int) error) error {
+	if fn == nil {
+		return errors.New("core: Replicate needs a function")
+	}
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+
+		mu       sync.Mutex
+		errIndex = n // lowest failed index seen so far
+		firstErr error
+	)
+	worker := func() {
+		defer wg.Done()
+		for !stopped.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if i < errIndex {
+					errIndex, firstErr = i, err
+				}
+				mu.Unlock()
+				stopped.Store(true)
+				return
+			}
+		}
+	}
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunResult is the outcome of one experiment in a RunAll batch,
+// including the wall-clock time the experiment took. Wall time lives
+// here rather than in the Artifact so that artifacts stay byte-
+// identical across runs — timing is an observation about the run, not
+// part of the reproduced result.
+type RunResult struct {
+	ID       string
+	Artifact *Artifact
+	Elapsed  time.Duration
+	Err      error
+}
+
+// RunAll executes the named experiments, at most parallelism at a
+// time (parallelism <= 0 means runtime.GOMAXPROCS(0)), and returns
+// one result per id in input order. Unlike Run it does not stop at
+// the first failure: independent experiments keep running and each
+// result carries its own error.
+func (s *Suite) RunAll(ids []string, parallelism int) []RunResult {
+	out := make([]RunResult, len(ids))
+	// fn never returns an error: failures are recorded per-result so
+	// one broken experiment cannot cancel its siblings.
+	_ = Replicate(len(ids), parallelism, func(i int) error {
+		start := time.Now()
+		a, err := s.Run(ids[i])
+		out[i] = RunResult{ID: ids[i], Artifact: a, Elapsed: time.Since(start), Err: err}
+		return nil
+	})
+	return out
+}

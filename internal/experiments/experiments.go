@@ -7,8 +7,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"prism/internal/core"
+	"prism/internal/paradyn"
 )
 
 // Options tunes experiment fidelity.
@@ -19,6 +21,14 @@ type Options struct {
 	Quick bool
 	// Seed offsets all experiment seeds for sensitivity checks.
 	Seed uint64
+	// Parallelism bounds how many replications of one experiment may
+	// run concurrently (and how many experiments Suite.RunAll runs at
+	// once). 0 means runtime.GOMAXPROCS(0); 1 forces serial
+	// execution. Artifacts are byte-identical at every setting: each
+	// replication's seed is a pure function of its identity
+	// (core.SeedFor), and results are collected by replication index,
+	// so completion order never leaks into the output.
+	Parallelism int
 }
 
 // reps returns the replication count: the paper's 50, or a quick 5.
@@ -37,7 +47,33 @@ func (o Options) horizon(full float64) float64 {
 	return full
 }
 
-func (o Options) seed(base uint64) uint64 { return base + o.Seed }
+// parallelism resolves the effective worker bound.
+func (o Options) parallelism() int {
+	if o.Parallelism != 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// seedFor derives the seed for replication rep of run (sweep point,
+// design cell, case index, ...) of the named experiment. All
+// randomness in the suite flows through this single derivation; see
+// core.SeedFor for the collision and determinism guarantees.
+func (o Options) seedFor(experiment string, run, rep int) uint64 {
+	return core.SeedFor(o.Seed, experiment, run, rep)
+}
+
+// replication bundles the replication-engine parameters handed to the
+// paradyn sweeps and factorial designs for the named experiment.
+func (o Options) replication(experiment string) paradyn.Replication {
+	return paradyn.Replication{
+		Reps:        o.reps(),
+		Parallelism: o.parallelism(),
+		SeedFor: func(run, rep int) uint64 {
+			return o.seedFor(experiment, run, rep)
+		},
+	}
+}
 
 // Suite builds the full experiment registry.
 func Suite(o Options) *core.Suite {

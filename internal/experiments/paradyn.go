@@ -25,10 +25,13 @@ func ioBoundProfile() workload.AppProfile {
 // meanCI is a small local helper for 90% intervals.
 func meanCI(vals []float64) stats.Interval { return stats.MeanCI(vals, 0.90) }
 
+// paradynBase returns the shared ROCC configuration. The base seed is
+// a placeholder: every stochastic call site overrides cfg.Seed through
+// o.seedFor with its own experiment key.
 func paradynBase(o Options) rocc.Config {
 	cfg := rocc.DefaultConfig()
 	cfg.Horizon = o.horizon(60_000)
-	cfg.Seed = o.seed(1)
+	cfg.Seed = o.seedFor("paradyn-base", 0, 0)
 	return cfg
 }
 
@@ -79,7 +82,7 @@ func pointsToSeries(name string, pts []paradyn.PointCI) core.Series {
 // period, 50..500 ms, mean of r replications within 90% CIs.
 func fig9Left(o Options) (*core.Artifact, error) {
 	periods := []float64{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
-	pts, err := paradyn.Fig9Left(paradynBase(o), periods, o.reps())
+	pts, err := paradyn.Fig9Left(paradynBase(o), periods, o.replication("fig9left"))
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +103,7 @@ func fig9Left(o Options) (*core.Artifact, error) {
 // number of application processes, 1..35.
 func fig9Right(o Options) (*core.Artifact, error) {
 	counts := []int{1, 2, 4, 8, 12, 16, 20, 25, 30, 35}
-	pts, err := paradyn.Fig9Right(paradynBase(o), counts, o.reps())
+	pts, err := paradyn.Fig9Right(paradynBase(o), counts, o.replication("fig9right"))
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +124,7 @@ func fig9Right(o Options) (*core.Artifact, error) {
 // model and reports effects and allocation of variation.
 func factorialParadyn(o Options) (*core.Artifact, error) {
 	base := paradynBase(o)
-	fr, err := paradyn.Factorial(base, 50, 500, 2, 32, o.reps())
+	fr, err := paradyn.Factorial(base, 50, 500, 2, 32, o.replication("factorial-paradyn"))
 	if err != nil {
 		return nil, err
 	}
@@ -158,15 +161,27 @@ func factorialParadyn(o Options) (*core.Artifact, error) {
 func adaptiveParadyn(o Options) (*core.Artifact, error) {
 	base := paradynBase(o)
 	base.SamplingPeriod = 60
+	base.Seed = o.seedFor("adaptive-paradyn", 0, 0)
 	// Establish a reachable target midway between the overheads at a
-	// fast and a slow period.
-	hi, err := rocc.Run(base)
-	if err != nil {
-		return nil, err
-	}
-	slow := base
-	slow.SamplingPeriod = 1500
-	lo, err := rocc.Run(slow)
+	// fast and a slow period; the two probe runs are independent.
+	var hi, lo rocc.Result
+	err := core.Replicate(2, o.parallelism(), func(i int) error {
+		cfg := base
+		cfg.Seed = o.seedFor("adaptive-paradyn", 1+i, 0)
+		if i == 1 {
+			cfg.SamplingPeriod = 1500
+		}
+		res, err := rocc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			hi = res
+		} else {
+			lo = res
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -222,21 +237,28 @@ func ablQuantum(o Options) (*core.Artifact, error) {
 			"Monitoring latency (ms)", "Context switches",
 		},
 	}
-	for _, q := range []float64{1, 5, 10, 50} {
+	quanta := []float64{1, 5, 10, 50}
+	a.Rows = make([][]string, len(quanta))
+	err := core.Replicate(len(quanta), o.parallelism(), func(qi int) error {
 		cfg := paradynBase(o)
-		cfg.Quantum = q
+		cfg.Quantum = quanta[qi]
 		cfg.AppProcesses = 8
+		cfg.Seed = o.seedFor("abl-quantum", qi, 0)
 		res, err := rocc.Run(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		a.Rows = append(a.Rows, []string{
-			fmt.Sprint(q),
+		a.Rows[qi] = []string{
+			fmt.Sprint(quanta[qi]),
 			fmt.Sprintf("%.1f", res.InterferenceMs),
 			fmt.Sprintf("%.2f", res.UtilizationPct),
 			fmt.Sprintf("%.2f", res.MonitoringLatencyMs),
 			fmt.Sprint(res.ContextSwitches),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	a.Notes = append(a.Notes,
 		"Smaller quanta reduce the daemon's wait per CPU visit (lower monitoring latency) at the price of more context switches.")
@@ -251,21 +273,33 @@ func ablQuantum(o Options) (*core.Artifact, error) {
 // single daemon saturates and multiple daemons win by a large factor.
 func extLatency(o Options) (*core.Artifact, error) {
 	counts := []int{2, 8, 16, 24, 32, 40}
-	var series []core.Series
-	for _, d := range []int{1, 2, 4} {
+	daemons := []int{1, 2, 4}
+	reps := o.reps()
+	// One sweep point per (daemon count, process count) pair, reps
+	// replications each, all flattened into a single replication pool.
+	vals := make([][]float64, len(daemons)*len(counts))
+	for i := range vals {
+		vals[i] = make([]float64, reps)
+	}
+	err := core.Replicate(len(vals)*reps, o.parallelism(), func(task int) error {
+		run, rep := task/reps, task%reps
+		cfg := ioBound(o, counts[run%len(counts)], daemons[run/len(counts)])
+		cfg.Seed = o.seedFor("ext-latency", run, rep)
+		res, err := rocc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		vals[run][rep] = res.MonitoringLatencyMs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]core.Series, 0, len(daemons))
+	for di, d := range daemons {
 		s := core.Series{Name: fmt.Sprintf("%d daemon(s)", d)}
-		for _, n := range counts {
-			cfg := ioBound(o, n, d)
-			var vals []float64
-			for r := 0; r < o.reps(); r++ {
-				cfg.Seed = o.seed(uint64(r)*31 + uint64(n*10+d))
-				res, err := rocc.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, res.MonitoringLatencyMs)
-			}
-			iv := meanCI(vals)
+		for ni, n := range counts {
+			iv := meanCI(vals[di*len(counts)+ni])
 			s.X = append(s.X, float64(n))
 			s.Y = append(s.Y, iv.Mean)
 			s.YLo = append(s.YLo, iv.Lo)
@@ -295,21 +329,32 @@ func extISM(o Options) (*core.Artifact, error) {
 	periods := []float64{50, 100, 200, 300, 400, 500}
 	util := core.Series{Name: "ISM utilization (%)"}
 	e2e := core.Series{Name: "end-to-end latency (ms)"}
-	for _, p := range periods {
+	reps := o.reps()
+	utils := make([][]float64, len(periods))
+	lats := make([][]float64, len(periods))
+	for i := range utils {
+		utils[i] = make([]float64, reps)
+		lats[i] = make([]float64, reps)
+	}
+	err := core.Replicate(len(periods)*reps, o.parallelism(), func(task int) error {
+		run, rep := task/reps, task%reps
 		cfg := paradynBase(o)
-		cfg.SamplingPeriod = p
-		var utils, lats []float64
-		for r := 0; r < o.reps(); r++ {
-			cfg.Seed = o.seed(uint64(r)*53 + uint64(p))
-			res, err := rocc.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			utils = append(utils, res.ISMUtilization*100)
-			lats = append(lats, res.EndToEndLatencyMs)
+		cfg.SamplingPeriod = periods[run]
+		cfg.Seed = o.seedFor("ext-ism", run, rep)
+		res, err := rocc.Run(cfg)
+		if err != nil {
+			return err
 		}
-		u := meanCI(utils)
-		l := meanCI(lats)
+		utils[run][rep] = res.ISMUtilization * 100
+		lats[run][rep] = res.EndToEndLatencyMs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range periods {
+		u := meanCI(utils[i])
+		l := meanCI(lats[i])
 		util.X = append(util.X, p)
 		util.Y = append(util.Y, u.Mean)
 		util.YLo = append(util.YLo, u.Lo)

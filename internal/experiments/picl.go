@@ -50,11 +50,16 @@ func piclMetricTable() *core.Artifact {
 func table3(o Options) (*core.Artifact, error) {
 	p := piclParams(50, 0.007)
 	horizon := o.horizon(40_000_000)
-	fof, err := picl.SimulateFOF(p, horizon, o.seed(11))
-	if err != nil {
-		return nil, err
-	}
-	faof, err := picl.SimulateFAOF(p, horizon/4, o.seed(12))
+	var fof, faof picl.SimResult
+	err := core.Replicate(2, o.parallelism(), func(i int) error {
+		var err error
+		if i == 0 {
+			fof, err = picl.SimulateFOF(p, horizon, o.seedFor("table3", 0, 0))
+		} else {
+			faof, err = picl.SimulateFAOF(p, horizon/4, o.seedFor("table3", 1, 0))
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -104,39 +109,48 @@ func table3(o Options) (*core.Artifact, error) {
 // curves plus simulated points.
 func fig5Panel(o Options, id string, alpha float64) (*core.Artifact, error) {
 	capacities := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	n := len(capacities)
 	var (
-		xs                           []float64
-		fofAn, faofAn, faofBound     []float64
-		fofSim, faofSim              []float64
-		fofLo, fofHi, faofLo, faofHi []float64
+		xs                           = make([]float64, n)
+		fofAn, faofAn, faofBound     = make([]float64, n), make([]float64, n), make([]float64, n)
+		fofSim, faofSim              = make([]float64, n), make([]float64, n)
+		fofLo, fofHi, faofLo, faofHi = make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
 	)
+	// Two simulations per capacity (FOF and FAOF), each its own
+	// replication slot; the analytic curves ride along in slot 0.
 	// Simulation horizon: long enough for >=100 cycles at the largest
 	// capacity and smallest rate.
-	for _, l := range capacities {
+	err := core.Replicate(2*n, o.parallelism(), func(task int) error {
+		li, which := task/2, task%2
+		l := capacities[li]
 		p := piclParams(l, alpha)
-		xs = append(xs, float64(l))
-		fofAn = append(fofAn, p.FOFFrequency())
-		faofAn = append(faofAn, p.FAOFFrequency())
-		faofBound = append(faofBound, p.FAOFFrequencyUpperBound())
-
-		cycle := p.FOFStoppingTimeMean() + p.Cost.Of(l)
-		horizon := o.horizon(cycle * 1000)
-		fof, err := picl.SimulateFOF(p, horizon, o.seed(uint64(l)*7+1))
-		if err != nil {
-			return nil, err
+		if which == 0 {
+			xs[li] = float64(l)
+			fofAn[li] = p.FOFFrequency()
+			faofAn[li] = p.FAOFFrequency()
+			faofBound[li] = p.FAOFFrequencyUpperBound()
+			cycle := p.FOFStoppingTimeMean() + p.Cost.Of(l)
+			fof, err := picl.SimulateFOF(p, o.horizon(cycle*1000), o.seedFor(id, li, 0))
+			if err != nil {
+				return err
+			}
+			fofSim[li] = fof.Frequency
+			fofLo[li] = fof.FrequencyCI.Lo
+			fofHi[li] = fof.FrequencyCI.Hi
+			return nil
 		}
-		fofSim = append(fofSim, fof.Frequency)
-		fofLo = append(fofLo, fof.FrequencyCI.Lo)
-		fofHi = append(fofHi, fof.FrequencyCI.Hi)
-
 		gangCycle := p.FAOFStoppingTimeMean() + p.Cost.Of(l)
-		faof, err := picl.SimulateFAOF(p, o.horizon(gangCycle*1000), o.seed(uint64(l)*7+2))
+		faof, err := picl.SimulateFAOF(p, o.horizon(gangCycle*1000), o.seedFor(id, li, 1))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		faofSim = append(faofSim, faof.Frequency)
-		faofLo = append(faofLo, faof.FrequencyCI.Lo)
-		faofHi = append(faofHi, faof.FrequencyCI.Hi)
+		faofSim[li] = faof.Frequency
+		faofLo[li] = faof.FrequencyCI.Lo
+		faofHi[li] = faof.FrequencyCI.Hi
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &core.Artifact{
 		ID:     id,
@@ -177,38 +191,47 @@ func validPICL(o Options) (*core.Artifact, error) {
 	if o.Quick {
 		events = 40_000
 	}
-	for i, c := range cases {
+	// Four independent measurements per case: simulated and live-
+	// measured, FOF and FAOF. Each writes a distinct field of its
+	// case's slot, so all 4*len(cases) tasks run concurrently.
+	results := make([]struct {
+		simFOF, simFAOF   picl.SimResult
+		measFOF, measFAOF picl.MeasureResult
+	}, len(cases))
+	err := core.Replicate(4*len(cases), o.parallelism(), func(task int) error {
+		i, op := task/4, task%4
+		c := cases[i]
 		zero := picl.Params{L: c.l, Alpha: c.alpha, P: 8, Cost: picl.FlushCost{}}
 		horizon := o.horizon(zero.FOFStoppingTimeMean() * 2000)
-
-		simFOF, err := picl.SimulateFOF(zero, horizon, o.seed(uint64(i)+31))
-		if err != nil {
-			return nil, err
+		var err error
+		switch op {
+		case 0:
+			results[i].simFOF, err = picl.SimulateFOF(zero, horizon, o.seedFor("valid-picl", i, 0))
+		case 1:
+			results[i].measFOF, err = picl.MeasureFOF(zero, events, o.seedFor("valid-picl", i, 1))
+		case 2:
+			results[i].simFAOF, err = picl.SimulateFAOF(zero, horizon/4, o.seedFor("valid-picl", i, 2))
+		case 3:
+			results[i].measFAOF, err = picl.MeasureFAOF(zero, events, o.seedFor("valid-picl", i, 3))
 		}
-		measFOF, err := picl.MeasureFOF(zero, events, o.seed(uint64(i)+41))
-		if err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		zero := picl.Params{L: c.l, Alpha: c.alpha, P: 8, Cost: picl.FlushCost{}}
 		a.Rows = append(a.Rows, []string{
 			fmt.Sprint(c.l), fmt.Sprint(c.alpha), "FOF",
 			fmt.Sprintf("%.5g", zero.FOFFrequency()),
-			fmt.Sprintf("%.5g", simFOF.Frequency),
-			fmt.Sprintf("%.5g", measFOF.Frequency),
+			fmt.Sprintf("%.5g", results[i].simFOF.Frequency),
+			fmt.Sprintf("%.5g", results[i].measFOF.Frequency),
 		})
-
-		simFAOF, err := picl.SimulateFAOF(zero, horizon/4, o.seed(uint64(i)+51))
-		if err != nil {
-			return nil, err
-		}
-		measFAOF, err := picl.MeasureFAOF(zero, events, o.seed(uint64(i)+61))
-		if err != nil {
-			return nil, err
-		}
 		a.Rows = append(a.Rows, []string{
 			fmt.Sprint(c.l), fmt.Sprint(c.alpha), "FAOF",
 			fmt.Sprintf("%.5g", zero.FAOFFrequency()),
-			fmt.Sprintf("%.5g", simFAOF.Frequency),
-			fmt.Sprintf("%.5g", measFAOF.Frequency),
+			fmt.Sprintf("%.5g", results[i].simFAOF.Frequency),
+			fmt.Sprintf("%.5g", results[i].measFAOF.Frequency),
 		})
 	}
 	a.Notes = append(a.Notes,

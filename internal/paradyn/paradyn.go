@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"prism/internal/core"
 	"prism/internal/rocc"
 	"prism/internal/stats"
 )
@@ -22,37 +23,73 @@ type PointCI struct {
 	Y stats.Interval
 }
 
-// sweep runs f over reps seeds and returns the 90% CI of its metric.
-func sweep(base rocc.Config, reps int, metric func(rocc.Result) float64) (stats.Interval, error) {
-	if reps < 1 {
+// Replication controls how a replicated sweep or factorial design
+// executes: how many replications per point/cell, how many may run
+// concurrently, and how each replication's seed is derived.
+type Replication struct {
+	// Reps is the replication count r (the paper uses 50).
+	Reps int
+	// Parallelism bounds concurrent replications; <= 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the serial loop. Results are
+	// identical either way: seeds are a pure function of (run, rep).
+	Parallelism int
+	// SeedFor derives the seed for replication rep of sweep point or
+	// design cell run. Nil falls back to hashing the base config seed
+	// under the "paradyn" experiment key.
+	SeedFor func(run, rep int) uint64
+}
+
+// Serial is the Replication used by callers that want the paper's
+// plain serial semantics with r replications.
+func Serial(reps int) Replication { return Replication{Reps: reps, Parallelism: 1} }
+
+func (rp Replication) seed(base uint64, run, rep int) uint64 {
+	if rp.SeedFor != nil {
+		return rp.SeedFor(run, rep)
+	}
+	return core.SeedFor(base, "paradyn", run, rep)
+}
+
+// sweep replicates the base configuration at sweep point run and
+// returns the 90% CI of the metric over rp.Reps replications.
+func sweep(base rocc.Config, run int, rp Replication, metric func(rocc.Result) float64) (stats.Interval, error) {
+	if rp.Reps < 1 {
 		return stats.Interval{}, errors.New("paradyn: need at least one replication")
 	}
-	vals := make([]float64, 0, reps)
-	for r := 0; r < reps; r++ {
+	vals := make([]float64, rp.Reps)
+	err := core.Replicate(rp.Reps, rp.Parallelism, func(rep int) error {
 		cfg := base
-		cfg.Seed = base.Seed + uint64(r)*101
+		cfg.Seed = rp.seed(base.Seed, run, rep)
 		res, err := rocc.Run(cfg)
 		if err != nil {
-			return stats.Interval{}, err
+			return err
 		}
-		vals = append(vals, metric(res))
+		vals[rep] = metric(res)
+		return nil
+	})
+	if err != nil {
+		return stats.Interval{}, err
 	}
 	return stats.MeanCI(vals, 0.90), nil
 }
 
 // Fig9Left computes the left panel of Figure 9: daemon (Pd)
 // interference versus sampling period, at the base configuration's
-// process count, with reps replications per point.
-func Fig9Left(base rocc.Config, periods []float64, reps int) ([]PointCI, error) {
-	out := make([]PointCI, 0, len(periods))
-	for _, p := range periods {
+// process count, with rp.Reps replications per point.
+func Fig9Left(base rocc.Config, periods []float64, rp Replication) ([]PointCI, error) {
+	out := make([]PointCI, len(periods))
+	err := core.Replicate(len(periods), rp.Parallelism, func(i int) error {
 		cfg := base
-		cfg.SamplingPeriod = p
-		iv, err := sweep(cfg, reps, func(r rocc.Result) float64 { return r.InterferenceMs })
+		cfg.SamplingPeriod = periods[i]
+		iv, err := sweep(cfg, i, rp, func(r rocc.Result) float64 { return r.InterferenceMs })
 		if err != nil {
-			return nil, fmt.Errorf("paradyn: period %v: %w", p, err)
+			return fmt.Errorf("paradyn: period %v: %w", periods[i], err)
 		}
-		out = append(out, PointCI{X: p, Y: iv})
+		out[i] = PointCI{X: periods[i], Y: iv}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -60,16 +97,20 @@ func Fig9Left(base rocc.Config, periods []float64, reps int) ([]PointCI, error) 
 // Fig9Right computes the right panel of Figure 9: daemon CPU
 // utilization (percent of consumed CPU) versus the number of
 // application processes.
-func Fig9Right(base rocc.Config, processCounts []int, reps int) ([]PointCI, error) {
-	out := make([]PointCI, 0, len(processCounts))
-	for _, n := range processCounts {
+func Fig9Right(base rocc.Config, processCounts []int, rp Replication) ([]PointCI, error) {
+	out := make([]PointCI, len(processCounts))
+	err := core.Replicate(len(processCounts), rp.Parallelism, func(i int) error {
 		cfg := base
-		cfg.AppProcesses = n
-		iv, err := sweep(cfg, reps, func(r rocc.Result) float64 { return r.UtilizationPct })
+		cfg.AppProcesses = processCounts[i]
+		iv, err := sweep(cfg, i, rp, func(r rocc.Result) float64 { return r.UtilizationPct })
 		if err != nil {
-			return nil, fmt.Errorf("paradyn: n=%d: %w", n, err)
+			return fmt.Errorf("paradyn: n=%d: %w", processCounts[i], err)
 		}
-		out = append(out, PointCI{X: float64(n), Y: iv})
+		out[i] = PointCI{X: float64(processCounts[i]), Y: iv}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -81,32 +122,34 @@ type FactorialResult struct {
 }
 
 // Factorial runs the paper's 2^k·r factorial design with k=2 factors —
-// sampling period and number of application processes — and r
+// sampling period and number of application processes — and rp.Reps
 // replications per cell, analyzing both metrics at 90% confidence.
-func Factorial(base rocc.Config, periodLow, periodHigh float64, procsLow, procsHigh, r int) (*FactorialResult, error) {
+func Factorial(base rocc.Config, periodLow, periodHigh float64, procsLow, procsHigh int, rp Replication) (*FactorialResult, error) {
 	design := &stats.Design2kr{
 		Factors: []stats.Factor{
 			{Name: "period", Low: periodLow, High: periodHigh},
 			{Name: "procs", Low: float64(procsLow), High: float64(procsHigh)},
 		},
-		R: r,
+		R: rp.Reps,
 	}
-	interference := make([][]float64, design.Runs())
-	utilization := make([][]float64, design.Runs())
-	for run := 0; run < design.Runs(); run++ {
+	interference := design.NewResponseMatrix()
+	utilization := design.NewResponseMatrix()
+	err := design.RunCells(rp.Parallelism, func(run, rep int) error {
 		vals := design.Values(run)
 		cfg := base
 		cfg.SamplingPeriod = vals[0]
 		cfg.AppProcesses = int(vals[1])
-		for rep := 0; rep < r; rep++ {
-			cfg.Seed = base.Seed + uint64(run*10_000+rep)
-			res, err := rocc.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			interference[run] = append(interference[run], res.InterferenceMs)
-			utilization[run] = append(utilization[run], res.UtilizationPct)
+		cfg.Seed = rp.seed(base.Seed, run, rep)
+		res, err := rocc.Run(cfg)
+		if err != nil {
+			return err
 		}
+		interference[run][rep] = res.InterferenceMs
+		utilization[run][rep] = res.UtilizationPct
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	ai, err := design.Analyze(interference, 0.90)
 	if err != nil {
@@ -197,7 +240,10 @@ func AdaptiveRun(base rocc.Config, model *CostModel, segments int) ([]AdaptiveSt
 	for i := 0; i < segments; i++ {
 		cfg := base
 		cfg.SamplingPeriod = period
-		cfg.Seed = base.Seed + uint64(i)*977
+		// The closed loop is inherently sequential (each segment's
+		// period depends on the previous measurement), but its seeds
+		// still come from the collision-free derivation.
+		cfg.Seed = core.SeedFor(base.Seed, "paradyn/adaptive", i, 0)
 		res, err := rocc.Run(cfg)
 		if err != nil {
 			return nil, err

@@ -13,7 +13,7 @@ func fastBase() rocc.Config {
 }
 
 func TestFig9LeftShape(t *testing.T) {
-	pts, err := Fig9Left(fastBase(), []float64{50, 150, 400}, 5)
+	pts, err := Fig9Left(fastBase(), []float64{50, 150, 400}, Serial(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestFig9LeftShape(t *testing.T) {
 }
 
 func TestFig9RightShape(t *testing.T) {
-	pts, err := Fig9Right(fastBase(), []int{1, 8, 32}, 5)
+	pts, err := Fig9Right(fastBase(), []int{1, 8, 32}, Serial(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,15 +52,15 @@ func TestFig9RightShape(t *testing.T) {
 }
 
 func TestSweepValidation(t *testing.T) {
-	if _, err := Fig9Left(fastBase(), []float64{100}, 0); err == nil {
+	if _, err := Fig9Left(fastBase(), []float64{100}, Serial(0)); err == nil {
 		t.Fatal("zero reps accepted")
 	}
 	bad := fastBase()
 	bad.Quantum = -1
-	if _, err := Fig9Left(bad, []float64{100}, 2); err == nil {
+	if _, err := Fig9Left(bad, []float64{100}, Serial(2)); err == nil {
 		t.Fatal("bad config accepted")
 	}
-	if _, err := Fig9Right(bad, []int{2}, 2); err == nil {
+	if _, err := Fig9Right(bad, []int{2}, Serial(2)); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
@@ -68,7 +68,7 @@ func TestSweepValidation(t *testing.T) {
 func TestFactorial(t *testing.T) {
 	base := fastBase()
 	base.Horizon = 6_000
-	fr, err := Factorial(base, 50, 400, 2, 24, 8)
+	fr, err := Factorial(base, 50, 400, 2, 24, Serial(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestFactorial(t *testing.T) {
 func TestFactorialPropagatesErrors(t *testing.T) {
 	bad := fastBase()
 	bad.Horizon = -5
-	if _, err := Factorial(bad, 50, 400, 2, 8, 2); err == nil {
+	if _, err := Factorial(bad, 50, 400, 2, 8, Serial(2)); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
+
+	"prism/internal/core"
 )
 
 // The paper evaluates the Paradyn and Vista instrumentation systems
@@ -200,14 +202,45 @@ func (d *Design2kr) Analyze(responses [][]float64, confidence float64) (*Analysi
 	}
 
 	// Order: I, main effects, then interactions by ascending order.
-	sort.SliceStable(an.Effects, func(i, j int) bool {
-		oi, oj := effectOrder(an.Effects[i].Name), effectOrder(an.Effects[j].Name)
-		if oi != oj {
-			return oi < oj
+	slices.SortStableFunc(an.Effects, func(a, b Effect) int {
+		if oa, ob := effectOrder(a.Name), effectOrder(b.Name); oa != ob {
+			return oa - ob
 		}
-		return an.Effects[i].Name < an.Effects[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	return an, nil
+}
+
+// RunCells executes body once for every (run, rep) cell of the design
+// with bounded parallelism (see core.Replicate for the semantics of
+// parallelism and error propagation). Cells are identified run-major:
+// body must write its observation to per-cell storage indexed by
+// (run, rep) — e.g. responses[run][rep] — so the filled matrix is
+// independent of completion order and can be handed straight to
+// Analyze. Seeds should come from core.SeedFor(base, experiment, run,
+// rep) so every cell replays the same stochastic path regardless of
+// which worker claims it.
+func (d *Design2kr) RunCells(parallelism int, body func(run, rep int) error) error {
+	if d.R < 1 {
+		return errors.New("stats: 2^k·r design needs r >= 1")
+	}
+	if body == nil {
+		return errors.New("stats: RunCells needs a body")
+	}
+	return core.Replicate(d.Runs()*d.R, parallelism, func(i int) error {
+		return body(i/d.R, i%d.R)
+	})
+}
+
+// NewResponseMatrix allocates the Runs() x R response matrix that
+// RunCells fills and Analyze consumes, pre-sized so concurrent cell
+// writes land in disjoint slots without reallocation.
+func (d *Design2kr) NewResponseMatrix() [][]float64 {
+	m := make([][]float64, d.Runs())
+	for i := range m {
+		m[i] = make([]float64, d.R)
+	}
+	return m
 }
 
 func (d *Design2kr) effectName(mask int) string {

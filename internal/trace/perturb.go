@@ -2,7 +2,7 @@ package trace
 
 import (
 	"errors"
-	"sort"
+	"slices"
 )
 
 // Perturbation compensation, after Malony, Reed and Wijshoff
@@ -92,7 +92,7 @@ func Compensate(rs []Record, opt CompensateOptions) ([]Record, error) {
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	slices.SortStableFunc(out, compareByTime)
 	return out, nil
 }
 

@@ -13,7 +13,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Kind identifies what a Record describes, in the spirit of the PICL
@@ -83,22 +83,43 @@ func (r Record) Before(o Record) bool {
 	return r.Process < o.Process
 }
 
+// compareByTime is the merged-trace total order as a three-way
+// comparison, shared by the stable sorts here and in perturbation
+// compensation. slices.SortStableFunc with a concrete comparator
+// avoids the reflection-based swapping of sort.SliceStable on this
+// hot path.
+func compareByTime(a, b Record) int {
+	if a.Time != b.Time {
+		if a.Time < b.Time {
+			return -1
+		}
+		return 1
+	}
+	if a.Node != b.Node {
+		return int(a.Node) - int(b.Node)
+	}
+	return int(a.Process) - int(b.Process)
+}
+
 // SortByTime sorts records in the merged-trace total order.
 func SortByTime(rs []Record) {
-	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Before(rs[j]) })
+	slices.SortStableFunc(rs, compareByTime)
 }
 
 // SortByLogical sorts records by assigned Lamport timestamp, breaking
 // ties by node then process, the order used for on-line dispatch.
 func SortByLogical(rs []Record) {
-	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].Logical != rs[j].Logical {
-			return rs[i].Logical < rs[j].Logical
+	slices.SortStableFunc(rs, func(a, b Record) int {
+		if a.Logical != b.Logical {
+			if a.Logical < b.Logical {
+				return -1
+			}
+			return 1
 		}
-		if rs[i].Node != rs[j].Node {
-			return rs[i].Node < rs[j].Node
+		if a.Node != b.Node {
+			return int(a.Node) - int(b.Node)
 		}
-		return rs[i].Process < rs[j].Process
+		return int(a.Process) - int(b.Process)
 	})
 }
 
