@@ -3,8 +3,13 @@ BENCH ?= .
 BENCHCOUNT ?= 5
 BENCHTIME ?= 1s
 SHA := $(shell git rev-parse --short HEAD)
+# benchdiff inputs: baseline file, candidate file, and the ns/op
+# regression percentage that fails the diff.
+BASELINE ?= $(firstword $(sort $(wildcard BENCH_*.json)))
+CANDIDATE ?= BENCH_$(SHA).json
+THRESHOLD ?= 5
 
-.PHONY: check vet build test race bench fmt
+.PHONY: check vet build test race bench benchdiff fmt
 
 # check is the tier-1 gate: vet, build, and the full test suite under
 # the race detector. Run it before every commit.
@@ -31,6 +36,12 @@ bench:
 	$(GO) run ./cmd/benchjson -sha $(SHA) < bench.out > BENCH_$(SHA).json
 	@rm -f bench.out
 	@echo wrote BENCH_$(SHA).json
+
+# benchdiff compares two committed baselines and fails on ns/op
+# regressions past THRESHOLD percent:
+#   make benchdiff BASELINE=BENCH_old.json CANDIDATE=BENCH_new.json
+benchdiff:
+	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(BASELINE) $(CANDIDATE)
 
 fmt:
 	gofmt -l -w .

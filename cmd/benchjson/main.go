@@ -1,15 +1,24 @@
 // Command benchjson converts `go test -bench` text output into a
 // stable JSON document suitable for committing alongside the code it
-// measures (the BENCH_<sha>.json files produced by `make bench`).
+// measures (the BENCH_<sha>.json files produced by `make bench`), and
+// compares two such documents for regressions.
 //
 // Usage:
 //
 //	go test -bench . -benchmem -count 5 | benchjson -sha $(git rev-parse --short HEAD)
+//	benchjson -compare BENCH_old.json BENCH_new.json -threshold 5
 //
 // Each benchmark line becomes one entry; repeated -count runs of the
 // same benchmark are aggregated into min/mean/max ns/op so the JSON
 // stays reviewable. The environment block records GOMAXPROCS and CPU
 // count, without which speedup numbers are uninterpretable.
+//
+// Compare mode prints a per-benchmark delta table (ns/op, B/op,
+// allocs/op) and exits non-zero when any benchmark's ns/op worsens by
+// more than the threshold percentage. Deltas compare min ns/op to min
+// ns/op: the minimum over -count runs is the least noise-contaminated
+// estimate of a benchmark's true cost, so a min-vs-min regression is a
+// code change, not scheduler jitter.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // sample is one parsed benchmark output line.
@@ -58,7 +68,17 @@ type document struct {
 
 func main() {
 	sha := flag.String("sha", "", "git revision to record in the document")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 5, "ns/op regression percentage that fails the comparison")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	doc := document{
 		GitSHA:     *sha,
@@ -106,6 +126,85 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare loads two benchmark documents and prints a delta table.
+// It returns 1 when any benchmark shared by both files regressed its
+// min ns/op by more than threshold percent, 0 otherwise.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldDoc, err := loadDocument(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadDocument(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	key := func(e entry) string { return fmt.Sprintf("%s-%d", e.Name, e.Procs) }
+	oldBy := map[string]entry{}
+	for _, e := range oldDoc.Benchmarks {
+		oldBy[key(e)] = e
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tns/op old\tns/op new\tΔ%%\tB/op old\tB/op new\tallocs old\tallocs new\t\n")
+	var regressed []string
+	seen := map[string]bool{}
+	for _, n := range newDoc.Benchmarks {
+		o, ok := oldBy[key(n)]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%d\t-\t%d\t\n",
+				n.Name, n.NsPerOpMin, n.BytesPerOp, n.AllocsPerOp)
+			continue
+		}
+		seen[key(n)] = true
+		delta := 0.0
+		if o.NsPerOpMin > 0 {
+			delta = 100 * (n.NsPerOpMin - o.NsPerOpMin) / o.NsPerOpMin
+		}
+		mark := ""
+		if delta > threshold {
+			mark = " !"
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)",
+				n.Name, o.NsPerOpMin, n.NsPerOpMin, delta))
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%s\t%d\t%d\t%d\t%d\t\n",
+			n.Name, o.NsPerOpMin, n.NsPerOpMin, delta, mark,
+			o.BytesPerOp, n.BytesPerOp, o.AllocsPerOp, n.AllocsPerOp)
+	}
+	for _, o := range oldDoc.Benchmarks {
+		if !seen[key(o)] {
+			fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t%d\t-\t%d\t-\t\n",
+				o.Name, o.NsPerOpMin, o.BytesPerOp, o.AllocsPerOp)
+		}
+	}
+	w.Flush()
+
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchjson: %d benchmark(s) regressed past %.1f%%:\n", len(regressed), threshold)
+		for _, r := range regressed {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("\nno ns/op regression past %.1f%% (%s → %s)\n",
+		threshold, oldDoc.GitSHA, newDoc.GitSHA)
+	return 0
+}
+
+func loadDocument(path string) (document, error) {
+	var doc document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

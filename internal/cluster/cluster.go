@@ -105,7 +105,11 @@ func New(cfg Config) (*Cluster, error) {
 
 	var buffered []*lis.Buffered
 	for n := 0; n < cfg.Nodes; n++ {
-		local, remote := tp.Pipe(1024)
+		// 256 messages of channel buffer per direction is ample for the
+		// batch-granular LIS→ISM traffic; the Block policy backpressures
+		// correctly if a node ever outruns the ISM, so the size is a
+		// throughput knob, not a correctness one.
+		local, remote := tp.Pipe(256)
 		c.manager.Serve(remote)
 		c.conns = append(c.conns, local, remote)
 		var server lis.LIS
@@ -236,7 +240,7 @@ func (c *Cluster) Trace() ([]trace.Record, error) {
 	}
 	c.closed = true
 	data := bytes.NewReader(c.spool.Bytes())
-	return trace.NewReader(data).ReadAll()
+	return trace.NewReader(data).ReadAllHint(c.spool.Len() / trace.RecordSize)
 }
 
 // Close tears the cluster down. Safe after Trace.

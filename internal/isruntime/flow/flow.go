@@ -151,6 +151,7 @@ type Queue[T any] struct {
 	buf      []T
 	head     int
 	count    int
+	capacity int
 	policy   OverflowPolicy
 	spill    func(T) error
 	onDrop   func(T)
@@ -170,7 +171,11 @@ func NewQueue[T any](capacity int, policy OverflowPolicy, spill func(T) error) (
 	if !policy.Valid() {
 		return nil, fmt.Errorf("flow: invalid overflow policy %v", policy)
 	}
-	q := &Queue[T]{buf: make([]T, capacity), policy: policy, spill: spill}
+	// The ring buffer grows on demand up to capacity rather than being
+	// allocated eagerly: ISM input stages default to large capacities
+	// (1<<16) that short benchmark runs and lightly loaded clusters
+	// never come close to filling.
+	q := &Queue[T]{capacity: capacity, policy: policy, spill: spill}
 	q.notFull.L = &q.mu
 	q.notEmpty.L = &q.mu
 	return q, nil
@@ -190,7 +195,7 @@ func (q *Queue[T]) Push(v T) bool {
 	if q.policy == Block {
 		waited := false
 		var start time.Time
-		for q.count == len(q.buf) && !q.closed {
+		for q.count == q.capacity && !q.closed {
 			if !waited {
 				waited = true
 				start = time.Now()
@@ -207,7 +212,7 @@ func (q *Queue[T]) Push(v T) bool {
 		q.mu.Unlock()
 		return false
 	}
-	if q.count == len(q.buf) {
+	if q.count == q.capacity {
 		switch q.policy {
 		case DropNewest:
 			q.drop(v)
@@ -227,6 +232,9 @@ func (q *Queue[T]) Push(v T) bool {
 			q.drop(q.evict())
 		}
 	}
+	if q.count == len(q.buf) {
+		q.grow()
+	}
 	q.buf[(q.head+q.count)%len(q.buf)] = v
 	q.count++
 	q.st.Pushed++
@@ -236,6 +244,26 @@ func (q *Queue[T]) Push(v T) bool {
 	q.notEmpty.Signal()
 	q.mu.Unlock()
 	return true
+}
+
+// grow widens the ring toward capacity, linearizing the live elements
+// to the front of the new buffer. Callers hold mu and have checked
+// count == len(buf) < capacity.
+func (q *Queue[T]) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap < 16 {
+		newCap = 16
+	}
+	if newCap > q.capacity {
+		newCap = q.capacity
+	}
+	nb := make([]T, newCap)
+	if q.count > 0 {
+		n := copy(nb, q.buf[q.head:])
+		copy(nb[n:], q.buf[:q.head])
+	}
+	q.buf = nb
+	q.head = 0
 }
 
 // drop counts a lost element and runs the OnDrop hook. Callers hold mu.
@@ -307,7 +335,7 @@ func (q *Queue[T]) Len() int {
 }
 
 // Cap returns the queue capacity.
-func (q *Queue[T]) Cap() int { return len(q.buf) }
+func (q *Queue[T]) Cap() int { return q.capacity }
 
 // Policy returns the queue's overflow policy.
 func (q *Queue[T]) Policy() OverflowPolicy { return q.policy }

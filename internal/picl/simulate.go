@@ -46,6 +46,17 @@ func SimulateFOF(p Params, horizon float64, seed uint64) (SimResult, error) {
 	count := 0
 	cycleStart := 0.0
 	flushing := false
+	// endFlush is built once: the flush completion captures nothing
+	// per-flush, so the arrival→flush loop allocates no closures.
+	endFlush := func() {
+		cycles = append(cycles, stats.Cycle{
+			Length: s.Now() - cycleStart,
+			Reward: 1,
+		})
+		cycleStart = s.Now()
+		count = 0
+		flushing = false
+	}
 	var arrive func()
 	arrive = func() {
 		if !flushing {
@@ -56,16 +67,7 @@ func SimulateFOF(p Params, horizon float64, seed uint64) (SimResult, error) {
 				stopping = append(stopping, s.Now()-cycleStart)
 				flushing = true
 				res.Flushes++
-				f := p.Cost.Of(p.L)
-				s.Schedule(f, func() {
-					cycles = append(cycles, stats.Cycle{
-						Length: s.Now() - cycleStart,
-						Reward: 1,
-					})
-					cycleStart = s.Now()
-					count = 0
-					flushing = false
-				})
+				s.Schedule(p.Cost.Of(p.L), endFlush)
 			}
 		}
 		s.Schedule(st.Exp(p.Alpha), arrive)
@@ -96,18 +98,19 @@ func SimulateFAOF(p Params, horizon float64, seed uint64) (SimResult, error) {
 	counts := make([]int, p.P)
 	cycleStart := 0.0
 	flushing := false
+	endFlush := func() {
+		cycles = append(cycles, stats.Cycle{Length: s.Now() - cycleStart, Reward: 1})
+		cycleStart = s.Now()
+		for i := range counts {
+			counts[i] = 0
+		}
+		flushing = false
+	}
 	gangFlush := func() {
 		stopping = append(stopping, s.Now()-cycleStart)
 		flushing = true
 		res.Flushes++
-		s.Schedule(p.Cost.Of(p.L), func() {
-			cycles = append(cycles, stats.Cycle{Length: s.Now() - cycleStart, Reward: 1})
-			cycleStart = s.Now()
-			for i := range counts {
-				counts[i] = 0
-			}
-			flushing = false
-		})
+		s.Schedule(p.Cost.Of(p.L), endFlush)
 	}
 	for i := 0; i < p.P; i++ {
 		i := i

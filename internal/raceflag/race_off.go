@@ -1,0 +1,6 @@
+//go:build !race
+
+package raceflag
+
+// Enabled reports that this binary was built with -race.
+const Enabled = false

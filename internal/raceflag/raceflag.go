@@ -1,0 +1,5 @@
+// Package raceflag reports at compile time whether the race detector
+// is active. Allocation-budget tests use it to skip themselves under
+// `go test -race` (make check), where the instrumentation itself
+// allocates and testing.AllocsPerRun counts are meaningless.
+package raceflag

@@ -1,0 +1,36 @@
+package rocc
+
+import (
+	"testing"
+
+	"prism/internal/raceflag"
+)
+
+// Allocation budget for a full ROCC run. The scheduling hot path —
+// CPU slices, daemon sweeps, network forwards, ISM batches — recycles
+// its tasks, requests and batches, so a 10-second-horizon run costs a
+// small fixed number of allocations (construction of the Sim, CPU,
+// daemon states and result maps), not one per simulated event. The
+// budget is ~2x the measured count (124) to absorb runtime and
+// library drift without letting per-event allocation creep back in;
+// the pre-rewrite kernel cost ~5,600 allocations on this workload.
+func TestRunAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	cfg := DefaultConfig()
+	cfg.Horizon = 10_000
+	cfg.Seed = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 256
+	if allocs > budget {
+		t.Fatalf("rocc.Run allocated %.0f objects, budget %d", allocs, budget)
+	}
+}

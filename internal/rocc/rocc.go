@@ -26,23 +26,32 @@ import (
 
 // CPU is a single processor scheduled with preemptive round-robin
 // quanta. Tasks are submitted with a total demand; the scheduler
-// interleaves them in quantum-sized slices.
+// interleaves them in quantum-sized slices. The scheduling path is
+// allocation-free in steady state: completed task records return to a
+// free list, the ready queue reuses its backing array through a head
+// index, and slice expiry is scheduled through the kernel's
+// ScheduleFunc with one long-lived handler instead of a fresh closure
+// per slice.
 type CPU struct {
 	sim     *sim.Sim
 	quantum float64
 
 	queue   []*cpuTask
+	qhead   int
 	running bool
 
-	perOwner map[string]float64
-	busy     *sim.TimeWeighted
-	qlen     *sim.TimeWeighted
-	switches uint64
+	perOwner  map[string]float64
+	busy      *sim.TimeWeighted
+	qlen      *sim.TimeWeighted
+	switches  uint64
+	freeTasks []*cpuTask
+	onSlice   sim.Func1
 }
 
 type cpuTask struct {
 	owner     string
 	remaining float64
+	slice     float64
 	done      func()
 }
 
@@ -52,13 +61,43 @@ func NewCPU(s *sim.Sim, quantum float64) *CPU {
 	if quantum <= 0 {
 		panic("rocc: quantum must be positive")
 	}
-	return &CPU{
+	c := &CPU{
 		sim:      s,
 		quantum:  quantum,
 		perOwner: map[string]float64{},
 		busy:     sim.NewTimeWeighted(s),
 		qlen:     sim.NewTimeWeighted(s),
 	}
+	c.onSlice = c.sliceExpired
+	return c
+}
+
+// queued returns the current ready-queue length.
+func (c *CPU) queued() int { return len(c.queue) - c.qhead }
+
+func (c *CPU) getTask() *cpuTask {
+	if n := len(c.freeTasks); n > 0 {
+		t := c.freeTasks[n-1]
+		c.freeTasks = c.freeTasks[:n-1]
+		return t
+	}
+	return &cpuTask{}
+}
+
+func (c *CPU) putTask(t *cpuTask) {
+	t.done = nil
+	c.freeTasks = append(c.freeTasks, t)
+}
+
+func (c *CPU) popTask() *cpuTask {
+	t := c.queue[c.qhead]
+	c.queue[c.qhead] = nil
+	c.qhead++
+	if c.qhead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	}
+	return t
 }
 
 // Submit enqueues a CPU request of the given total demand for owner;
@@ -71,39 +110,51 @@ func (c *CPU) Submit(owner string, demand float64, done func()) {
 		}
 		return
 	}
-	c.queue = append(c.queue, &cpuTask{owner: owner, remaining: demand, done: done})
-	c.qlen.Set(float64(len(c.queue)))
+	t := c.getTask()
+	t.owner, t.remaining, t.done = owner, demand, done
+	c.queue = append(c.queue, t)
+	c.qlen.Set(float64(c.queued()))
 	c.dispatch()
 }
 
 func (c *CPU) dispatch() {
-	if c.running || len(c.queue) == 0 {
+	if c.running || c.queued() == 0 {
 		return
 	}
 	c.running = true
 	c.busy.Set(1)
-	t := c.queue[0]
-	c.queue = c.queue[1:]
-	c.qlen.Set(float64(len(c.queue)))
+	t := c.popTask()
+	c.qlen.Set(float64(c.queued()))
 	slice := c.quantum
 	if t.remaining < slice {
 		slice = t.remaining
 	}
+	t.slice = slice
 	c.switches++
-	c.sim.Schedule(slice, func() {
-		c.perOwner[t.owner] += slice
-		t.remaining -= slice
-		c.running = false
-		c.busy.Set(0)
-		if t.remaining > 1e-12 {
-			// Quantum expired: rejoin the tail (round-robin).
-			c.queue = append(c.queue, t)
-			c.qlen.Set(float64(len(c.queue)))
-		} else if t.done != nil {
-			t.done()
+	c.sim.ScheduleFunc(slice, c.onSlice, t)
+}
+
+// sliceExpired is the single scheduling handler: it charges the slice
+// to the task's owner and either requeues the task round-robin or
+// completes it.
+func (c *CPU) sliceExpired(arg any) {
+	t := arg.(*cpuTask)
+	c.perOwner[t.owner] += t.slice
+	t.remaining -= t.slice
+	c.running = false
+	c.busy.Set(0)
+	if t.remaining > 1e-12 {
+		// Quantum expired: rejoin the tail (round-robin).
+		c.queue = append(c.queue, t)
+		c.qlen.Set(float64(c.queued()))
+	} else {
+		done := t.done
+		c.putTask(t)
+		if done != nil {
+			done()
 		}
-		c.dispatch()
-	})
+	}
+	c.dispatch()
 }
 
 // Consumed returns the CPU time consumed so far by owner.
@@ -313,35 +364,56 @@ func Run(cfg Config) (Result, error) {
 	cpu := NewCPU(s, cfg.Quantum)
 	net := sim.NewResource(s, "network", 1)
 
-	// Central ISM stage (optional).
+	// Central ISM stage (optional). In-flight batches are pooled: each
+	// batch carries its own embedded Request and a Done closure built
+	// once per pooled batch, so a sweep's forward→ISM hop allocates
+	// nothing in steady state.
 	var ismRes *sim.Resource
 	var ismLatency, endToEnd sim.Tally
 	istream := root.Split()
 	if cfg.ISMService != nil {
 		ismRes = sim.NewResource(s, "ism", 1)
 	}
+	type ismBatch struct {
+		req                  sim.Request
+		forwarded, generated float64
+	}
+	var ismFree []*ismBatch
+	onISMArrive := func(arg any) {
+		b := arg.(*ismBatch)
+		b.req.Service = cfg.ISMService.Sample(istream)
+		ismRes.Request(&b.req)
+	}
 	// deliverToISM routes a completed forward to the central ISM.
 	deliverToISM := func(forwarded, generated float64) {
 		if ismRes == nil {
 			return
 		}
+		var b *ismBatch
+		if n := len(ismFree); n > 0 {
+			b = ismFree[n-1]
+			ismFree = ismFree[:n-1]
+		} else {
+			b = &ismBatch{}
+			b.req.Done = func() {
+				ismLatency.Add(s.Now() - b.forwarded)
+				endToEnd.Add(s.Now() - b.generated)
+				ismFree = append(ismFree, b)
+			}
+		}
+		b.forwarded, b.generated = forwarded, generated
 		delay := 0.0
 		if cfg.NetDelay != nil {
 			delay = cfg.NetDelay.Sample(istream)
 		}
-		s.Schedule(delay, func() {
-			ismRes.Request(&sim.Request{
-				Service: cfg.ISMService.Sample(istream),
-				Done: func() {
-					ismLatency.Add(s.Now() - forwarded)
-					endToEnd.Add(s.Now() - generated)
-				},
-			})
-		})
+		s.ScheduleFunc(delay, onISMArrive, b)
 	}
 
 	// Application and background processes alternate CPU bursts,
-	// network operations and think time.
+	// network operations and think time. Each process's lifecycle is
+	// strictly sequential (burst → maybe net op → think → burst), so
+	// the completion closures are built once per process and one
+	// Request per process is reused for every network operation.
 	spawn := func(owner string, prof workload.AppProfile, stream *rng.Stream) {
 		var burst func()
 		think := func() {
@@ -351,18 +423,18 @@ func Run(cfg Config) (Result, error) {
 			}
 			s.Schedule(prof.ThinkTime.Sample(stream), burst)
 		}
+		netReq := &sim.Request{Done: think}
+		afterBurst := func() {
+			if stream.Bernoulli(prof.CommProbability) {
+				netReq.Service = prof.NetOp.Sample(stream)
+				net.Request(netReq)
+				return
+			}
+			think()
+		}
 		burst = func() {
 			demand := prof.CPUBurst.Sample(stream)
-			cpu.Submit(owner, demand, func() {
-				if stream.Bernoulli(prof.CommProbability) {
-					net.Request(&sim.Request{
-						Service: prof.NetOp.Sample(stream),
-						Done:    think,
-					})
-					return
-				}
-				think()
-			})
+			cpu.Submit(owner, demand, afterBurst)
 		}
 		burst()
 	}
@@ -393,11 +465,21 @@ func Run(cfg Config) (Result, error) {
 	// of application processes grows (§3.2.3). With Daemons > 1 the
 	// sweep load is spread round-robin across independent daemon
 	// processes (the Gu et al. multiple-monitoring-processes design).
+	// A daemon serializes all of its work behind the busy flag, so each
+	// daemon's completion closures are built once up front, its network
+	// Request is a single reused struct, and the work FIFO recycles its
+	// backing array through a head index — the sweep path allocates
+	// nothing per period in steady state.
 	nDaemons := cfg.daemons()
 	type daemonState struct {
-		name  string
-		queue []work
-		busy  bool
+		name           string
+		queue          []work
+		qhead          int
+		busy           bool
+		cur            work // the in-flight non-housekeeping work item
+		net            sim.Request
+		afterHousekeep func()
+		afterCollect   func()
 	}
 	daemons := make([]*daemonState, nDaemons)
 	for i := range daemons {
@@ -409,7 +491,7 @@ func Run(cfg Config) (Result, error) {
 	queuedSamples := func() int {
 		n := 0
 		for _, d := range daemons {
-			for _, w := range d.queue {
+			for _, w := range d.queue[d.qhead:] {
 				n += w.samples
 			}
 		}
@@ -417,33 +499,42 @@ func Run(cfg Config) (Result, error) {
 	}
 	var serve func(d *daemonState)
 	serve = func(d *daemonState) {
-		if d.busy || len(d.queue) == 0 {
+		if d.busy || d.qhead == len(d.queue) {
 			return
 		}
 		d.busy = true
-		w := d.queue[0]
-		d.queue = d.queue[1:]
+		w := d.queue[d.qhead]
+		d.qhead++
+		if d.qhead == len(d.queue) {
+			d.queue = d.queue[:0]
+			d.qhead = 0
+		}
 		backlog.Set(float64(queuedSamples()))
 		if w.housekeeping {
-			cpu.Submit(d.name, cfg.HousekeepCPU.Sample(dstream), func() {
-				d.busy = false
-				serve(d)
-			})
+			cpu.Submit(d.name, cfg.HousekeepCPU.Sample(dstream), d.afterHousekeep)
 			return
 		}
+		d.cur = w
 		collect := cfg.CollectCPU.Sample(dstream) + float64(w.samples)*cfg.PerSampleCPU
-		cpu.Submit(d.name, collect, func() {
-			net.Request(&sim.Request{
-				Service: cfg.ForwardNet.Sample(dstream) + float64(w.samples)*cfg.PerSampleNet,
-				Done: func() {
-					res.SamplesForwarded += uint64(w.samples)
-					latency.Add(s.Now() - w.arrived)
-					deliverToISM(s.Now(), w.arrived)
-					d.busy = false
-					serve(d)
-				},
-			})
-		})
+		cpu.Submit(d.name, collect, d.afterCollect)
+	}
+	for i := range daemons {
+		d := daemons[i]
+		d.afterHousekeep = func() {
+			d.busy = false
+			serve(d)
+		}
+		d.net.Done = func() {
+			res.SamplesForwarded += uint64(d.cur.samples)
+			latency.Add(s.Now() - d.cur.arrived)
+			deliverToISM(s.Now(), d.cur.arrived)
+			d.busy = false
+			serve(d)
+		}
+		d.afterCollect = func() {
+			d.net.Service = cfg.ForwardNet.Sample(dstream) + float64(d.cur.samples)*cfg.PerSampleNet
+			net.Request(&d.net)
+		}
 	}
 	// Periodic sweep generation with a random phase offset; sweeps of
 	// the process population are partitioned across the daemons.

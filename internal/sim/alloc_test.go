@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"prism/internal/raceflag"
+)
+
+// Allocation-budget regressions for the kernel hot path. The contract
+// of this PR's kernel rewrite: once the slot free list and heap have
+// grown to the model's steady-state population, schedule→fire→recycle
+// performs zero allocations, for both the Handler and the
+// ScheduleFunc form. testing.AllocsPerRun counts are only meaningful
+// without the race detector, so these skip under -race (make check
+// still exercises the same code paths for correctness).
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}
+
+func TestScheduleFireRecycleZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := New()
+	h := func() {}
+	// Warm up: grow the heap and free list past the working set.
+	for i := 0; i < 64; i++ {
+		s.Schedule(float64(i), h)
+	}
+	s.Run(-1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.Schedule(1, h)
+		s.Step()
+	}); allocs != 0 {
+		t.Fatalf("schedule→fire→recycle allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestScheduleFuncZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := New()
+	type payload struct{ n int }
+	p := &payload{}
+	fn := Func1(func(arg any) { arg.(*payload).n++ })
+	for i := 0; i < 64; i++ {
+		s.ScheduleFunc(float64(i), fn, p)
+	}
+	s.Run(-1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.ScheduleFunc(1, fn, p)
+		s.Step()
+	}); allocs != 0 {
+		t.Fatalf("ScheduleFunc fire→recycle allocated %v/op, want 0", allocs)
+	}
+	if p.n == 0 {
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestScheduleCancelZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := New()
+	h := func() {}
+	for i := 0; i < 64; i++ {
+		s.Schedule(float64(i), h)
+	}
+	s.Run(-1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		e := s.Schedule(1, h)
+		s.Cancel(e)
+	}); allocs != 0 {
+		t.Fatalf("schedule→cancel→recycle allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestResourceSelfCompleteZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := New()
+	r := NewResource(s, "dev", 1)
+	req := &Request{Service: 1}
+	// Warm up statistics and the kernel free list.
+	r.Request(req)
+	s.Run(-1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		req.Service = 1
+		r.Request(req)
+		s.Run(-1)
+	}); allocs != 0 {
+		t.Fatalf("resource request→service→release allocated %v/op, want 0", allocs)
+	}
+}

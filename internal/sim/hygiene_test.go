@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"prism/internal/rng"
+)
+
+// Handle-hygiene regressions: event slots are recycled through the
+// free list, so a handle issued for one incarnation must go inert the
+// moment the event fires or is cancelled — even after the kernel hands
+// the same slot to a new event.
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	e := s.Schedule(1, func() {})
+	s.Run(-1)
+	if e.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	s.Cancel(e) // must be a no-op
+
+	// Force slot reuse: the next schedule takes the recycled slot.
+	fired := false
+	e2 := s.Schedule(1, func() { fired = true })
+	if e.Pending() {
+		t.Fatal("stale handle reports pending after slot reuse")
+	}
+	s.Cancel(e) // stale cancel must NOT cancel the new event
+	if !e2.Pending() {
+		t.Fatal("stale cancel killed the slot's new incarnation")
+	}
+	s.Run(-1)
+	if !fired {
+		t.Fatal("new event did not fire")
+	}
+}
+
+func TestCancelAfterCancel(t *testing.T) {
+	s := New()
+	e := s.Schedule(5, func() { t.Fatal("cancelled event fired") })
+	s.Cancel(e)
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	s.Cancel(e) // cancel-after-cancel: no-op
+
+	// Reuse the slot and cancel the stale handle a third time.
+	fired := false
+	e2 := s.Schedule(5, func() { fired = true })
+	s.Cancel(e)
+	if !e2.Pending() {
+		t.Fatal("stale double-cancel killed the new incarnation")
+	}
+	s.Run(-1)
+	if !fired {
+		t.Fatal("new event did not fire")
+	}
+}
+
+func TestCancelDuringHandlerIsNoop(t *testing.T) {
+	s := New()
+	var self Event
+	self = s.Schedule(1, func() {
+		// The firing event's slot is already recycled; cancelling
+		// ourselves must not disturb anything.
+		s.Cancel(self)
+	})
+	later := s.Schedule(2, func() {})
+	s.Run(-1)
+	if later.Pending() {
+		t.Fatal("later event not executed")
+	}
+	if s.Executed() != 2 {
+		t.Fatalf("executed %d events, want 2", s.Executed())
+	}
+}
+
+func TestScheduleFuncDelivery(t *testing.T) {
+	s := New()
+	var got []int
+	fn := func(arg any) { got = append(got, *arg.(*int)) }
+	vals := []int{10, 20, 30}
+	s.ScheduleFunc(3, fn, &vals[2])
+	s.ScheduleFunc(1, fn, &vals[0])
+	s.ScheduleFunc(2, fn, &vals[1])
+	s.Run(-1)
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("ScheduleFunc order/args %v", got)
+	}
+}
+
+func TestScheduleFuncInterleavesWithSchedule(t *testing.T) {
+	s := New()
+	var got []int
+	tag := func(n int) Func1 { return func(any) { got = append(got, n) } }
+	// Same time: insertion order must hold across both schedule APIs.
+	s.Schedule(1, func() { got = append(got, 0) })
+	s.ScheduleFunc(1, tag(1), nil)
+	s.Schedule(1, func() { got = append(got, 2) })
+	s.ScheduleFunc(1, tag(3), nil)
+	s.Run(-1)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed-API tie-break order %v", got)
+		}
+	}
+}
+
+// TestHeapStress drives the 4-ary heap through randomized interleaved
+// schedules and mid-heap cancellations and checks the fire sequence
+// against a reference sort on (time, seq).
+func TestHeapStress(t *testing.T) {
+	st := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		type ev struct {
+			time float64
+			seq  int
+		}
+		var want []ev
+		var fired []ev
+		var handles []Event
+		var meta []ev
+		alive := map[int]bool{}
+		n := 0
+		schedule := func(tm float64) {
+			id := n
+			n++
+			handles = append(handles, s.Schedule(tm, func() {
+				fired = append(fired, ev{tm, id})
+			}))
+			meta = append(meta, ev{tm, id})
+			alive[id] = true
+		}
+		for i := 0; i < 500; i++ {
+			schedule(st.Uniform(0, 1000))
+			// Duplicate times to exercise the seq tie-break.
+			if i%7 == 0 {
+				schedule(float64(int(st.Uniform(0, 50))))
+			}
+			if i%3 == 0 && len(handles) > 0 {
+				victim := int(st.Uniform(0, float64(len(handles))))
+				if alive[victim] && handles[victim].Pending() {
+					s.Cancel(handles[victim])
+					alive[victim] = false
+				}
+			}
+		}
+		for id, ok := range alive {
+			if ok {
+				want = append(want, meta[id])
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].time != want[j].time {
+				return want[i].time < want[j].time
+			}
+			return want[i].seq < want[j].seq
+		})
+		s.Run(-1)
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fire order diverges at %d: got %+v want %+v",
+					trial, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFreeListReuse checks that a drained simulation reuses slots
+// instead of growing: the free list caps at the peak concurrent
+// population.
+func TestFreeListReuse(t *testing.T) {
+	s := New()
+	h := func() {}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 8; i++ {
+			s.Schedule(float64(i), h)
+		}
+		s.Run(-1)
+	}
+	if got := len(s.free); got > 8 {
+		t.Fatalf("free list grew to %d slots; want <= 8 (peak population)", got)
+	}
+}

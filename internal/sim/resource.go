@@ -5,6 +5,11 @@ package sim
 // Work is requested with Request; when a server becomes available the
 // request's start callback runs, and the caller later calls Release.
 //
+// The service path is allocation-free: self-completing requests are
+// scheduled through the kernel's ScheduleFunc with a single long-lived
+// release handler, and the FIFO reuses its backing array via a head
+// index instead of re-slicing it away.
+//
 // For the preemptive round-robin CPU of the ROCC model see package
 // rocc, which implements its own scheduler on top of the kernel.
 type Resource struct {
@@ -13,13 +18,17 @@ type Resource struct {
 	servers  int
 	busy     int
 	queue    []*Request
+	qhead    int
 	qlen     *TimeWeighted
 	busyTW   *TimeWeighted
 	waits    *Tally
 	services *Tally
+	release  Func1 // built once; avoids a closure per seize
 }
 
-// Request is one unit of demand on a Resource.
+// Request is one unit of demand on a Resource. Requests may be reused
+// after they complete (Done has run); the statistics fields are reset
+// on each submission.
 type Request struct {
 	// Service is the service-time demand. If Service >= 0 the
 	// resource self-completes the request after Service time units;
@@ -42,7 +51,7 @@ func NewResource(s *Sim, name string, servers int) *Resource {
 	if servers < 1 {
 		panic("sim: resource needs at least one server")
 	}
-	return &Resource{
+	r := &Resource{
 		sim:      s,
 		name:     name,
 		servers:  servers,
@@ -51,10 +60,15 @@ func NewResource(s *Sim, name string, servers int) *Resource {
 		waits:    &Tally{},
 		services: &Tally{},
 	}
+	r.release = func(arg any) { r.Release(arg.(*Request)) }
+	return r
 }
 
 // Name returns the resource's name.
 func (r *Resource) Name() string { return r.name }
+
+// queued returns the number of waiting requests.
+func (r *Resource) queued() int { return len(r.queue) - r.qhead }
 
 // Request submits req. If a server is free it is seized immediately
 // (synchronously); otherwise the request queues FIFO.
@@ -66,7 +80,7 @@ func (r *Resource) Request(req *Request) {
 		return
 	}
 	r.queue = append(r.queue, req)
-	r.qlen.Set(float64(len(r.queue)))
+	r.qlen.Set(float64(r.queued()))
 }
 
 func (r *Resource) seize(req *Request) {
@@ -78,8 +92,7 @@ func (r *Resource) seize(req *Request) {
 		req.Start()
 	}
 	if req.Service >= 0 {
-		svc := req.Service
-		r.sim.Schedule(svc, func() { r.Release(req) })
+		r.sim.ScheduleFunc(req.Service, r.release, req)
 	}
 }
 
@@ -97,16 +110,21 @@ func (r *Resource) Release(req *Request) {
 	if req.Done != nil {
 		req.Done()
 	}
-	if len(r.queue) > 0 {
-		next := r.queue[0]
-		r.queue = r.queue[1:]
-		r.qlen.Set(float64(len(r.queue)))
+	if r.queued() > 0 {
+		next := r.queue[r.qhead]
+		r.queue[r.qhead] = nil
+		r.qhead++
+		if r.qhead == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.qhead = 0
+		}
+		r.qlen.Set(float64(r.queued()))
 		r.seize(next)
 	}
 }
 
 // QueueLength returns the current number of waiting requests.
-func (r *Resource) QueueLength() int { return len(r.queue) }
+func (r *Resource) QueueLength() int { return r.queued() }
 
 // Busy returns the number of busy servers.
 func (r *Resource) Busy() int { return r.busy }

@@ -104,14 +104,14 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	s.Cancel(e) // double cancel is a no-op
-	s.Cancel(nil)
+	s.Cancel(e)       // double cancel is a no-op
+	s.Cancel(Event{}) // zero handle is inert
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.Schedule(float64(i), func() { got = append(got, i) }))
@@ -180,6 +180,9 @@ func TestSchedulePanics(t *testing.T) {
 		func() { s.Schedule(math.NaN(), func() {}) },
 		func() { s.Schedule(1, nil) },
 		func() { s.ScheduleAt(-5, func() {}) },
+		func() { s.ScheduleFunc(-1, func(any) {}, nil) },
+		func() { s.ScheduleFunc(1, nil, nil) },
+		func() { s.ScheduleFuncAt(-5, func(any) {}, nil) },
 	} {
 		func() {
 			defer func() {

@@ -30,6 +30,11 @@ type Writer struct {
 	w       *bufio.Writer
 	wrote   int
 	started bool
+	// buf is the per-record encode scratch; keeping it on the struct
+	// rather than the stack stops it escaping into a fresh heap
+	// allocation at every Write (the slice is passed through the
+	// io.Writer interface).
+	buf [RecordSize]byte
 }
 
 // NewWriter creates a trace Writer on w. The header is written lazily
@@ -55,9 +60,8 @@ func (tw *Writer) Write(r Record) error {
 	if err := tw.writeHeader(); err != nil {
 		return err
 	}
-	var buf [RecordSize]byte
-	EncodeRecord(&buf, r)
-	if _, err := tw.w.Write(buf[:]); err != nil {
+	EncodeRecord(&tw.buf, r)
+	if _, err := tw.w.Write(tw.buf[:]); err != nil {
 		return err
 	}
 	tw.wrote++
@@ -114,6 +118,7 @@ func DecodeRecord(buf *[RecordSize]byte) Record {
 type Reader struct {
 	r       *bufio.Reader
 	started bool
+	buf     [RecordSize]byte // per-record decode scratch, see Writer.buf
 }
 
 // NewReader creates a trace Reader on r.
@@ -144,14 +149,13 @@ func (tr *Reader) Read() (Record, error) {
 	if err := tr.readHeader(); err != nil {
 		return Record{}, err
 	}
-	var buf [RecordSize]byte
-	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
 		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
 	}
-	r := DecodeRecord(&buf)
+	r := DecodeRecord(&tr.buf)
 	if !r.Kind.Valid() {
 		return Record{}, fmt.Errorf("trace: invalid kind %d", r.Kind)
 	}
@@ -159,8 +163,13 @@ func (tr *Reader) Read() (Record, error) {
 }
 
 // ReadAll reads records until EOF.
-func (tr *Reader) ReadAll() ([]Record, error) {
-	var out []Record
+func (tr *Reader) ReadAll() ([]Record, error) { return tr.ReadAllHint(0) }
+
+// ReadAllHint reads records until EOF, pre-sizing the result for n
+// records. Callers that know the encoded size (spool bytes divided by
+// RecordSize) avoid the append regrowth copies of a cold ReadAll.
+func (tr *Reader) ReadAllHint(n int) ([]Record, error) {
+	out := make([]Record, 0, n)
 	for {
 		r, err := tr.Read()
 		if err == io.EOF {
@@ -178,8 +187,11 @@ func (tr *Reader) ReadAll() ([]Record, error) {
 // off-line consumers.
 func MarshalText(w io.Writer, rs []Record) error {
 	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 64)
 	for _, r := range rs {
-		if _, err := fmt.Fprintln(bw, r.String()); err != nil {
+		buf = r.AppendText(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}

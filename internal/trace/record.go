@@ -14,6 +14,7 @@ package trace
 import (
 	"fmt"
 	"slices"
+	"strconv"
 )
 
 // Kind identifies what a Record describes, in the spirit of the PICL
@@ -66,9 +67,27 @@ type Record struct {
 
 // String renders the record in the stable single-line text form used
 // by trace dumps and the text codec.
-func (r Record) String() string {
-	return fmt.Sprintf("%d %d %s %d %d %d %d",
-		r.Node, r.Process, r.Kind, r.Tag, r.Time, r.Logical, r.Payload)
+func (r Record) String() string { return string(r.AppendText(nil)) }
+
+// AppendText appends the record's single-line text form (no trailing
+// newline) to dst and returns the extended slice. MarshalText renders
+// through one reused buffer this way instead of allocating a string
+// per record.
+func (r Record) AppendText(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(r.Node), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(r.Process), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Kind.String()...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(r.Tag), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, r.Time, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, r.Logical, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, r.Payload, 10)
+	return dst
 }
 
 // Before reports whether r precedes o in (Time, Node, Process) order,

@@ -170,7 +170,10 @@ func Run(cfg Config) (Result, error) {
 		held[i] = map[uint64]vistaEvent{}
 	}
 	heldCount := 0
-	var ready []vistaEvent // causally ordered records awaiting service
+	// ready is the causally ordered FIFO awaiting service; the head
+	// index lets the backing array be reused whenever it drains.
+	var ready []vistaEvent
+	readyHead := 0
 	busy := false
 	busyTW := sim.NewTimeWeighted(s)
 
@@ -184,24 +187,34 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// The processor serves one record at a time, so one completion
+	// closure built here serves every record; the in-service arrival
+	// time rides in inService.
 	var serve func()
+	var inService float64
+	finishService := func() {
+		// Event reaches the output buffer.
+		res.Dispatched++
+		latency.Add(s.Now() - inService)
+		busy = false
+		busyTW.Set(0)
+		serve()
+	}
 	serve = func() {
-		if busy || len(ready) == 0 {
+		if busy || readyHead == len(ready) {
 			return
 		}
 		busy = true
 		busyTW.Set(1)
-		ev := ready[0]
-		ready = ready[1:]
+		ev := ready[readyHead]
+		readyHead++
+		if readyHead == len(ready) {
+			ready = ready[:0]
+			readyHead = 0
+		}
 		occupancyTW.Add(-1)
-		s.Schedule(serviceTime(), func() {
-			// Event reaches the output buffer.
-			res.Dispatched++
-			latency.Add(s.Now() - ev.arrival)
-			busy = false
-			busyTW.Set(0)
-			serve()
-		})
+		inService = ev.arrival
+		s.Schedule(serviceTime(), finishService)
 	}
 
 	arrive := func(ev vistaEvent) {
@@ -236,20 +249,33 @@ func Run(cfg Config) (Result, error) {
 
 	// Generation: an aggregate Poisson stream; each event belongs to
 	// a uniformly chosen source and suffers an exponential skew
-	// before arriving at the ISM.
+	// before arriving at the ISM. In-flight events are pooled and the
+	// skew hop is scheduled through ScheduleFunc, so generation→arrival
+	// allocates nothing in steady state.
+	var evFree []*vistaEvent
+	onArrive := func(arg any) {
+		e := arg.(*vistaEvent)
+		e.arrival = s.Now()
+		arrive(*e)
+		evFree = append(evFree, e)
+	}
 	var generate func()
 	generate = func() {
 		src := srcStream.Intn(cfg.Sources)
-		ev := vistaEvent{src: src, seq: nextGenSeq[src]}
+		var e *vistaEvent
+		if n := len(evFree); n > 0 {
+			e = evFree[n-1]
+			evFree = evFree[:n-1]
+		} else {
+			e = new(vistaEvent)
+		}
+		e.src, e.seq, e.arrival = src, nextGenSeq[src], 0
 		nextGenSeq[src]++
 		skew := 0.0
 		if cfg.SkewMean > 0 {
 			skew = skewStream.ExpMean(cfg.SkewMean)
 		}
-		s.Schedule(skew, func() {
-			ev.arrival = s.Now()
-			arrive(ev)
-		})
+		s.ScheduleFunc(skew, onArrive, e)
 		s.Schedule(arrStream.ExpMean(cfg.MeanInterArrival), generate)
 	}
 	s.Schedule(arrStream.ExpMean(cfg.MeanInterArrival), generate)
