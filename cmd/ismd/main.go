@@ -14,6 +14,14 @@
 //
 //	ismd [-addr 127.0.0.1:7311] [-spool trace.bin] [-miso] [-stats 2s]
 //	     [-overflow drop-oldest|block|drop-newest] [-publish 0]
+//	     [-resilient] [-degraded-after 5s]
+//
+// With -resilient the manager runs the session protocol in front of
+// the input stage: sequenced batches from resilient LIS nodes (see
+// cmd/lisnode -resilient) are acknowledged and deduplicated, so a node
+// that redials and replays after a network fault delivers every batch
+// exactly once. -degraded-after flags nodes whose heartbeats fall
+// silent for longer than the given budget in the periodic stats line.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/fault"
 	"prism/internal/isruntime/flow"
 	"prism/internal/isruntime/ism"
 	"prism/internal/isruntime/metrics"
@@ -40,10 +49,19 @@ func main() {
 	statsEvery := flag.Duration("stats", 2*time.Second, "statistics print interval")
 	overflow := flag.String("overflow", "drop-oldest", "input overflow policy: drop-oldest, block or drop-newest")
 	publish := flag.Duration("publish", 0, "self-publish runtime metrics into the stream at this interval (0 disables)")
+	resilient := flag.Bool("resilient", false, "run the session protocol (ack, dedup, replay tolerance) in front of the input stage")
+	degradedAfter := flag.Duration("degraded-after", 5*time.Second, "with -resilient, report nodes silent for longer than this as degraded (0 disables)")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
-	cfg := ism.Config{Buffering: ism.SISO, Ordered: true, Metrics: reg}
+	// ResumeSources: a restarted resilient manager is re-served by
+	// sessions replaying only their unacked suffix, so the orderer must
+	// adopt mid-stream sources instead of holding for the prefix that
+	// died with the previous incarnation.
+	cfg := ism.Config{
+		Buffering: ism.SISO, Ordered: true, Metrics: reg,
+		ResumeSources: *resilient,
+	}
 	if *miso {
 		cfg.Buffering = ism.MISO
 	}
@@ -70,6 +88,12 @@ func main() {
 
 	clock := event.NewRealClock()
 	manager := ism.New(cfg, clock)
+	var receiver *fault.Receiver
+	if *resilient {
+		receiver = fault.NewReceiver(fault.ReceiverConfig{
+			AckEvery: 1, Clock: clock, Metrics: reg,
+		})
+	}
 	ln, err := tp.Listen(*addr, tp.WithConnMetrics(reg))
 	if err != nil {
 		log.Fatalf("ismd: %v", err)
@@ -93,7 +117,11 @@ func main() {
 				return
 			}
 			log.Printf("ismd: LIS connected")
-			manager.Serve(conn)
+			if receiver != nil {
+				manager.ServeFiltered(conn, receiver.Filter)
+			} else {
+				manager.Serve(conn)
+			}
 		}
 	}()
 
@@ -108,6 +136,11 @@ func main() {
 			log.Printf("ismd: arrived=%d dispatched=%d held=%d holdback=%.3f mean-latency=%s",
 				st.Arrived, st.Dispatched, st.Held, st.HoldBackRatio,
 				time.Duration(st.MeanLatencyNs))
+			if receiver != nil && *degradedAfter > 0 {
+				if deg := receiver.Degraded(*degradedAfter); len(deg) > 0 {
+					log.Printf("ismd: degraded nodes (silent > %s): %v", *degradedAfter, deg)
+				}
+			}
 		case <-interrupt:
 			log.Printf("ismd: shutting down")
 			close(stopPublish)
@@ -120,6 +153,10 @@ func main() {
 			st := manager.Stats()
 			fmt.Printf("final: arrived=%d dispatched=%d out-of-order=%d hold-back=%.3f\n",
 				st.Arrived, st.Dispatched, st.OutOfOrder, st.HoldBackRatio)
+			if receiver != nil {
+				fmt.Printf("session: dup-batches=%d gap-batches=%d\n",
+					receiver.TotalDups(), receiver.TotalGaps())
+			}
 			if err := report.RenderMetrics(os.Stdout, "ISM runtime metrics", reg.Snapshot()); err != nil {
 				log.Printf("ismd: metrics: %v", err)
 			}

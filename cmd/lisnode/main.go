@@ -8,6 +8,16 @@
 //	lisnode [-ism 127.0.0.1:7311] [-node 0] [-procs 4] [-rate 200]
 //	        [-policy buffered|forwarding|daemon] [-buffer 64]
 //	        [-duration 10s] [-seed 1] [-dial-timeout 5s] [-io-timeout 0]
+//	        [-resilient] [-redial-backoff 50ms] [-redial-giveup 30s]
+//	        [-window 256] [-heartbeat 1s]
+//
+// With -resilient the node survives ISM connection faults: the
+// connection redials with exponential backoff (bounded by
+// -redial-giveup), every data batch is sequenced and retained in a
+// -window-sized replay buffer until the ISM acknowledges it, and
+// reconnects replay the unacked suffix. Run the manager with
+// `ismd -resilient` so replays are deduplicated. Heartbeats let the
+// ISM flag this node degraded when it falls silent.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"time"
 
 	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/fault"
 	"prism/internal/isruntime/lis"
 	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
@@ -36,6 +47,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "give up connecting to the ISM after this long")
 	ioTimeout := flag.Duration("io-timeout", 0, "per-operation read/write deadline on the ISM connection (0 = none)")
+	resilient := flag.Bool("resilient", false, "redial on connection faults and replay unacked batches (pair with ismd -resilient)")
+	redialBackoff := flag.Duration("redial-backoff", 50*time.Millisecond, "with -resilient, initial reconnect backoff")
+	redialGiveup := flag.Duration("redial-giveup", 30*time.Second, "with -resilient, give up after this much cumulative downtime in one outage (0 = retry forever)")
+	window := flag.Int("window", 256, "with -resilient, unacked batches retained for replay")
+	heartbeat := flag.Duration("heartbeat", time.Second, "with -resilient, liveness beacon interval (0 disables)")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
@@ -44,13 +60,39 @@ func main() {
 		connOpts = append(connOpts,
 			tp.WithReadTimeout(*ioTimeout), tp.WithWriteTimeout(*ioTimeout))
 	}
-	conn, err := tp.DialTimeout(*ismAddr, *dialTimeout, connOpts...)
-	if err != nil {
-		log.Fatalf("lisnode: %v", err)
+
+	var conn tp.Conn
+	var sess *fault.Session
+	if *resilient {
+		redial, err := tp.NewRedial(tp.RedialConfig{
+			Dial: func() (tp.Conn, error) {
+				return tp.DialTimeout(*ismAddr, *dialTimeout, connOpts...)
+			},
+			Backoff:    *redialBackoff,
+			MaxBackoff: 2 * time.Second,
+			Jitter:     0.2,
+			Seed:       *seed,
+			GiveUp:     *redialGiveup,
+			Metrics:    reg,
+		})
+		if err != nil {
+			log.Fatalf("lisnode: %v", err)
+		}
+		sess = fault.NewSession(int32(*node), redial, fault.SessionConfig{
+			Window: *window, Metrics: reg,
+		})
+		conn = sess
+	} else {
+		c, err := tp.DialTimeout(*ismAddr, *dialTimeout, connOpts...)
+		if err != nil {
+			log.Fatalf("lisnode: %v", err)
+		}
+		conn = c
 	}
 	defer conn.Close()
 
 	var server lis.LIS
+	var err error
 	switch *policy {
 	case "buffered":
 		server, err = lis.NewBuffered(int32(*node), *buffer, conn, lis.WithMetrics(reg))
@@ -78,12 +120,29 @@ func main() {
 	stop := make(chan struct{})
 
 	// Obey ISM control signals (gang flush, pause/resume, shutdown).
+	// In resilient mode conn is the session, so acks are consumed here
+	// (trimming the replay window) before control traffic reaches the
+	// dispatcher.
 	var shuttingDown atomic.Bool
 	go func() {
 		if err := lis.ControlLoop(conn, server); err != nil && !shuttingDown.Load() {
 			log.Printf("lisnode: control loop: %v", err)
 		}
 	}()
+	if sess != nil && *heartbeat > 0 {
+		go func() {
+			tick := time.NewTicker(*heartbeat)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_ = sess.Heartbeat()
+				}
+			}
+		}()
+	}
 	for p := 0; p < *procs; p++ {
 		sensor := event.NewSensor(int32(*node), int32(p), clock, server)
 		stream := root.Split()
@@ -117,6 +176,24 @@ func main() {
 	time.Sleep(*duration)
 	close(stop)
 	wg.Wait()
+	if err := server.Flush(); err != nil {
+		log.Printf("lisnode: final flush: %v", err)
+	}
+	if sess != nil {
+		// Drain the replay window before tearing down: resend whatever
+		// the ISM has not acknowledged (it dedupes), bounded by the
+		// redial give-up budget.
+		deadline := time.Now().Add(*redialGiveup + 5*time.Second)
+		for sess.Pending() > 0 && time.Now().Before(deadline) {
+			_ = sess.Resend()
+			if sess.WaitAcked(time.Second) {
+				break
+			}
+		}
+		if n := sess.Pending(); n > 0 {
+			log.Printf("lisnode: %d batches never acknowledged", n)
+		}
+	}
 	shuttingDown.Store(true)
 	if err := server.Close(); err != nil {
 		log.Printf("lisnode: close: %v", err)
@@ -127,4 +204,8 @@ func main() {
 	snap := reg.Snapshot()
 	fmt.Printf("transport: msgs=%g bytes=%g errors=%g\n",
 		snap.Value("tp.msgs_sent"), snap.Value("tp.bytes_sent"), snap.Value("tp.send_errors"))
+	if sess != nil {
+		fmt.Printf("session: acked=%d redials=%g spilled=%d\n",
+			sess.Acked(), snap.Value("tp.redials"), sess.Spilled())
+	}
 }

@@ -1,0 +1,123 @@
+package experiments
+
+// ext-avail: the availability experiment of the fault-injection
+// subsystem. The paper's method asks for IS evaluation under explicit
+// metrics (§2.1); this extension measures the delivery metrics of the
+// resilient transfer protocol — delivered / duplicated / lost records
+// and connection re-establishments — as the injected fault rate grows,
+// for the two management policies the runtime offers: session replay
+// over a blocking transport (exactly-once accounting) and a bare
+// reconnecting transport (counted loss). Each cell is the mean of r
+// deterministic lockstep chaos runs (fault.Simulate), so the artifact
+// replicates bit-for-bit at any parallelism.
+
+import (
+	"fmt"
+
+	"prism/internal/core"
+	"prism/internal/isruntime/fault"
+	"prism/internal/stats"
+)
+
+// availBasePlan is the fault mix at rate 1.0, scaled down by the sweep
+// knob: mostly disconnects and silent drops, a tail of frame
+// corruption/truncation, plus latency spikes that perturb timing but
+// not delivery.
+func availBasePlan() fault.Plan {
+	return fault.Plan{
+		PDrop: 0.3, PDisconnect: 0.3, PCorrupt: 0.15, PTruncate: 0.05,
+		PDelay: 0.2,
+	}
+}
+
+// extAvail sweeps the fault rate for both delivery policies and
+// tabulates the availability metrics.
+func extAvail(o Options) (*core.Artifact, error) {
+	rates := []float64{0, 0.002, 0.005, 0.01, 0.02, 0.05}
+	policies := []struct {
+		name   string
+		replay bool
+	}{
+		{"block+replay", true},
+		{"no-replay", false},
+	}
+	reps := o.reps()
+	batches := 400
+	if o.Quick {
+		batches = 120
+	}
+
+	type cellStats struct {
+		delivered, lost, dups, redials, faults []float64
+	}
+	cells := make([]cellStats, len(rates)*len(policies))
+	for i := range cells {
+		cells[i] = cellStats{
+			delivered: make([]float64, reps), lost: make([]float64, reps),
+			dups: make([]float64, reps), redials: make([]float64, reps),
+			faults: make([]float64, reps),
+		}
+	}
+
+	err := core.Replicate(len(cells)*reps, o.parallelism(), func(task int) error {
+		cell := task / reps
+		rep := task % reps
+		ri := cell / len(policies)
+		pi := cell % len(policies)
+		res, err := fault.Simulate(fault.SimConfig{
+			Seed:         o.seedFor("ext-avail", cell, rep),
+			Nodes:        4,
+			Batches:      batches,
+			BatchRecords: 8,
+			Plan:         availBasePlan().Scale(rates[ri]),
+			Window:       64,
+			Replay:       policies[pi].replay,
+		})
+		if err != nil {
+			return err
+		}
+		captured := float64(res.Captured)
+		cs := &cells[cell]
+		cs.delivered[rep] = 100 * float64(res.Delivered) / captured
+		cs.lost[rep] = 100 * float64(res.Lost) / captured
+		cs.dups[rep] = float64(res.DupBatches)
+		cs.redials[rep] = float64(res.Redials)
+		cs.faults[rep] = float64(res.Faults)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mean := func(xs []float64) float64 { return stats.MeanCI(xs, 0.90).Mean }
+	rows := make([][]string, 0, len(cells))
+	for ri, rate := range rates {
+		for pi, pol := range policies {
+			cs := &cells[ri*len(policies)+pi]
+			rows = append(rows, []string{
+				fmt.Sprintf("%.3f", rate),
+				pol.name,
+				fmt.Sprintf("%.3f", mean(cs.delivered)),
+				fmt.Sprintf("%.1f", mean(cs.dups)),
+				fmt.Sprintf("%.3f", mean(cs.lost)),
+				fmt.Sprintf("%.1f", mean(cs.redials)),
+				fmt.Sprintf("%.1f", mean(cs.faults)),
+			})
+		}
+	}
+	return &core.Artifact{
+		ID:    "ext-avail",
+		Title: "Extension: IS availability under injected faults (4 nodes, mean of r chaos runs)",
+		Kind:  core.Table,
+		Headers: []string{
+			"Fault rate", "Policy", "Delivered (%)", "Dup batches (wire)",
+			"Lost (%)", "Redials", "Faults injected",
+		},
+		Rows: rows,
+		Notes: []string{
+			"block+replay: sequenced session with reconnect replay over a blocking transport — delivered stays 100% (exactly-once accounting) at every fault rate; wire duplicates are absorbed by the ISM session table.",
+			"no-replay: bare reconnecting transport — loss grows with the fault rate but every lost record is counted, never silent.",
+			"Faults follow a seeded per-operation schedule (fault.Plan scaled by the rate); identical seeds replay identical injection traces.",
+		},
+	}, nil
+}

@@ -141,6 +141,9 @@ func Suite(o Options) *core.Suite {
 	register("ext-ism", "Figure 7 end-to-end: central ISM stage", func() (*core.Artifact, error) {
 		return extISM(o)
 	})
+	register("ext-avail", "Extension: availability under injected faults", func() (*core.Artifact, error) {
+		return extAvail(o)
+	})
 
 	// Vista case study (§3.3).
 	register("table6", "Table 6: Vista IS specification", func() (*core.Artifact, error) {
@@ -189,7 +192,7 @@ func Groups() map[string][]string {
 			"table6", "table7", "table8"},
 		"validation": {"valid-picl", "valid-vista", "factorial-paradyn", "factorial-vista"},
 		"ablations":  {"abl-flushcost", "abl-quantum", "abl-disorder"},
-		"extensions": {"adaptive-paradyn", "ext-latency", "ext-ism"},
+		"extensions": {"adaptive-paradyn", "ext-latency", "ext-ism", "ext-avail"},
 		"diagrams":   {"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10"},
 	}
 }

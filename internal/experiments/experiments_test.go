@@ -21,7 +21,7 @@ func TestSuiteRegistersEverything(t *testing.T) {
 		"factorial-paradyn", "adaptive-paradyn", "abl-quantum",
 		"table6", "table7", "fig11latency", "fig11buffer",
 		"factorial-vista", "valid-vista", "abl-disorder", "table8",
-		"ext-latency", "ext-ism", "dist-stopping",
+		"ext-latency", "ext-ism", "ext-avail", "dist-stopping",
 		"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10",
 	}
 	got := map[string]bool{}

@@ -12,7 +12,7 @@ var seedKeys = []string{
 	"table3", "fig5a", "fig5b", "fig5c", "valid-picl",
 	"paradyn-base", "fig9left", "fig9right", "factorial-paradyn",
 	"adaptive-paradyn", "paradyn/adaptive", "abl-quantum",
-	"ext-latency", "ext-ism",
+	"ext-latency", "ext-ism", "ext-avail",
 	"vista-base", "fig11", "factorial-vista", "valid-vista", "abl-disorder",
 }
 

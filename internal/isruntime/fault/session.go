@@ -1,0 +1,346 @@
+package fault
+
+// Session: the sender half of the resilience protocol. A raw tp.Redial
+// heals the *connection* but cannot heal the *data* — Send hands
+// pooled batches to the wire encoder, so a frame lost under a fault is
+// gone at the transport layer. The Session restores delivery by
+// sequencing and retaining: every data batch gets a per-node monotonic
+// sequence number (Message.Arg, starting at 1; Arg==0 marks legacy
+// unsequenced traffic), and a private copy of its records stays in a
+// bounded replay window until the receiver's cumulative CtlAck covers
+// it. On every reconnect the session introduces itself with CtlHello
+// (Arg = last ack it has seen) and replays the still-unacked suffix of
+// the window in sequence order. The receiver dedupes, so the wire
+// guarantee is at-least-once and the accounting guarantee exactly-once.
+//
+// Window overflow and give-up demote batches to the flow spill path —
+// the same escape hatch the LIS queues use — so bounded memory never
+// silently discards records: demoted batches are recoverable from
+// storage even though they leave the replay protocol.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/metrics"
+	"prism/internal/isruntime/tp"
+	"prism/internal/trace"
+)
+
+// SessionConfig parameterizes a sender session.
+type SessionConfig struct {
+	// Window bounds the unacked batches retained for replay. When a
+	// new batch would exceed it, the oldest is demoted to Spill. Zero
+	// means 256.
+	Window int
+	// Spill receives demoted batches (window overflow, give-up). Nil
+	// means demoted records are dropped (and counted lost).
+	Spill flow.Spill
+	// Metrics, when non-nil, reports session counters under
+	// session.node<N>.
+	Metrics *metrics.Registry
+}
+
+// Session is a tp.Conn wrapper implementing the sender side of the
+// sequencing/replay protocol. Wrap it around a *tp.Redial (its
+// OnConnect hook is claimed automatically) or any Conn. One goroutine
+// may call Send and another Recv, matching the usual LIS arrangement.
+type Session struct {
+	node int32
+	conn tp.Conn
+	cfg  SessionConfig
+
+	mSent     *metrics.Counter
+	mReplayed *metrics.Counter
+	mSpilled  *metrics.Counter
+	mLost     *metrics.Counter
+
+	mu      sync.Mutex
+	nextSeq int64
+	acked   int64
+	window  map[int64][]trace.Record
+	spilled uint64
+	lost    uint64
+}
+
+// onConnectSetter is how the session claims a Redial's replay hook
+// without depending on the concrete type.
+type onConnectSetter interface {
+	SetOnConnect(func(tp.Conn) error)
+}
+
+// NewSession wraps conn with a replay session for the given node. If
+// conn supports SetOnConnect (tp.Redial does), the session installs
+// its hello+replay hook so every reconnect resynchronizes before
+// traffic resumes.
+func NewSession(node int32, conn tp.Conn, cfg SessionConfig) *Session {
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	s := &Session{
+		node:    node,
+		conn:    conn,
+		cfg:     cfg,
+		nextSeq: 1,
+		window:  make(map[int64][]trace.Record),
+	}
+	if cfg.Metrics != nil {
+		sc := cfg.Metrics.Scope("session").Scope("node" + itoa(int(node)))
+		s.mSent = sc.Counter("batches_sent")
+		s.mReplayed = sc.Counter("batches_replayed")
+		s.mSpilled = sc.Counter("batches_spilled")
+		s.mLost = sc.Counter("batches_lost")
+	}
+	if rc, ok := conn.(onConnectSetter); ok {
+		rc.SetOnConnect(s.onConnect)
+	}
+	return s
+}
+
+// itoa avoids strconv for the tiny node ids used in metric scopes.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [24]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// Send implements tp.Conn. Data messages are stamped with the next
+// sequence number and their records copied into the replay window
+// before transmission; a retryable transport failure is therefore
+// absorbed (the batch replays on reconnect) and Send reports success.
+// Control messages pass through unsequenced. A terminal failure
+// (ErrGiveUp, unclassified) demotes the whole window to the spill path
+// and surfaces the error.
+func (s *Session) Send(m tp.Message) error {
+	if m.Type != tp.MsgData {
+		return s.conn.Send(m)
+	}
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	kept := make([]trace.Record, len(m.Records))
+	copy(kept, m.Records)
+	s.window[seq] = kept
+	for len(s.window) > s.cfg.Window {
+		s.demoteOldestLocked()
+	}
+	s.mu.Unlock()
+	if s.mSent != nil {
+		s.mSent.Inc()
+	}
+
+	m.Arg = seq
+	err := s.conn.Send(m)
+	if err == nil || tp.Retryable(err) {
+		// Retryable: the copy in the window replays on reconnect, so
+		// from the caller's perspective the batch is on its way.
+		return nil
+	}
+	s.mu.Lock()
+	for len(s.window) > 0 {
+		s.demoteOldestLocked()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// demoteOldestLocked moves the lowest-sequence window entry to the
+// spill path. Called with s.mu held.
+func (s *Session) demoteOldestLocked() {
+	oldest := int64(-1)
+	for seq := range s.window {
+		if oldest < 0 || seq < oldest {
+			oldest = seq
+		}
+	}
+	if oldest < 0 {
+		return
+	}
+	rs := s.window[oldest]
+	delete(s.window, oldest)
+	if s.cfg.Spill != nil {
+		if err := s.cfg.Spill.Append(rs...); err == nil {
+			s.spilled++
+			if s.mSpilled != nil {
+				s.mSpilled.Inc()
+			}
+			return
+		}
+	}
+	s.lost++
+	if s.mLost != nil {
+		s.mLost.Inc()
+	}
+}
+
+// onConnect runs on the raw connection of every (re)establishment:
+// hello with the last seen ack, then the unacked window suffix in
+// sequence order. Window slices are sent by reference and never
+// mutated, so replay does not race the window bookkeeping.
+func (s *Session) onConnect(raw tp.Conn) error {
+	s.mu.Lock()
+	acked := s.acked
+	seqs := make([]int64, 0, len(s.window))
+	for seq := range s.window {
+		if seq > acked {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	batches := make([][]trace.Record, len(seqs))
+	for i, seq := range seqs {
+		batches[i] = s.window[seq]
+	}
+	s.mu.Unlock()
+
+	hello := tp.ControlMessage(s.node, tp.CtlHello, acked)
+	if err := raw.Send(hello); err != nil {
+		return err
+	}
+	for i, seq := range seqs {
+		m := tp.DataMessage(s.node, batches[i])
+		m.Arg = seq
+		if err := raw.Send(m); err != nil {
+			return err
+		}
+		if s.mReplayed != nil {
+			s.mReplayed.Inc()
+		}
+	}
+	return nil
+}
+
+// Deliver consumes session-protocol messages addressed to the sender:
+// a cumulative CtlAck trims the replay window. It returns true when
+// the message was consumed and false when it belongs to the caller
+// (flush/stop/start control traffic).
+func (s *Session) Deliver(m tp.Message) bool {
+	if m.Type != tp.MsgControl || m.Control != tp.CtlAck {
+		return false
+	}
+	s.mu.Lock()
+	if m.Arg > s.acked {
+		s.acked = m.Arg
+	}
+	for seq := range s.window {
+		if seq <= s.acked {
+			delete(s.window, seq)
+		}
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// Recv implements tp.Conn, filtering session-protocol messages out of
+// the inbound stream so callers only see their own control traffic.
+func (s *Session) Recv() (tp.Message, error) {
+	for {
+		m, err := s.conn.Recv()
+		if err != nil {
+			return m, err
+		}
+		if !s.Deliver(m) {
+			return m, nil
+		}
+	}
+}
+
+// Close implements tp.Conn.
+func (s *Session) Close() error { return s.conn.Close() }
+
+// Heartbeat sends a liveness beacon; the receiver uses its arrival
+// time to decide node degradation.
+func (s *Session) Heartbeat() error {
+	return s.conn.Send(tp.ControlMessage(s.node, tp.CtlHeartbeat, 0))
+}
+
+// Resend retransmits the unacked window in sequence order on the
+// current connection. Safe at any time — the receiver deduplicates —
+// it is the recovery step for batches lost to silent faults that never
+// broke the connection (and so never triggered the reconnect replay).
+func (s *Session) Resend() error {
+	s.mu.Lock()
+	seqs := make([]int64, 0, len(s.window))
+	for seq := range s.window {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	batches := make([][]trace.Record, len(seqs))
+	for i, seq := range seqs {
+		batches[i] = s.window[seq]
+	}
+	s.mu.Unlock()
+	for i, seq := range seqs {
+		m := tp.DataMessage(s.node, batches[i])
+		m.Arg = seq
+		if err := s.conn.Send(m); err != nil {
+			return err
+		}
+		if s.mReplayed != nil {
+			s.mReplayed.Inc()
+		}
+	}
+	return nil
+}
+
+// Pending returns the number of unacked batches in the replay window.
+func (s *Session) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.window)
+}
+
+// Acked returns the highest cumulative ack seen.
+func (s *Session) Acked() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// Spilled returns the number of batches demoted to the spill path.
+func (s *Session) Spilled() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilled
+}
+
+// LostBatches returns batches demoted with no spill target available.
+func (s *Session) LostBatches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lost
+}
+
+// WaitAcked blocks until the replay window is empty or the timeout
+// expires, reporting whether everything was acknowledged. Callers must
+// keep a Recv loop (or Deliver calls) running for acks to arrive.
+func (s *Session) WaitAcked(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.Pending() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -79,6 +79,14 @@ type Config struct {
 	// false, records are dispatched in arrival order (a pure
 	// merge-only off-line ISM, as in the PICL Table 1 spec).
 	Ordered bool
+	// ResumeSources makes the ordered processor adopt a source's
+	// first-seen capture sequence as its start instead of holding for
+	// sequence zero — required when this manager can (re)start against
+	// LIS nodes already mid-stream (the resilient session replays only
+	// the unacked suffix; the prefix died with the previous
+	// incarnation). Needs an in-order per-source feed, which the
+	// session protocol provides. Ignored unless Ordered.
+	ResumeSources bool
 	// OutputCapacity, when positive, interposes a bounded output
 	// buffer between the data processor and the tools (the "Single
 	// Output buffer" of the SISO/MISO configurations, §3.3.2): a
@@ -215,6 +223,9 @@ func New(cfg Config, clock event.Clock) *ISM {
 	}
 	if cfg.Ordered {
 		m.orderer = trace.NewOrderer()
+		if cfg.ResumeSources {
+			m.orderer.Resume()
+		}
 	}
 	if cfg.Spool != nil {
 		m.spool = trace.NewWriter(cfg.Spool)
@@ -269,7 +280,15 @@ func (m *ISM) Subscribe(name string, fn func(trace.Record)) {
 // Serve reads messages from a LIS connection until EOF, feeding the
 // input stage. It returns immediately; readers run on their own
 // goroutines. The connection is remembered so Broadcast can reach it.
-func (m *ISM) Serve(conn tp.Conn) {
+func (m *ISM) Serve(conn tp.Conn) { m.ServeFiltered(conn, nil) }
+
+// ServeFiltered is Serve with a message filter interposed before the
+// input stage. A filter returning true consumes the message (it never
+// reaches Inject) — the hook the resilience layer uses to run its
+// session protocol (hello/ack/dedup, fault.Receiver.Filter) in front
+// of the manager without the ISM knowing the wire details. A nil
+// filter is plain Serve.
+func (m *ISM) ServeFiltered(conn tp.Conn, filter func(tp.Conn, tp.Message) bool) {
 	m.mu.Lock()
 	m.lisConns = append(m.lisConns, conn)
 	m.mu.Unlock()
@@ -280,6 +299,9 @@ func (m *ISM) Serve(conn tp.Conn) {
 			msg, err := conn.Recv()
 			if err != nil {
 				return
+			}
+			if filter != nil && filter(conn, msg) {
+				continue
 			}
 			m.Inject(msg)
 		}

@@ -40,9 +40,11 @@ func ControlLoop(conn tp.Conn, server LIS) error {
 				return nil
 			}
 			// Control traffic is sporadic: a connection-level read
-			// deadline firing on an idle wait is not a failure.
+			// deadline firing on an idle wait is not a failure. The
+			// typed check catches classified stream errors, the
+			// net.Error one raw transports without classification.
 			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
+			if errors.Is(err, tp.ErrTimeout) || (errors.As(err, &ne) && ne.Timeout()) {
 				continue
 			}
 			return err

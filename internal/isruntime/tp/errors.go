@@ -1,0 +1,102 @@
+package tp
+
+// Typed transport-error taxonomy. The raw net / io errors a stream
+// connection surfaces are useless to resilience code: a caller that
+// wants to redial on a dead socket but give up on a protocol violation
+// cannot tell "connection reset by peer" from "invalid message type 7"
+// without string matching. Send/Recv therefore classify every failure
+// into one of three errors.Is-able categories:
+//
+//   - ErrConnClosed: the connection is gone (orderly close, reset,
+//     broken pipe, half-read frame). Retryable by redialing.
+//   - ErrTimeout: a configured read/write deadline fired. The
+//     connection may still be healthy; retryable.
+//   - ErrCorruptFrame: the byte stream desynchronized (bad type,
+//     truncated body, invalid record). The stream cannot be resumed,
+//     but a fresh connection can; retryable by redialing.
+//
+// Everything else (protocol misuse by the local caller, listener
+// errors) stays unclassified and is treated as fatal.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+)
+
+// Sentinel classifications for transport failures.
+var (
+	// ErrConnClosed reports operations on a closed or broken
+	// connection. ErrClosed is its historical alias.
+	ErrConnClosed = errors.New("tp: connection closed")
+	// ErrTimeout reports a read/write deadline firing.
+	ErrTimeout = errors.New("tp: i/o timeout")
+	// ErrCorruptFrame reports a mangled or truncated frame: the byte
+	// stream has desynchronized and the connection must be abandoned.
+	ErrCorruptFrame = errors.New("tp: corrupt frame")
+	// ErrGiveUp reports that a Redial connection exhausted its
+	// reconnection budget; it is terminal, not retryable.
+	ErrGiveUp = errors.New("tp: redial gave up")
+)
+
+// ErrClosed is the pre-classification name for ErrConnClosed, kept for
+// callers that compare against it directly.
+var ErrClosed = ErrConnClosed
+
+// connError ties a classification sentinel to the underlying transport
+// error so errors.Is matches both.
+type connError struct {
+	class error // one of the sentinels above
+	err   error // the underlying net/io error
+}
+
+func (e *connError) Error() string { return e.class.Error() + ": " + e.err.Error() }
+
+func (e *connError) Unwrap() []error { return []error{e.class, e.err} }
+
+// Classify wraps a transport error with its typed category. io.EOF is
+// passed through untouched — it is the orderly-shutdown signal callers
+// already handle — and nil stays nil. Errors that already carry a
+// classification are returned as-is.
+func Classify(err error) error {
+	if err == nil || err == io.EOF {
+		return err
+	}
+	if errors.Is(err, ErrConnClosed) || errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrCorruptFrame) || errors.Is(err, ErrGiveUp) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &connError{class: ErrTimeout, err: err}
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ECONNRESET) {
+		return &connError{class: ErrConnClosed, err: err}
+	}
+	// A frame that ends mid-read means the peer died between writes:
+	// the stream is desynchronized and unrecoverable in place.
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return &connError{class: ErrConnClosed, err: err}
+	}
+	return err
+}
+
+// Retryable reports whether a Send/Recv failure can plausibly be cured
+// by reconnecting and replaying: closed/reset connections, deadline
+// timeouts, corrupt frames, and orderly EOF all qualify. ErrGiveUp and
+// unclassified errors (protocol misuse) do not.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if err == io.EOF {
+		return true
+	}
+	if errors.Is(err, ErrGiveUp) {
+		return false
+	}
+	return errors.Is(err, ErrConnClosed) || errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrCorruptFrame)
+}

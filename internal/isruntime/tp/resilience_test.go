@@ -1,0 +1,297 @@
+package tp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// --- classification -------------------------------------------------
+
+type fakeTimeout struct{}
+
+func (fakeTimeout) Error() string   { return "deadline exceeded" }
+func (fakeTimeout) Timeout() bool   { return true }
+func (fakeTimeout) Temporary() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		in   error
+		want error // sentinel errors.Is should match; nil = passthrough
+	}{
+		{"nil", nil, nil},
+		{"eof passthrough", io.EOF, nil},
+		{"net closed", net.ErrClosed, ErrConnClosed},
+		{"closed pipe", io.ErrClosedPipe, ErrConnClosed},
+		{"epipe", syscall.EPIPE, ErrConnClosed},
+		{"econnreset", syscall.ECONNRESET, ErrConnClosed},
+		{"half frame", io.ErrUnexpectedEOF, ErrConnClosed},
+		{"net timeout", fakeTimeout{}, ErrTimeout},
+		{"wrapped reset", fmt.Errorf("read: %w", syscall.ECONNRESET), ErrConnClosed},
+	}
+	for _, c := range cases {
+		got := Classify(c.in)
+		if c.want == nil {
+			if got != c.in {
+				t.Errorf("%s: Classify changed %v to %v", c.name, c.in, got)
+			}
+			continue
+		}
+		if !errors.Is(got, c.want) {
+			t.Errorf("%s: Classify(%v) = %v, not Is(%v)", c.name, c.in, got, c.want)
+		}
+		// The original error must remain reachable through the wrap.
+		if !errors.Is(got, c.in) && !errors.As(got, new(net.Error)) {
+			t.Errorf("%s: underlying error lost: %v", c.name, got)
+		}
+		// Idempotent: re-classifying is a no-op.
+		if again := Classify(got); again != got {
+			t.Errorf("%s: Classify not idempotent", c.name)
+		}
+	}
+	// Unrelated errors stay unclassified.
+	odd := errors.New("protocol misuse")
+	if got := Classify(odd); got != odd {
+		t.Errorf("unrelated error rewritten: %v", got)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if Retryable(nil) {
+		t.Error("nil retryable")
+	}
+	if !Retryable(io.EOF) {
+		t.Error("EOF must be retryable (peer restart)")
+	}
+	for _, e := range []error{ErrConnClosed, ErrTimeout, ErrCorruptFrame} {
+		if !Retryable(e) || !Retryable(fmt.Errorf("op: %w", e)) {
+			t.Errorf("%v must be retryable", e)
+		}
+	}
+	if Retryable(ErrGiveUp) || Retryable(errors.New("bad call")) {
+		t.Error("terminal errors must not be retryable")
+	}
+}
+
+func TestErrClosedAliasesConnClosed(t *testing.T) {
+	if ErrClosed != ErrConnClosed {
+		t.Fatal("historical ErrClosed must alias ErrConnClosed")
+	}
+}
+
+func TestStreamConnRecvClassification(t *testing.T) {
+	// A read deadline firing surfaces as ErrTimeout.
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	sc := NewStreamConn(c1, WithReadTimeout(5*time.Millisecond))
+	if _, err := sc.Recv(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("idle deadline: %v, want ErrTimeout", err)
+	}
+	// Reading our own closed connection surfaces as ErrConnClosed.
+	_ = sc.Close()
+	if _, err := sc.Recv(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("recv on closed conn: %v, want ErrConnClosed", err)
+	}
+}
+
+// --- double close ---------------------------------------------------
+
+func TestStreamConnDoubleClose(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	sc := NewStreamConn(c1)
+	first := sc.Close()
+	if second := sc.Close(); second != first {
+		t.Fatalf("second Close = %v, want first result %v", second, first)
+	}
+}
+
+func TestListenerDoubleClose(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ln.Close()
+	if second := ln.Close(); second != first {
+		t.Fatalf("second Close = %v, want first result %v", second, first)
+	}
+	if first != nil {
+		t.Fatalf("first Close failed: %v", first)
+	}
+}
+
+// --- redial ---------------------------------------------------------
+
+func TestRedialReconnects(t *testing.T) {
+	var mu sync.Mutex
+	var serverEnds []Conn
+	dials := 0
+	rd, err := NewRedial(RedialConfig{
+		Dial: func() (Conn, error) {
+			a, b := Pipe(8)
+			mu.Lock()
+			dials++
+			serverEnds = append(serverEnds, b)
+			mu.Unlock()
+			return a, nil
+		},
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Send(DataMessage(0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the connection: the failed Send surfaces its error (no
+	// silent retransmit — replay is the session layer's job), and the
+	// next operation heals by redialing.
+	mu.Lock()
+	first := serverEnds[0]
+	mu.Unlock()
+	_ = first.Close()
+	if err := rd.Send(DataMessage(0, nil)); !Retryable(err) {
+		t.Fatalf("send on dead conn: %v, want retryable", err)
+	}
+	if err := rd.Send(DataMessage(0, nil)); err != nil {
+		t.Fatalf("send after redial: %v", err)
+	}
+	mu.Lock()
+	gotDials, second := dials, serverEnds[1]
+	mu.Unlock()
+	if gotDials != 2 || rd.Redials() != 1 {
+		t.Fatalf("dials=%d redials=%d, want 2/1", gotDials, rd.Redials())
+	}
+	if m, err := second.Recv(); err != nil || m.Type != MsgData {
+		t.Fatalf("fresh conn did not carry traffic: %v %v", m, err)
+	}
+	_ = rd.Close()
+}
+
+func TestRedialGivesUp(t *testing.T) {
+	rd, err := NewRedial(RedialConfig{
+		Dial:        func() (Conn, error) { return nil, errors.New("refused") },
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Send(DataMessage(0, nil)); !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("exhausted attempts: %v, want ErrGiveUp", err)
+	}
+	// Give-up is terminal: later operations fail the same way without
+	// dialing again.
+	if err := rd.Send(DataMessage(0, nil)); !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("post-give-up send: %v, want ErrGiveUp", err)
+	}
+}
+
+func TestRedialRecvAcrossReconnect(t *testing.T) {
+	var mu sync.Mutex
+	var ends []Conn
+	end := func(i int) Conn {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(ends) {
+			return nil
+		}
+		return ends[i]
+	}
+	rd, err := NewRedial(RedialConfig{
+		Dial: func() (Conn, error) {
+			a, b := Pipe(8)
+			mu.Lock()
+			ends = append(ends, b)
+			mu.Unlock()
+			return a, nil
+		},
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the first connection with one message, then kill it.
+	done := make(chan Message, 2)
+	go func() {
+		for {
+			m, err := rd.Recv()
+			if err != nil {
+				close(done)
+				return
+			}
+			done <- m
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	wait := func() Message {
+		select {
+		case m := <-done:
+			return m
+		case <-deadline:
+			t.Fatal("Recv never delivered")
+			return Message{}
+		}
+	}
+	for end(0) == nil {
+		time.Sleep(time.Millisecond)
+	}
+	_ = end(0).Send(ControlMessage(1, CtlAck, 7))
+	if m := wait(); m.Arg != 7 {
+		t.Fatalf("first conn message: %+v", m)
+	}
+	_ = end(0).Close()
+	// Recv transparently continues on the re-established connection.
+	for end(1) == nil {
+		time.Sleep(time.Millisecond)
+	}
+	_ = end(1).Send(ControlMessage(1, CtlAck, 8))
+	if m := wait(); m.Arg != 8 {
+		t.Fatalf("second conn message: %+v", m)
+	}
+	_ = rd.Close()
+	if _, ok := <-done; ok {
+		t.Fatal("Recv loop did not terminate on Close")
+	}
+}
+
+func TestRedialOnConnectRunsFirst(t *testing.T) {
+	var mu sync.Mutex
+	var srv Conn
+	rd, err := NewRedial(RedialConfig{
+		Dial: func() (Conn, error) {
+			a, b := Pipe(8)
+			mu.Lock()
+			srv = b
+			mu.Unlock()
+			return a, nil
+		},
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.SetOnConnect(func(raw Conn) error {
+		return raw.Send(ControlMessage(3, CtlHello, 42))
+	})
+	if err := rd.Send(DataMessage(3, nil)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	server := srv
+	mu.Unlock()
+	// The hook's hello must precede the first data message.
+	if m, err := server.Recv(); err != nil || m.Control != CtlHello || m.Arg != 42 {
+		t.Fatalf("first message %+v %v, want hello(42)", m, err)
+	}
+	if m, err := server.Recv(); err != nil || m.Type != MsgData {
+		t.Fatalf("second message %+v %v, want data", m, err)
+	}
+	_ = rd.Close()
+}

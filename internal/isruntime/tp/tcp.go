@@ -94,7 +94,9 @@ func NewStreamConn(nc net.Conn, opts ...ConnOption) Conn {
 
 // Send implements Conn. Each message is flushed immediately: the IS
 // trades throughput for the bounded dispatch latency that on-line
-// tools require.
+// tools require. Failures are classified (Classify) so callers can
+// errors.Is against ErrConnClosed / ErrTimeout and decide whether a
+// redial can cure them.
 func (c *streamConn) Send(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -106,13 +108,13 @@ func (c *streamConn) Send(m Message) error {
 		if c.m != nil {
 			c.m.sendErrors.Inc()
 		}
-		return err
+		return Classify(err)
 	}
 	if err := c.w.Flush(); err != nil {
 		if c.m != nil {
 			c.m.sendErrors.Inc()
 		}
-		return err
+		return Classify(err)
 	}
 	if c.m != nil {
 		c.m.msgsSent.Inc()
@@ -121,7 +123,8 @@ func (c *streamConn) Send(m Message) error {
 	return nil
 }
 
-// Recv implements Conn.
+// Recv implements Conn. Orderly shutdown surfaces as plain io.EOF;
+// every other failure is classified into the typed taxonomy.
 func (c *streamConn) Recv() (Message, error) {
 	if c.opts.readTimeout > 0 {
 		_ = c.nc.SetReadDeadline(time.Now().Add(c.opts.readTimeout))
@@ -131,7 +134,7 @@ func (c *streamConn) Recv() (Message, error) {
 		c.m.msgsRecv.Inc()
 		c.m.bytesRecv.Add(uint64(frameHeaderSize + len(m.Records)*trace.RecordSize))
 	}
-	return m, err
+	return m, Classify(err)
 }
 
 // Close implements Conn.
@@ -145,6 +148,9 @@ func (c *streamConn) Close() error {
 type Listener struct {
 	l    net.Listener
 	opts []ConnOption
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
@@ -168,8 +174,13 @@ func (ln *Listener) Accept() (Conn, error) {
 	return NewStreamConn(nc, ln.opts...), nil
 }
 
-// Close stops the listener.
-func (ln *Listener) Close() error { return ln.l.Close() }
+// Close stops the listener. It is idempotent: the second and later
+// calls return the first call's result instead of a spurious
+// use-of-closed error.
+func (ln *Listener) Close() error {
+	ln.closeOnce.Do(func() { ln.closeErr = ln.l.Close() })
+	return ln.closeErr
+}
 
 // Dial connects to an ISM TCP endpoint.
 func Dial(addr string, opts ...ConnOption) (Conn, error) {

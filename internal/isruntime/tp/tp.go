@@ -23,12 +23,12 @@ package tp
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"sync"
 
 	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/trace"
 )
 
@@ -54,7 +54,9 @@ const (
 	CtlFlushDone         // LIS acknowledges a completed flush
 	CtlConfigure         // reconfigure; Arg carries the parameter
 	CtlShutdown          // orderly termination
-	CtlAck               // generic acknowledgement
+	CtlAck               // acknowledgement; for sessions, Arg is the cumulative batch seq
+	CtlHello             // session (re)establishment; Arg is the sender's acked seq
+	CtlHeartbeat         // liveness beacon from a LIS node
 	numControls
 )
 
@@ -62,6 +64,7 @@ var controlNames = [...]string{
 	CtlNone: "none", CtlStart: "start", CtlStop: "stop",
 	CtlFlush: "flush", CtlFlushDone: "flush-done",
 	CtlConfigure: "configure", CtlShutdown: "shutdown", CtlAck: "ack",
+	CtlHello: "hello", CtlHeartbeat: "heartbeat",
 }
 
 // String returns the control signal's name.
@@ -127,9 +130,6 @@ type Conn interface {
 	Close() error
 }
 
-// ErrClosed is returned for operations on a closed connection.
-var ErrClosed = errors.New("tp: connection closed")
-
 // DropCounter is implemented by lossy transports (pipes with a
 // non-blocking overflow policy) that discard messages under pressure.
 type DropCounter interface {
@@ -138,11 +138,12 @@ type DropCounter interface {
 
 // chanConn is the in-process transport: one direction of a Pipe.
 type chanConn struct {
-	send   chan Message
-	recv   chan Message
-	stop   chan struct{}
-	policy flow.OverflowPolicy
-	spill  func(Message) error
+	send    chan Message
+	recv    chan Message
+	stop    chan struct{}
+	policy  flow.OverflowPolicy
+	spill   func(Message) error
+	dropCtr *metrics.Counter // registry mirror of dropped (may be nil)
 
 	mu      sync.Mutex
 	dropped uint64
@@ -160,13 +161,23 @@ func Pipe(buffer int) (Conn, Conn) { return PipePolicy(buffer, flow.Block, nil) 
 // message, DropOldest displaces the queued one, and SpillToStorage
 // hands the displaced message to spill (falling back to dropping it
 // when spill is nil or fails). Dropped messages are counted and
-// reported via the DropCounter interface.
-func PipePolicy(buffer int, policy flow.OverflowPolicy, spill func(Message) error) (Conn, Conn) {
+// reported via the DropCounter interface; with WithConnMetrics they
+// are also mirrored into the registry as tp.pipe_dropped_msgs, so
+// pipe losses show up next to the stream-transport counters.
+func PipePolicy(buffer int, policy flow.OverflowPolicy, spill func(Message) error, opts ...ConnOption) (Conn, Conn) {
+	var o connOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var dropCtr *metrics.Counter
+	if o.registry != nil {
+		dropCtr = o.registry.Scope("tp").Counter("pipe_dropped_msgs")
+	}
 	ab := make(chan Message, buffer)
 	ba := make(chan Message, buffer)
 	stop := make(chan struct{})
-	a := &chanConn{send: ab, recv: ba, stop: stop, policy: policy, spill: spill}
-	b := &chanConn{send: ba, recv: ab, stop: stop, policy: policy, spill: spill}
+	a := &chanConn{send: ab, recv: ba, stop: stop, policy: policy, spill: spill, dropCtr: dropCtr}
+	b := &chanConn{send: ba, recv: ab, stop: stop, policy: policy, spill: spill, dropCtr: dropCtr}
 	return a, b
 }
 
@@ -231,6 +242,9 @@ func (c *chanConn) drop(m Message) {
 	c.mu.Lock()
 	c.dropped++
 	c.mu.Unlock()
+	if c.dropCtr != nil {
+		c.dropCtr.Inc()
+	}
 	Recycle(m)
 }
 
@@ -358,15 +372,18 @@ func ReadMessage(r io.Reader) (Message, error) {
 		Node:    int32(binary.LittleEndian.Uint32(h[2:])),
 		Arg:     int64(binary.LittleEndian.Uint64(h[6:])),
 	}
+	// Malformed header fields mean the byte stream desynchronized:
+	// classify as ErrCorruptFrame so resilient readers abandon the
+	// connection (and redial) instead of treating it as fatal.
 	if m.Type >= numMsgTypes {
-		return Message{}, fmt.Errorf("tp: invalid message type %d", m.Type)
+		return Message{}, fmt.Errorf("tp: invalid message type %d: %w", m.Type, ErrCorruptFrame)
 	}
 	if m.Control >= numControls {
-		return Message{}, fmt.Errorf("tp: invalid control %d", m.Control)
+		return Message{}, fmt.Errorf("tp: invalid control %d: %w", m.Control, ErrCorruptFrame)
 	}
 	count := binary.LittleEndian.Uint32(h[14:])
 	if count > maxFrameRecords {
-		return Message{}, fmt.Errorf("tp: oversized frame (%d records)", count)
+		return Message{}, fmt.Errorf("tp: oversized frame (%d records): %w", count, ErrCorruptFrame)
 	}
 	if count > 0 {
 		eb := encodePool.Get().(*encodeBuffer)
@@ -383,7 +400,7 @@ func ReadMessage(r io.Reader) (Message, error) {
 			if !rec.Kind.Valid() {
 				encodePool.Put(eb)
 				flow.PutBatch(rs)
-				return Message{}, fmt.Errorf("tp: record %d has invalid kind", i)
+				return Message{}, fmt.Errorf("tp: record %d has invalid kind: %w", i, ErrCorruptFrame)
 			}
 			rs = append(rs, rec)
 		}

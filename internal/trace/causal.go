@@ -45,6 +45,7 @@ type seqRecord struct {
 // dispatched and, for receives, the matching send has been dispatched.
 type Orderer struct {
 	clock      uint64
+	resume     bool
 	nextSeq    map[SourceKey]uint64
 	held       map[SourceKey][]seqRecord // out-of-order input buffers
 	sendSeen   map[msgKey]int            // multiset of dispatched sends
@@ -80,6 +81,19 @@ func (o *Orderer) MaxHeld() int { return o.maxHeld }
 // Dispatched returns the total number of events released in causal
 // order.
 func (o *Orderer) Dispatched() uint64 { return o.dispatched }
+
+// Resume makes the orderer adopt an unseen source's first capture
+// sequence as that source's starting point instead of holding it back
+// waiting for sequence zero. A manager that (re)starts against sources
+// already mid-stream — a crashed ISM re-served by resilient LIS
+// sessions replaying their unacked windows — would otherwise hold
+// every event forever: the prefix went to the dead incarnation and
+// will never be resent. Only sound when each source's events arrive in
+// program order until its first dispatch (the session protocol's
+// in-order replay guarantees this); a reordering transport could
+// present sequence n before 0 for a brand-new source and lose the
+// prefix to dedup. Sources already seen are unaffected.
+func (o *Orderer) Resume() { o.resume = true }
 
 // Add offers an event with its per-source capture sequence number
 // (0-based, contiguous per source). It returns the events that became
@@ -133,6 +147,11 @@ func (o *Orderer) Add(rec Record, seq uint64) []Record {
 
 func (o *Orderer) offer(h seqRecord, out *[]Record) {
 	key := SourceKey{h.rec.Node, h.rec.Process}
+	if o.resume {
+		if _, seen := o.nextSeq[key]; !seen {
+			o.nextSeq[key] = h.seq
+		}
+	}
 	if h.seq != o.nextSeq[key] {
 		if h.seq < o.nextSeq[key] {
 			// Duplicate or replayed event; drop.

@@ -187,3 +187,39 @@ func TestCheckCausalDetectsViolations(t *testing.T) {
 		t.Fatal("recv-before-send accepted")
 	}
 }
+
+func TestOrdererResumeAdoptsMidStreamSource(t *testing.T) {
+	o := NewOrderer()
+	o.Resume()
+	// A restarted manager first sees this source at capture seq 40 —
+	// the prefix died with the previous incarnation. Resume mode
+	// dispatches from there instead of holding forever.
+	out := o.Add(Record{Node: 3, Kind: KindUser, Tag: 40}, 40)
+	if len(out) != 1 || out[0].Tag != 40 {
+		t.Fatalf("mid-stream source not adopted: %v", out)
+	}
+	out = o.Add(Record{Node: 3, Kind: KindUser, Tag: 41}, 41)
+	if len(out) != 1 || out[0].Tag != 41 {
+		t.Fatalf("post-adoption program order broken: %v", out)
+	}
+	// Once adopted, reordering within the source still holds back.
+	if out := o.Add(Record{Node: 3, Kind: KindUser, Tag: 43}, 43); len(out) != 0 {
+		t.Fatalf("gap dispatched early: %v", out)
+	}
+	out = o.Add(Record{Node: 3, Kind: KindUser, Tag: 42}, 42)
+	if len(out) != 2 || out[0].Tag != 42 || out[1].Tag != 43 {
+		t.Fatalf("release chain after adoption: %v", out)
+	}
+	// A second source starting at zero is unaffected.
+	if out := o.Add(Record{Node: 4, Kind: KindUser}, 0); len(out) != 1 {
+		t.Fatalf("fresh source blocked: %v", out)
+	}
+	// Without Resume, the same mid-stream arrival is held.
+	plain := NewOrderer()
+	if out := plain.Add(Record{Node: 3, Kind: KindUser, Tag: 40}, 40); len(out) != 0 {
+		t.Fatalf("plain orderer adopted mid-stream: %v", out)
+	}
+	if plain.Held() != 1 {
+		t.Fatalf("held %d", plain.Held())
+	}
+}
