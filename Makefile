@@ -9,11 +9,13 @@ BASELINE ?= $(firstword $(sort $(wildcard BENCH_*.json)))
 CANDIDATE ?= BENCH_$(SHA).json
 THRESHOLD ?= 5
 
-.PHONY: check vet build test race bench benchdiff fmt
+.PHONY: check vet build test race bench benchsmoke benchdiff fmt
 
-# check is the tier-1 gate: vet, build, and the full test suite under
-# the race detector. Run it before every commit.
-check: vet build race
+# check is the tier-1 gate: vet, build, the full test suite under the
+# race detector, and a one-iteration compile-and-run pass over every
+# benchmark so a broken benchmark cannot sit undetected until the next
+# `make bench`. Run it before every commit.
+check: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +38,11 @@ bench:
 	$(GO) run ./cmd/benchjson -sha $(SHA) < bench.out > BENCH_$(SHA).json
 	@rm -f bench.out
 	@echo wrote BENCH_$(SHA).json
+
+# benchsmoke runs every benchmark exactly once — no timing fidelity,
+# just proof that each one still compiles, runs, and terminates.
+benchsmoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # benchdiff compares two committed baselines and fails on ns/op
 # regressions past THRESHOLD percent:

@@ -434,7 +434,7 @@ func (w *writableBuffer) Reset() { w.data = w.data[:0]; w.off = 0 }
 // degenerate into the unpooled one.
 type recycleConn struct{}
 
-func (recycleConn) Send(m tp.Message) error   { tp.Recycle(m); return nil }
+func (recycleConn) Send(m tp.Message) error   { tp.Recycle(&m); return nil }
 func (recycleConn) Recv() (tp.Message, error) { select {} }
 func (recycleConn) Close() error              { return nil }
 

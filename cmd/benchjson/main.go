@@ -128,9 +128,66 @@ func main() {
 	}
 }
 
+// comparison is the result of diffing two benchmark documents: the
+// per-benchmark rows shared by both, plus the one-sided entries — a
+// rewritten benchmark suite shows up as added/removed listings, not as
+// phantom regressions or a silent table.
+type comparison struct {
+	rows      []compareRow
+	added     []entry // present only in the new document
+	removed   []entry // present only in the old document
+	regressed []string
+}
+
+// compareRow is one shared benchmark's old/new pairing.
+type compareRow struct {
+	oldE, newE entry
+	delta      float64 // min ns/op change, percent
+	regression bool
+}
+
+// compareDocs diffs two documents against a regression threshold.
+// Shared benchmarks keep the new document's order; added and removed
+// entries are listed separately.
+func compareDocs(oldDoc, newDoc document, threshold float64) comparison {
+	key := func(e entry) string { return fmt.Sprintf("%s-%d", e.Name, e.Procs) }
+	oldBy := map[string]entry{}
+	for _, e := range oldDoc.Benchmarks {
+		oldBy[key(e)] = e
+	}
+	var c comparison
+	seen := map[string]bool{}
+	for _, n := range newDoc.Benchmarks {
+		o, ok := oldBy[key(n)]
+		if !ok {
+			c.added = append(c.added, n)
+			continue
+		}
+		seen[key(n)] = true
+		row := compareRow{oldE: o, newE: n}
+		if o.NsPerOpMin > 0 {
+			row.delta = 100 * (n.NsPerOpMin - o.NsPerOpMin) / o.NsPerOpMin
+		}
+		if row.delta > threshold {
+			row.regression = true
+			c.regressed = append(c.regressed, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)",
+				n.Name, o.NsPerOpMin, n.NsPerOpMin, row.delta))
+		}
+		c.rows = append(c.rows, row)
+	}
+	for _, o := range oldDoc.Benchmarks {
+		if !seen[key(o)] {
+			c.removed = append(c.removed, o)
+		}
+	}
+	return c
+}
+
 // runCompare loads two benchmark documents and prints a delta table.
 // It returns 1 when any benchmark shared by both files regressed its
-// min ns/op by more than threshold percent, 0 otherwise.
+// min ns/op by more than threshold percent, 0 otherwise. Benchmarks
+// present on only one side never regress: they are summarized as added
+// or removed.
 func runCompare(oldPath, newPath string, threshold float64) int {
 	oldDoc, err := loadDocument(oldPath)
 	if err != nil {
@@ -143,49 +200,35 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		return 2
 	}
 
-	key := func(e entry) string { return fmt.Sprintf("%s-%d", e.Name, e.Procs) }
-	oldBy := map[string]entry{}
-	for _, e := range oldDoc.Benchmarks {
-		oldBy[key(e)] = e
-	}
-
+	c := compareDocs(oldDoc, newDoc, threshold)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "benchmark\tns/op old\tns/op new\tΔ%%\tB/op old\tB/op new\tallocs old\tallocs new\t\n")
-	var regressed []string
-	seen := map[string]bool{}
-	for _, n := range newDoc.Benchmarks {
-		o, ok := oldBy[key(n)]
-		if !ok {
-			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%d\t-\t%d\t\n",
-				n.Name, n.NsPerOpMin, n.BytesPerOp, n.AllocsPerOp)
-			continue
-		}
-		seen[key(n)] = true
-		delta := 0.0
-		if o.NsPerOpMin > 0 {
-			delta = 100 * (n.NsPerOpMin - o.NsPerOpMin) / o.NsPerOpMin
-		}
+	for _, r := range c.rows {
 		mark := ""
-		if delta > threshold {
+		if r.regression {
 			mark = " !"
-			regressed = append(regressed, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)",
-				n.Name, o.NsPerOpMin, n.NsPerOpMin, delta))
 		}
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%s\t%d\t%d\t%d\t%d\t\n",
-			n.Name, o.NsPerOpMin, n.NsPerOpMin, delta, mark,
-			o.BytesPerOp, n.BytesPerOp, o.AllocsPerOp, n.AllocsPerOp)
+			r.newE.Name, r.oldE.NsPerOpMin, r.newE.NsPerOpMin, r.delta, mark,
+			r.oldE.BytesPerOp, r.newE.BytesPerOp, r.oldE.AllocsPerOp, r.newE.AllocsPerOp)
 	}
-	for _, o := range oldDoc.Benchmarks {
-		if !seen[key(o)] {
-			fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t%d\t-\t%d\t-\t\n",
-				o.Name, o.NsPerOpMin, o.BytesPerOp, o.AllocsPerOp)
-		}
+	for _, n := range c.added {
+		fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%d\t-\t%d\t\n",
+			n.Name, n.NsPerOpMin, n.BytesPerOp, n.AllocsPerOp)
+	}
+	for _, o := range c.removed {
+		fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t%d\t-\t%d\t-\t\n",
+			o.Name, o.NsPerOpMin, o.BytesPerOp, o.AllocsPerOp)
 	}
 	w.Flush()
+	if len(c.added) > 0 || len(c.removed) > 0 {
+		fmt.Printf("\n%d benchmark(s) added, %d removed (not compared)\n",
+			len(c.added), len(c.removed))
+	}
 
-	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "\nbenchjson: %d benchmark(s) regressed past %.1f%%:\n", len(regressed), threshold)
-		for _, r := range regressed {
+	if len(c.regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchjson: %d benchmark(s) regressed past %.1f%%:\n", len(c.regressed), threshold)
+		for _, r := range c.regressed {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
 		return 1

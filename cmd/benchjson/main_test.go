@@ -1,0 +1,94 @@
+package main
+
+import "testing"
+
+func bench(name string, procs int, nsMin float64) entry {
+	return entry{Name: name, Procs: procs, NsPerOpMin: nsMin}
+}
+
+func TestCompareDocsSharedDeltas(t *testing.T) {
+	oldDoc := document{Benchmarks: []entry{bench("BenchmarkA", 4, 100), bench("BenchmarkB", 4, 100)}}
+	newDoc := document{Benchmarks: []entry{bench("BenchmarkA", 4, 103), bench("BenchmarkB", 4, 120)}}
+	c := compareDocs(oldDoc, newDoc, 5)
+	if len(c.rows) != 2 || len(c.added) != 0 || len(c.removed) != 0 {
+		t.Fatalf("rows=%d added=%d removed=%d", len(c.rows), len(c.added), len(c.removed))
+	}
+	if c.rows[0].regression {
+		t.Fatalf("A regressed at %+.1f%% under a 5%% threshold", c.rows[0].delta)
+	}
+	if !c.rows[1].regression {
+		t.Fatalf("B did not regress at %+.1f%%", c.rows[1].delta)
+	}
+	if len(c.regressed) != 1 {
+		t.Fatalf("regressed: %v", c.regressed)
+	}
+}
+
+func TestCompareDocsOneSided(t *testing.T) {
+	// A benchmark present on only one side must be listed as added or
+	// removed — never compared, never counted as a regression.
+	oldDoc := document{Benchmarks: []entry{bench("BenchmarkGone", 4, 50), bench("BenchmarkKept", 4, 100)}}
+	newDoc := document{Benchmarks: []entry{bench("BenchmarkKept", 4, 100), bench("BenchmarkNew", 4, 9999)}}
+	c := compareDocs(oldDoc, newDoc, 5)
+	if len(c.rows) != 1 || c.rows[0].newE.Name != "BenchmarkKept" {
+		t.Fatalf("rows %+v", c.rows)
+	}
+	if len(c.added) != 1 || c.added[0].Name != "BenchmarkNew" {
+		t.Fatalf("added %+v", c.added)
+	}
+	if len(c.removed) != 1 || c.removed[0].Name != "BenchmarkGone" {
+		t.Fatalf("removed %+v", c.removed)
+	}
+	if len(c.regressed) != 0 {
+		t.Fatalf("one-sided entries regressed: %v", c.regressed)
+	}
+}
+
+func TestCompareDocsProcsDistinguish(t *testing.T) {
+	// The same name at different GOMAXPROCS is a different benchmark.
+	oldDoc := document{Benchmarks: []entry{bench("BenchmarkA", 1, 100)}}
+	newDoc := document{Benchmarks: []entry{bench("BenchmarkA", 4, 100)}}
+	c := compareDocs(oldDoc, newDoc, 5)
+	if len(c.rows) != 0 || len(c.added) != 1 || len(c.removed) != 1 {
+		t.Fatalf("rows=%d added=%d removed=%d", len(c.rows), len(c.added), len(c.removed))
+	}
+}
+
+func TestCompareDocsEmptyOld(t *testing.T) {
+	// First baseline: every benchmark is new, exit must be clean.
+	newDoc := document{Benchmarks: []entry{bench("BenchmarkA", 4, 100)}}
+	c := compareDocs(document{}, newDoc, 5)
+	if len(c.added) != 1 || len(c.rows) != 0 || len(c.regressed) != 0 {
+		t.Fatalf("added=%d rows=%d regressed=%v", len(c.added), len(c.rows), c.regressed)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	name, s, ok := parseBenchLine("BenchmarkFoo-4   123   456789 ns/op   10 B/op   2 allocs/op")
+	if !ok || name != "BenchmarkFoo-4" || s.nsPerOp != 456789 || s.bytesPerOp != 10 || s.allocsPerOp != 2 {
+		t.Fatalf("parsed %q %+v ok=%v", name, s, ok)
+	}
+	if _, _, ok := parseBenchLine("ok  \tprism\t7.394s"); ok {
+		t.Fatal("non-benchmark line parsed")
+	}
+	// Custom metrics (records/s) must not be mistaken for ns/op.
+	name, s, ok = parseBenchLine("BenchmarkPipe-1   145584   18081 ns/op   509.72 MB/s   14158873 records/s   0 B/op   0 allocs/op")
+	if !ok || name != "BenchmarkPipe-1" || s.nsPerOp != 18081 || s.allocsPerOp != 0 {
+		t.Fatalf("parsed %q %+v ok=%v", name, s, ok)
+	}
+}
+
+func TestAggregateMinMeanMax(t *testing.T) {
+	e := aggregate("BenchmarkX-8", []sample{
+		{nsPerOp: 300, iterations: 10}, {nsPerOp: 100, iterations: 10}, {nsPerOp: 200, iterations: 10},
+	})
+	if e.Name != "BenchmarkX" || e.Procs != 8 {
+		t.Fatalf("name %q procs %d", e.Name, e.Procs)
+	}
+	if e.NsPerOpMin != 100 || e.NsPerOpMax != 300 || e.NsPerOpMean != 200 {
+		t.Fatalf("min=%v mean=%v max=%v", e.NsPerOpMin, e.NsPerOpMean, e.NsPerOpMax)
+	}
+	if e.Count != 3 || e.Iterations != 30 {
+		t.Fatalf("count=%d iters=%d", e.Count, e.Iterations)
+	}
+}

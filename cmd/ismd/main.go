@@ -14,7 +14,7 @@
 //
 //	ismd [-addr 127.0.0.1:7311] [-spool trace.bin] [-miso] [-stats 2s]
 //	     [-overflow drop-oldest|block|drop-newest] [-publish 0]
-//	     [-resilient] [-degraded-after 5s]
+//	     [-resilient] [-degraded-after 5s] [-shards 1]
 //
 // With -resilient the manager runs the session protocol in front of
 // the input stage: sequenced batches from resilient LIS nodes (see
@@ -51,6 +51,7 @@ func main() {
 	publish := flag.Duration("publish", 0, "self-publish runtime metrics into the stream at this interval (0 disables)")
 	resilient := flag.Bool("resilient", false, "run the session protocol (ack, dedup, replay tolerance) in front of the input stage")
 	degradedAfter := flag.Duration("degraded-after", 5*time.Second, "with -resilient, report nodes silent for longer than this as degraded (0 disables)")
+	shards := flag.Int("shards", 1, "ingest shards; sources hash across shard stages that merge at the causal orderer")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
@@ -61,6 +62,7 @@ func main() {
 	cfg := ism.Config{
 		Buffering: ism.SISO, Ordered: true, Metrics: reg,
 		ResumeSources: *resilient,
+		Shards:        *shards,
 	}
 	if *miso {
 		cfg.Buffering = ism.MISO

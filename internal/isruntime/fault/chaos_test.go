@@ -56,7 +56,7 @@ func (s *soakServer) serve(c tp.Conn) {
 			}
 			s.mu.Unlock()
 		}
-		tp.Recycle(m)
+		tp.Recycle(&m)
 	}
 }
 
@@ -272,7 +272,7 @@ func TestChaosSoakDropPolicyCountedLoss(t *testing.T) {
 			mu.Lock()
 			delivered += len(m.Records)
 			mu.Unlock()
-			tp.Recycle(m)
+			tp.Recycle(&m)
 		}
 	}()
 

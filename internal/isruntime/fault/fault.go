@@ -286,18 +286,18 @@ func (f *faultConn) Send(m tp.Message) error {
 	switch f.in.decide(Send) {
 	case Drop:
 		// The frame vanishes in transit: the sender believes it sent.
-		tp.Recycle(m)
+		tp.Recycle(&m)
 		return nil
 	case Disconnect:
-		tp.Recycle(m)
+		tp.Recycle(&m)
 		_ = f.c.Close()
 		return fmt.Errorf("fault: injected disconnect: %w", tp.ErrConnClosed)
 	case Corrupt:
-		tp.Recycle(m)
+		tp.Recycle(&m)
 		_ = f.c.Close()
 		return fmt.Errorf("fault: injected frame corruption: %w", tp.ErrCorruptFrame)
 	case Truncate:
-		tp.Recycle(m)
+		tp.Recycle(&m)
 		_ = f.c.Close()
 		return fmt.Errorf("fault: injected frame truncation: %w", tp.ErrCorruptFrame)
 	case Delay:

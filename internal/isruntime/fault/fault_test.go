@@ -77,7 +77,7 @@ func TestInjectorDeterministicTrace(t *testing.T) {
 // isolated.
 type nopConn struct{}
 
-func (nopConn) Send(m tp.Message) error   { tp.Recycle(m); return nil }
+func (nopConn) Send(m tp.Message) error   { tp.Recycle(&m); return nil }
 func (nopConn) Recv() (tp.Message, error) { return tp.Message{}, nil }
 func (nopConn) Close() error              { return nil }
 

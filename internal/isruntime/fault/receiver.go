@@ -201,7 +201,7 @@ func (r *Receiver) Filter(conn tp.Conn, m tp.Message) bool {
 		if r.mDups != nil {
 			r.mDups.Inc()
 		}
-		tp.Recycle(m)
+		tp.Recycle(&m)
 		r.ack(conn, m.Node, high)
 		return true
 	}

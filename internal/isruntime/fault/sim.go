@@ -66,7 +66,7 @@ type simEnd struct {
 // Send implements tp.Conn by queueing onto the link.
 func (e *simEnd) Send(m tp.Message) error {
 	if e.link.closed {
-		tp.Recycle(m)
+		tp.Recycle(&m)
 		return tp.ErrConnClosed
 	}
 	if e.sender {

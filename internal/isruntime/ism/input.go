@@ -2,26 +2,34 @@ package ism
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"prism/internal/isruntime/flow"
 )
 
 // Input buffer stages, built on flow.Queue so the overflow discipline
-// is pluggable and uniform with the LIS and TP layers. The SISO stage
-// is one bounded FIFO shared by all sources; the MISO stage keeps one
-// FIFO per source and scans sources round-robin on pop — the
-// per-buffer maintenance work that makes MISO "incur more overhead,
-// especially in accessing memory ... under high arrival rate
-// conditions" (§3.3.2).
+// is pluggable and uniform with the LIS and TP layers. The unit of
+// transfer is a whole batch envelope — one LIS flush — not a single
+// record: DeWiz-style pipelines only scale when every stage moves
+// blocks of events. The SISO stage is one bounded FIFO shared by all
+// sources; the MISO stage keeps one FIFO per source and scans sources
+// round-robin on pop — the per-buffer maintenance work that makes MISO
+// "incur more overhead, especially in accessing memory ... under high
+// arrival rate conditions" (§3.3.2).
+//
+// Because queue elements are batches, the loss accounting the ISM
+// exposes stays record-granular: every stage counts dropped and
+// spilled records (not batches) through its OnDrop and spill hooks,
+// which also return pooled slices to the batch pool so a policy drop
+// cannot leak pool capacity.
 type inputStage interface {
-	// push enqueues an envelope from the given source node, applying
-	// the stage's overflow policy when the target buffer is full.
-	push(node int32, e envelope)
+	// push enqueues a batch envelope from the given source node,
+	// applying the stage's overflow policy when the target buffer is
+	// full.
+	push(node int32, e batchEnv)
 	// pop dequeues the next envelope, reporting false when empty. It
 	// never blocks.
-	pop() (envelope, bool)
-	// empty reports whether no envelopes are queued.
-	empty() bool
+	pop() (batchEnv, bool)
 	// dropped returns the number of records lost to overflow or close.
 	dropped() uint64
 	// spilled returns the number of records demoted to the spill
@@ -32,48 +40,103 @@ type inputStage interface {
 	close()
 }
 
-// spillEnvelope adapts a storage spill target to envelope elements.
-func spillEnvelope(s flow.Spill) func(envelope) error {
+// stageAccounting is the record-granular drop/spill bookkeeping both
+// stages share.
+type stageAccounting struct {
+	droppedRecs atomic.Uint64
+	spilledRecs atomic.Uint64
+}
+
+// onDropEnv builds the OnDrop hook: count the batch's records as
+// dropped and recycle the pooled slice. extra runs afterwards (the
+// MISO stage uses it to maintain its occupancy hints).
+func (a *stageAccounting) onDropEnv(extra func()) func(batchEnv) {
+	return func(e batchEnv) {
+		a.droppedRecs.Add(uint64(len(e.recs)))
+		if e.pooled {
+			flow.PutBatch(e.recs)
+		}
+		if extra != nil {
+			extra()
+		}
+	}
+}
+
+// spillEnv adapts a storage spill target to batch envelopes: the whole
+// batch is appended as one bulk write, counted per record, and the
+// pooled slice recycled. extra runs after a successful spill.
+func (a *stageAccounting) spillEnv(s flow.Spill, extra func()) func(batchEnv) error {
 	if s == nil {
 		return nil
 	}
-	return func(e envelope) error { return s.Append(e.rec) }
+	return func(e batchEnv) error {
+		if err := s.Append(e.recs...); err != nil {
+			return err
+		}
+		a.spilledRecs.Add(uint64(len(e.recs)))
+		if e.pooled {
+			flow.PutBatch(e.recs)
+		}
+		if extra != nil {
+			extra()
+		}
+		return nil
+	}
 }
 
 type sisoStage struct {
-	q *flow.Queue[envelope]
+	stageAccounting
+	q *flow.Queue[batchEnv]
 }
 
 // newSISOStage builds the shared-FIFO stage. The policy must be valid
-// (the ISM constructor checks).
+// (the ISM constructor checks). capacity counts queued batches.
 func newSISOStage(capacity int, policy flow.OverflowPolicy, spill flow.Spill) *sisoStage {
-	q, err := flow.NewQueue[envelope](capacity, policy, spillEnvelope(spill))
+	s := &sisoStage{}
+	q, err := flow.NewQueue[batchEnv](capacity, policy, s.spillEnv(spill, nil))
 	if err != nil {
 		panic(err)
 	}
-	return &sisoStage{q: q}
+	q.OnDrop(s.onDropEnv(nil))
+	s.q = q
+	return s
 }
 
-func (s *sisoStage) push(_ int32, e envelope) { s.q.Push(e) }
+func (s *sisoStage) push(_ int32, e batchEnv) { s.q.Push(e) }
 
-func (s *sisoStage) pop() (envelope, bool) { return s.q.TryPop() }
+func (s *sisoStage) pop() (batchEnv, bool) { return s.q.TryPop() }
 
-func (s *sisoStage) empty() bool { return s.q.Len() == 0 }
+func (s *sisoStage) dropped() uint64 { return s.droppedRecs.Load() }
 
-func (s *sisoStage) dropped() uint64 { return s.q.Stats().Dropped }
-
-func (s *sisoStage) spilled() uint64 { return s.q.Stats().Spilled }
+func (s *sisoStage) spilled() uint64 { return s.spilledRecs.Load() }
 
 func (s *sisoStage) close() { s.q.Close() }
 
+// misoSource is one source's buffer plus an occupancy hint. The hint
+// is a safe upper bound on the queue's length: producers increment it
+// BEFORE pushing and every path that removes an element (pop, policy
+// drop, spill) decrements it after. It can transiently overcount —
+// never undercount — so pop may skip a queue only when the hint is
+// zero, and the round-robin scan touches just the sources that might
+// hold data instead of walking the whole ring when most are idle.
+type misoSource struct {
+	q    *flow.Queue[batchEnv]
+	hint atomic.Int64
+}
+
 type misoStage struct {
+	stageAccounting
 	cap    int
 	policy flow.OverflowPolicy
-	spill  func(envelope) error
+	spill  flow.Spill
+
+	// total upper-bounds the stage-wide occupancy for an O(1) empty
+	// fast path on pop.
+	total atomic.Int64
 
 	mu     sync.Mutex
 	order  []int32
-	queues map[int32]*flow.Queue[envelope]
+	queues map[int32]*misoSource
 	next   int // round-robin cursor
 	closed bool
 }
@@ -85,85 +148,78 @@ func newMISOStage(capacityPerSource int, policy flow.OverflowPolicy, spill flow.
 	return &misoStage{
 		cap:    capacityPerSource,
 		policy: policy,
-		spill:  spillEnvelope(spill),
-		queues: map[int32]*flow.Queue[envelope]{},
+		spill:  spill,
+		queues: map[int32]*misoSource{},
 	}
 }
 
 // push enqueues into the source's own buffer, creating it on first
 // arrival. The queue push runs outside the stage lock so a Block
-// policy stalls only this producer, not the stage.
-func (s *misoStage) push(node int32, e envelope) {
+// policy stalls only this producer, not the stage. The occupancy hints
+// are raised before the push: a consumer that observes the hint but
+// loses the race to the push simply retries via the availability
+// signal that follows every push.
+func (s *misoStage) push(node int32, e batchEnv) {
 	s.mu.Lock()
-	q, ok := s.queues[node]
+	src, ok := s.queues[node]
 	if !ok {
-		var err error
-		q, err = flow.NewQueue[envelope](s.cap, s.policy, s.spill)
+		src = &misoSource{}
+		dec := func() {
+			src.hint.Add(-1)
+			s.total.Add(-1)
+		}
+		q, err := flow.NewQueue[batchEnv](s.cap, s.policy, s.spillEnv(s.spill, dec))
 		if err != nil {
 			s.mu.Unlock()
 			panic(err)
 		}
+		q.OnDrop(s.onDropEnv(dec))
+		src.q = q
 		if s.closed {
 			q.Close()
 		}
-		s.queues[node] = q
+		s.queues[node] = src
 		s.order = append(s.order, node)
 	}
 	s.mu.Unlock()
-	q.Push(e)
+	src.hint.Add(1)
+	s.total.Add(1)
+	src.q.Push(e)
 }
 
-func (s *misoStage) pop() (envelope, bool) {
+func (s *misoStage) pop() (batchEnv, bool) {
+	if s.total.Load() <= 0 {
+		return batchEnv{}, false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Round-robin scan across per-source buffers.
+	// Round-robin scan across per-source buffers, skipping sources
+	// whose hint says they cannot hold data.
 	n := len(s.order)
 	for i := 0; i < n; i++ {
-		node := s.order[(s.next+i)%n]
-		if e, ok := s.queues[node].TryPop(); ok {
+		src := s.queues[s.order[(s.next+i)%n]]
+		if src.hint.Load() <= 0 {
+			continue
+		}
+		if e, ok := src.q.TryPop(); ok {
+			src.hint.Add(-1)
+			s.total.Add(-1)
 			s.next = (s.next + i + 1) % n
 			return e, true
 		}
 	}
-	return envelope{}, false
+	return batchEnv{}, false
 }
 
-func (s *misoStage) empty() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, q := range s.queues {
-		if q.Len() > 0 {
-			return false
-		}
-	}
-	return true
-}
+func (s *misoStage) dropped() uint64 { return s.droppedRecs.Load() }
 
-func (s *misoStage) dropped() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var n uint64
-	for _, q := range s.queues {
-		n += q.Stats().Dropped
-	}
-	return n
-}
-
-func (s *misoStage) spilled() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var n uint64
-	for _, q := range s.queues {
-		n += q.Stats().Spilled
-	}
-	return n
-}
+func (s *misoStage) spilled() uint64 { return s.spilledRecs.Load() }
 
 func (s *misoStage) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
-	for _, q := range s.queues {
-		q.Close()
+	for _, src := range s.queues {
+		src.q.Close()
 	}
 }

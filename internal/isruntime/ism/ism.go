@@ -57,9 +57,18 @@ func (b Buffering) String() string {
 type Config struct {
 	// Buffering selects SISO or MISO input buffers.
 	Buffering Buffering
-	// InputCapacity bounds each input buffer (records). Zero means
-	// a generous default.
+	// InputCapacity bounds each input buffer in queued batch
+	// envelopes (the unit of transfer is one LIS flush, not one
+	// record). Zero means a generous default.
 	InputCapacity int
+	// Shards fans ingest out across N input stages, each drained by
+	// its own processor goroutine, with source-affinity hashing: a
+	// given node always lands in the same shard, so per-source FIFO
+	// order — the causal orderer's contract — is preserved, while
+	// independent sources decode and stage in parallel. The shards
+	// merge at a single ordering/dispatch point. Zero or one keeps a
+	// single stage.
+	Shards int
 	// Overflow selects what the input stage does when a buffer is
 	// full. The zero value, flow.DropOldest, keeps the monitoring
 	// default: displace stale backlog to admit fresh data. Block
@@ -119,9 +128,17 @@ type Stats struct {
 	InputSpilled uint64
 }
 
-type envelope struct {
-	rec     trace.Record
+// batchEnv is the unit flowing through the input stage: one data
+// message's records (a whole LIS flush) plus its arrival timestamp.
+// The slice is always pool-owned by the time it enters a stage —
+// pooled injections transfer ownership zero-copy, unpooled ones are
+// copied into a pooled batch — and the processor recycles it after
+// dispatch.
+type batchEnv struct {
+	node    int32
+	recs    []trace.Record
 	arrival int64
+	pooled  bool
 }
 
 // ismCounters is the metric set the manager reports under the "ism"
@@ -156,6 +173,21 @@ func newISMCounters(reg *metrics.Registry) ismCounters {
 	}
 }
 
+// ismShard is one ingest lane: an input stage drained by its own
+// processor goroutine. Source-affinity hashing keeps each node's
+// batches in one lane, so per-source FIFO order survives the fan-out.
+type ismShard struct {
+	input inputStage
+	avail chan struct{}
+}
+
+func (s *ismShard) signal() {
+	select {
+	case s.avail <- struct{}{}:
+	default:
+	}
+}
+
 // ISM is a running instrumentation system manager. Create with New,
 // feed it by serving LIS connections (Serve) or direct injection
 // (Inject), and consume via Subscribe or the spool.
@@ -164,10 +196,9 @@ type ISM struct {
 	clock event.Clock
 	ctr   ismCounters
 
-	input inputStage
-	avail chan struct{}
-	stop  chan struct{}
-	done  chan struct{}
+	shards []*ismShard
+	stop   chan struct{}
+	runWG  sync.WaitGroup
 
 	pushed    atomic.Uint64
 	processed atomic.Uint64
@@ -176,13 +207,15 @@ type ISM struct {
 	outDone   chan struct{}
 	outPushed atomic.Uint64
 
-	// scratch carries the single-record dispatch of the unordered
-	// path; process runs on the one processor goroutine, so no
-	// per-record slice allocation is needed.
-	scratch [1]trace.Record
+	// procMu is the merge point behind the sharded ingest: it
+	// serializes the causal orderer, the dispatch buffer and batch
+	// emission, so shards decode and stage in parallel but records
+	// leave the manager in one causally ordered stream.
+	procMu   sync.Mutex
+	orderer  *trace.Orderer
+	orderBuf []trace.Record // reusable dispatch buffer, guarded by procMu
 
 	mu        sync.Mutex
-	orderer   *trace.Orderer
 	subs      []subscriber
 	spool     *trace.Writer
 	closed    bool
@@ -208,18 +241,25 @@ func New(cfg Config, clock event.Clock) *ISM {
 	if clock == nil {
 		clock = event.NewRealClock()
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	m := &ISM{
 		cfg:   cfg,
 		clock: clock,
 		ctr:   newISMCounters(cfg.Metrics),
-		avail: make(chan struct{}, 1),
 		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
 	}
-	if cfg.Buffering == SISO {
-		m.input = newSISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
-	} else {
-		m.input = newMISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
+	m.shards = make([]*ismShard, shards)
+	for i := range m.shards {
+		var st inputStage
+		if cfg.Buffering == SISO {
+			st = newSISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
+		} else {
+			st = newMISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
+		}
+		m.shards[i] = &ismShard{input: st, avail: make(chan struct{}, 1)}
 	}
 	if cfg.Ordered {
 		m.orderer = trace.NewOrderer()
@@ -235,8 +275,23 @@ func New(cfg Config, clock event.Clock) *ISM {
 		m.outDone = make(chan struct{})
 		go m.dispatchOutput()
 	}
-	go m.run()
+	m.runWG.Add(len(m.shards))
+	for _, s := range m.shards {
+		go m.runShard(s)
+	}
 	return m
+}
+
+// shardFor maps a source node to its ingest shard. The multiplicative
+// hash spreads adjacent node ids across shards while keeping the
+// mapping stable — the source-affinity invariant per-source FIFO
+// depends on.
+func (m *ISM) shardFor(node int32) *ismShard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	h := uint32(node) * 2654435761 // Knuth multiplicative hash
+	return m.shards[h%uint32(len(m.shards))]
 }
 
 // Metrics returns the registry the ISM reports through.
@@ -344,9 +399,11 @@ func (m *ISM) GangFlush(timeout time.Duration) int {
 }
 
 // Inject feeds one message directly into the ISM (used by in-process
-// deployments and tests). Pooled data messages are recycled once
-// their records are copied into the input stage — the ISM is the end
-// of the batch's ownership chain.
+// deployments and tests). Pooled data messages transfer their record
+// slice into the input stage zero-copy — the ISM takes over the
+// batch's ownership chain and recycles after dispatch. Unpooled
+// messages are copied into a pooled batch, so the caller retains its
+// slice either way.
 func (m *ISM) Inject(msg tp.Message) {
 	switch msg.Type {
 	case tp.MsgControl:
@@ -361,96 +418,125 @@ func (m *ISM) Inject(msg tp.Message) {
 			}
 		}
 	case tp.MsgData:
-		now := m.clock.Now()
-		for _, r := range msg.Records {
-			m.pushed.Add(1)
-			m.input.push(msg.Node, envelope{rec: r, arrival: now})
-			m.signal()
+		n := len(msg.Records)
+		if n == 0 {
+			tp.Recycle(&msg)
+			return
 		}
-		tp.Recycle(msg)
+		env := batchEnv{node: msg.Node, arrival: m.clock.Now(), pooled: true}
+		if msg.Pooled {
+			env.recs = msg.Records
+			msg.Records, msg.Pooled = nil, false // ownership moved
+		} else {
+			env.recs = flow.GetBatch(n)[:n]
+			copy(env.recs, msg.Records)
+		}
+		m.pushed.Add(uint64(n))
+		s := m.shardFor(msg.Node)
+		s.input.push(msg.Node, env)
+		s.signal()
 	}
 }
 
-func (m *ISM) signal() {
-	select {
-	case m.avail <- struct{}{}:
-	default:
-	}
-}
-
-func (m *ISM) run() {
-	defer close(m.done)
+// runShard drains one ingest lane. Batches merge at processBatch's
+// procMu — the single ordering point behind the parallel stages.
+func (m *ISM) runShard(s *ismShard) {
+	defer m.runWG.Done()
 	for {
-		env, ok := m.input.pop()
+		env, ok := s.input.pop()
 		if !ok {
 			select {
-			case <-m.avail:
+			case <-s.avail:
 				continue
 			case <-m.stop:
 				// Final drain.
 				for {
-					env, ok := m.input.pop()
+					env, ok := s.input.pop()
 					if !ok {
 						return
 					}
-					m.process(env)
+					m.processBatch(env)
 				}
 			}
 		}
-		m.process(env)
+		m.processBatch(env)
 	}
 }
 
-func (m *ISM) process(env envelope) {
-	defer m.processed.Add(1)
+// processBatch runs one batch envelope through ordering and dispatch.
+// The whole batch crosses the merge point under one procMu hold — the
+// batch-granularity win: one lock round-trip, one clock read, one
+// latency observation and one dispatch-buffer reuse per LIS flush
+// instead of per record.
+func (m *ISM) processBatch(env batchEnv) {
+	n := uint64(len(env.recs))
+	m.procMu.Lock()
+	now := m.clock.Now()
+	m.ctr.arrived.Add(n)
 	if m.orderer == nil {
-		m.scratch[0] = env.rec
-		m.deliver(m.scratch[:1], env.arrival, false)
+		m.ctr.latency.Observe(now - env.arrival)
+		m.ctr.dispatched.Add(n)
+		m.emitAll(env.recs)
+	} else {
+		out := m.orderBuf[:0]
+		for _, r := range env.recs {
+			// The sensor carried the capture sequence in Logical; the
+			// orderer reassigns Logical as a Lamport stamp on dispatch.
+			seq := r.Logical
+			r.Logical = 0
+			prev := len(out)
+			out = m.orderer.AddTo(out, r, seq)
+			if len(out) == prev {
+				m.ctr.outOfOrder.Inc()
+			}
+		}
+		m.ctr.held.Set(int64(m.orderer.Held()))
+		m.ctr.maxHeld.SetMax(int64(m.orderer.MaxHeld()))
+		if len(out) > 0 {
+			// Latency is attributed to the arriving batch that caused
+			// dispatch; held records' latency is folded in when
+			// released.
+			m.ctr.latency.Observe(now - env.arrival)
+		}
+		m.ctr.dispatched.Add(uint64(len(out)))
+		m.emitAll(out)
+		m.orderBuf = out[:0]
+	}
+	m.procMu.Unlock()
+	if env.pooled {
+		flow.PutBatch(env.recs)
+	}
+	m.processed.Add(n)
+}
+
+// emitAll hands a dispatched batch to the output buffer or directly to
+// the spool and subscribers. Callers hold procMu.
+func (m *ISM) emitAll(rs []trace.Record) {
+	if len(rs) == 0 {
 		return
 	}
-	out := m.addOrdered(env.rec)
-	m.deliver(out, env.arrival, len(out) == 0)
-}
-
-func (m *ISM) addOrdered(r trace.Record) []trace.Record {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	// The sensor carried the capture sequence in Logical; the orderer
-	// reassigns Logical as a Lamport stamp on dispatch.
-	seq := r.Logical
-	r.Logical = 0
-	return m.orderer.Add(r, seq)
-}
-
-func (m *ISM) deliver(rs []trace.Record, arrival int64, outOfOrder bool) {
-	now := m.clock.Now()
-	m.ctr.arrived.Inc()
-	if outOfOrder {
-		m.ctr.outOfOrder.Inc()
-	}
-	if m.orderer != nil {
-		m.mu.Lock()
-		held := int64(m.orderer.Held())
-		maxHeld := int64(m.orderer.MaxHeld())
-		m.mu.Unlock()
-		m.ctr.held.Set(held)
-		m.ctr.maxHeld.SetMax(maxHeld)
-	}
-	if len(rs) > 0 {
-		// Latency is attributed to the arriving record that caused
-		// dispatch; held records' latency is folded in when released.
-		m.ctr.latency.Observe(now - arrival)
-	}
-	m.ctr.dispatched.Add(uint64(len(rs)))
-
-	for _, r := range rs {
-		if m.out != nil {
-			m.outPushed.Add(1)
+	if m.out != nil {
+		m.outPushed.Add(uint64(len(rs)))
+		for _, r := range rs {
 			m.out <- r // backpressure when the output buffer is full
-			continue
 		}
-		m.emit(r)
+		return
 	}
+	m.mu.Lock()
+	spool := m.spool
+	subs := m.subs
+	m.mu.Unlock()
+	if spool != nil {
+		m.mu.Lock()
+		_ = spool.WriteAll(rs)
+		m.mu.Unlock()
+	}
+	for _, r := range rs {
+		for _, s := range subs {
+			s.fn(r)
+		}
+	}
+	m.ctr.delivered.Add(uint64(len(rs)))
 }
 
 // Stats returns a snapshot of ISM statistics — a view over the
@@ -466,8 +552,8 @@ func (m *ISM) Stats() Stats {
 		MaxLatencyNs:  m.ctr.latency.Max(),
 		ControlsSeen:  m.ctr.controlsSeen.Value(),
 		Delivered:     m.ctr.delivered.Value(),
-		InputDropped:  m.input.dropped(),
-		InputSpilled:  m.input.spilled(),
+		InputDropped:  m.stageDropped(),
+		InputSpilled:  m.stageSpilled(),
 	}
 	if st.Arrived > 0 {
 		st.HoldBackRatio = float64(st.OutOfOrder) / float64(st.Arrived)
@@ -476,6 +562,24 @@ func (m *ISM) Stats() Stats {
 		st.OutputQueued = int(m.outPushed.Load() - st.Delivered)
 	}
 	return st
+}
+
+// stageDropped sums record-granular overflow losses across shards.
+func (m *ISM) stageDropped() uint64 {
+	var n uint64
+	for _, s := range m.shards {
+		n += s.input.dropped()
+	}
+	return n
+}
+
+// stageSpilled sums records demoted to spill storage across shards.
+func (m *ISM) stageSpilled() uint64 {
+	var n uint64
+	for _, s := range m.shards {
+		n += s.input.spilled()
+	}
+	return n
 }
 
 // Drain blocks until every record injected so far has been processed.
@@ -487,8 +591,10 @@ func (m *ISM) Drain() {
 	// Records displaced by input-stage overflow are never processed —
 	// whether dropped or spilled to storage, they count against the
 	// target or overload would hang Drain.
-	for m.processed.Load()+m.input.dropped()+m.input.spilled() < target {
-		m.signal()
+	for m.processed.Load()+m.stageDropped()+m.stageSpilled() < target {
+		for _, s := range m.shards {
+			s.signal()
+		}
 		time.Sleep(50 * time.Microsecond)
 	}
 	if m.out != nil {
@@ -512,8 +618,10 @@ func (m *ISM) Close() error {
 	m.closed = true
 	m.mu.Unlock()
 	close(m.stop)
-	<-m.done
-	m.input.close()
+	m.runWG.Wait()
+	for _, s := range m.shards {
+		s.input.close()
+	}
 	if m.out != nil {
 		close(m.out)
 		<-m.outDone

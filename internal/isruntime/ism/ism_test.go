@@ -311,43 +311,53 @@ func TestCloseIdempotentAndDrains(t *testing.T) {
 }
 
 func TestMISORoundRobinFairness(t *testing.T) {
+	// The unit of transfer is a batch envelope, so MISO fairness is
+	// batch-granular: with two batches queued per source, pop must
+	// alternate sources instead of draining one source's queue first.
 	var clock event.VirtualClock
 	m := New(Config{Buffering: MISO}, &clock)
 	defer m.Close()
 	var mu sync.Mutex
 	var order []int32
+	gate := make(chan struct{})
+	first := true
 	m.Subscribe("t", func(r trace.Record) {
+		if first {
+			// Stall the processor on the very first record so every
+			// remaining batch is queued before the next pop.
+			first = false
+			<-gate
+		}
 		mu.Lock()
 		order = append(order, r.Node)
 		mu.Unlock()
 	})
-	// Two sources, back-to-back bursts; MISO must interleave.
-	burstA := make([]trace.Record, 4)
-	burstB := make([]trace.Record, 4)
-	for i := range burstA {
-		burstA[i] = seqRec(0, trace.KindUser, uint16(i), uint64(i), 0)
-		burstB[i] = seqRec(1, trace.KindUser, uint16(i), uint64(i), 0)
+	batch := func(node int32, base uint64) []trace.Record {
+		rs := make([]trace.Record, 2)
+		for i := range rs {
+			rs[i] = seqRec(node, trace.KindUser, uint16(base)+uint16(i), base+uint64(i), 0)
+		}
+		return rs
 	}
-	m.Inject(tp.DataMessage(0, burstA))
-	m.Inject(tp.DataMessage(1, burstB))
+	m.Inject(tp.DataMessage(0, batch(0, 0)))
+	m.Inject(tp.DataMessage(0, batch(0, 2)))
+	m.Inject(tp.DataMessage(1, batch(1, 0)))
+	m.Inject(tp.DataMessage(1, batch(1, 2)))
+	close(gate)
 	m.Drain()
 	mu.Lock()
 	defer mu.Unlock()
 	if len(order) != 8 {
 		t.Fatalf("dispatched %d", len(order))
 	}
-	// With round-robin pop, the two nodes should alternate for at
-	// least part of the stream rather than strictly A*4 then B*4.
-	strictlySequential := true
-	for i := 1; i < 4; i++ {
-		if order[i] != order[0] {
-			strictlySequential = false
+	// The first batch popped is source 0's (it may have been popped
+	// before source 1 arrived — the gate holds it mid-dispatch). The
+	// remaining pops must round-robin: B, A, B — not A, B, B.
+	want := []int32{0, 0, 1, 1, 0, 0, 1, 1}
+	for i, n := range want {
+		if order[i] != n {
+			t.Fatalf("MISO did not interleave batches: %v", order)
 		}
-	}
-	if strictlySequential && order[0] == 0 && order[4] == 1 {
-		// Possible if the processor drained A before B arrived; the
-		// injection above is synchronous so both were queued. Fail.
-		t.Fatalf("MISO did not interleave: %v", order)
 	}
 }
 
@@ -466,35 +476,50 @@ func TestDrainTerminatesUnderOverflow(t *testing.T) {
 	}
 }
 
+// env wraps records as an unpooled batch envelope for white-box stage
+// tests.
+func env(tags ...uint16) batchEnv {
+	rs := make([]trace.Record, len(tags))
+	for i, tag := range tags {
+		rs[i] = trace.Record{Tag: tag}
+	}
+	return batchEnv{recs: rs}
+}
+
 func TestStageOverflowDrops(t *testing.T) {
+	// Queue capacity counts batch envelopes; drop accounting counts the
+	// records inside the displaced batches.
 	s := newSISOStage(2, flow.DropOldest, nil)
-	s.push(0, envelope{rec: trace.Record{Tag: 1}})
-	s.push(0, envelope{rec: trace.Record{Tag: 2}})
-	s.push(0, envelope{rec: trace.Record{Tag: 3}}) // displaces tag 1
-	if s.dropped() != 1 {
+	s.push(0, env(1, 2))
+	s.push(0, env(3))
+	s.push(0, env(4)) // displaces the 2-record batch {1,2}
+	if s.dropped() != 2 {
 		t.Fatalf("drops %d", s.dropped())
 	}
 	e, ok := s.pop()
-	if !ok || e.rec.Tag != 2 {
+	if !ok || len(e.recs) != 1 || e.recs[0].Tag != 3 {
 		t.Fatalf("head %+v", e)
 	}
 	m := newMISOStage(1, flow.DropOldest, nil)
-	m.push(0, envelope{rec: trace.Record{Tag: 1}})
-	m.push(0, envelope{rec: trace.Record{Tag: 2}})
-	if m.dropped() != 1 {
+	m.push(0, env(1, 2))
+	m.push(0, env(3))
+	if m.dropped() != 2 {
 		t.Fatalf("miso drops %d", m.dropped())
 	}
 	e, ok = m.pop()
-	if !ok || e.rec.Tag != 2 {
+	if !ok || len(e.recs) != 1 || e.recs[0].Tag != 3 {
 		t.Fatalf("miso head %+v", e)
 	}
 	if _, ok := m.pop(); ok {
 		t.Fatal("miso should be empty")
 	}
-	if e, ok := s.pop(); !ok || e.rec.Tag != 3 {
+	if e, ok := s.pop(); !ok || e.recs[0].Tag != 4 {
 		t.Fatalf("siso tail %+v", e)
 	}
-	if !m.empty() || !s.empty() {
-		t.Fatal("stages should be empty")
+	if _, ok := m.pop(); ok {
+		t.Fatal("miso should stay empty")
+	}
+	if _, ok := s.pop(); ok {
+		t.Fatal("siso should be empty")
 	}
 }

@@ -50,7 +50,7 @@ func ControlLoop(conn tp.Conn, server LIS) error {
 			return err
 		}
 		if msg.Type != tp.MsgControl {
-			tp.Recycle(msg) // pooled data payloads go back to the pool
+			tp.Recycle(&msg) // pooled data payloads go back to the pool
 			continue
 		}
 		switch msg.Control {

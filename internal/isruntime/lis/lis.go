@@ -267,17 +267,35 @@ func (b *Buffered) msg(batch []trace.Record) tp.Message {
 	return tp.PooledDataMessage(b.node, batch)
 }
 
-// sender drains pending batches to the connection (async mode). The
-// conn takes ownership of each pooled batch.
+// senderBurst caps how many pending batches one send coalesces, so a
+// deep backlog still yields the connection periodically.
+const senderBurst = 32
+
+// sender drains pending batches to the connection (async mode). When a
+// backlog has built up behind a slow connection, the queued batches are
+// coalesced into a single tp.SendAll — one writev on a TCP transport —
+// instead of paying a flush round-trip per batch. The conn takes
+// ownership of every pooled batch.
 func (b *Buffered) sender() {
 	defer close(b.senderDone)
+	msgs := make([]tp.Message, 0, senderBurst)
 	for {
 		batch, ok := b.pending.PopWait()
 		if !ok {
 			return
 		}
-		if b.conn.Send(b.msg(batch)) == nil {
-			b.ctr.forwarded.Add(uint64(len(batch)))
+		msgs = append(msgs[:0], b.msg(batch))
+		total := uint64(len(batch))
+		for len(msgs) < senderBurst {
+			more, ok := b.pending.TryPop()
+			if !ok {
+				break
+			}
+			total += uint64(len(more))
+			msgs = append(msgs, b.msg(more))
+		}
+		if tp.SendAll(b.conn, msgs) == nil {
+			b.ctr.forwarded.Add(total)
 		}
 	}
 }

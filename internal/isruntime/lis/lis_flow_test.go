@@ -318,7 +318,7 @@ type recycleConnT struct {
 
 func (c *recycleConnT) Send(m tp.Message) error {
 	c.n += len(m.Records)
-	tp.Recycle(m)
+	tp.Recycle(&m)
 	return nil
 }
 func (c *recycleConnT) Recv() (tp.Message, error) { select {} }

@@ -112,34 +112,60 @@ func New(d Discipline, capacity int, next io.Writer, opts ...Option) (*Hierarchy
 }
 
 // Append stores records, spilling or overwriting per the discipline.
+// The whole batch is admitted under one lock hold, chunked only at
+// capacity boundaries: a spill-mode append copies capacity-sized runs
+// between flushes, and a ring-mode append computes the displacement
+// arithmetically instead of shifting the buffer once per record.
 func (h *Hierarchy) Append(rs ...trace.Record) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
 		return errors.New("storage: closed")
 	}
-	for _, r := range rs {
-		h.stats.Appended++
-		if h.m != nil {
-			h.m.appended.Inc()
-		}
-		if len(h.main) >= h.capacity {
-			switch h.discipline {
-			case Spill:
+	h.stats.Appended += uint64(len(rs))
+	if h.m != nil {
+		h.m.appended.Add(uint64(len(rs)))
+	}
+	switch h.discipline {
+	case Spill:
+		for len(rs) > 0 {
+			if len(h.main) >= h.capacity {
 				if err := h.spillLocked(); err != nil {
 					return err
 				}
-			case Ring:
-				h.main = h.main[1:]
-				h.stats.Overwritten++
-				if h.m != nil {
-					h.m.overwritten.Inc()
-				}
+			}
+			room := h.capacity - len(h.main)
+			if room > len(rs) {
+				room = len(rs)
+			}
+			h.main = append(h.main, rs[:room]...)
+			rs = rs[room:]
+			if len(h.main) > h.stats.Peak {
+				h.stats.Peak = len(h.main)
 			}
 		}
-		h.main = append(h.main, r)
-		if len(h.main) > h.stats.Peak {
-			h.stats.Peak = len(h.main)
+	case Ring:
+		if k := len(rs); k >= h.capacity {
+			// The batch alone overwrites everything resident.
+			displaced := len(h.main) + k - h.capacity
+			h.main = append(h.main[:0], rs[k-h.capacity:]...)
+			h.stats.Overwritten += uint64(displaced)
+			if h.m != nil {
+				h.m.overwritten.Add(uint64(displaced))
+			}
+			h.stats.Peak = h.capacity
+		} else {
+			if drop := len(h.main) + k - h.capacity; drop > 0 {
+				h.main = append(h.main[:0], h.main[drop:]...)
+				h.stats.Overwritten += uint64(drop)
+				if h.m != nil {
+					h.m.overwritten.Add(uint64(drop))
+				}
+			}
+			h.main = append(h.main, rs...)
+			if len(h.main) > h.stats.Peak {
+				h.stats.Peak = len(h.main)
+			}
 		}
 	}
 	h.stats.Resident = len(h.main)
@@ -149,15 +175,14 @@ func (h *Hierarchy) Append(rs ...trace.Record) error {
 	return nil
 }
 
-// spillLocked writes the whole main buffer to the next level.
+// spillLocked writes the whole main buffer to the next level as one
+// coalesced bulk write.
 func (h *Hierarchy) spillLocked() error {
 	if h.next == nil || len(h.main) == 0 {
 		return nil
 	}
-	for _, r := range h.main {
-		if err := h.next.Write(r); err != nil {
-			return err
-		}
+	if err := h.next.WriteAll(h.main); err != nil {
+		return err
 	}
 	h.stats.Spills++
 	h.stats.ToDisk += uint64(len(h.main))

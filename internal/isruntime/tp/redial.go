@@ -270,7 +270,7 @@ func (r *Redial) markBroken(gen uint64) {
 func (r *Redial) Send(m Message) error {
 	c, gen, err := r.current()
 	if err != nil {
-		Recycle(m)
+		Recycle(&m)
 		return err
 	}
 	if err = c.Send(m); err != nil && Retryable(err) {

@@ -108,11 +108,16 @@ func ControlMessage(node int32, ctl Control, arg int64) Message {
 
 // Recycle returns a message's record slice to the batch pool if it is
 // pool-owned. Consumers call it once they have copied or discarded the
-// records.
-func Recycle(m Message) {
+// records. The message is cleared on the first call, so an accidental
+// second Recycle of the same message is inert instead of double-freeing
+// the slice into the pool (which would hand the same backing array to
+// two owners).
+func Recycle(m *Message) {
 	if m.Pooled && m.Records != nil {
 		flow.PutBatch(m.Records)
 	}
+	m.Records = nil
+	m.Pooled = false
 }
 
 // Conn is a bidirectional, ordered, reliable message connection —
@@ -128,6 +133,38 @@ type Conn interface {
 	Recv() (Message, error)
 	// Close releases the connection. Pending Recv calls unblock.
 	Close() error
+}
+
+// BatchSender is implemented by transports that can transmit several
+// queued messages as one coalesced write (one syscall per flush on the
+// stream transport). Ownership follows Send: the connection owns every
+// message in ms once SendBatch is called, success or error.
+type BatchSender interface {
+	SendBatch(ms []Message) error
+}
+
+// SendAll transmits every message in ms over c, using the transport's
+// coalesced batch path when it has one and falling back to per-message
+// Send otherwise. On a fallback error the remaining messages are still
+// offered (the conn owns and accounts each); the first error is
+// returned.
+func SendAll(c Conn, ms []Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	if len(ms) == 1 {
+		return c.Send(ms[0])
+	}
+	if bs, ok := c.(BatchSender); ok {
+		return bs.SendBatch(ms)
+	}
+	var first error
+	for _, m := range ms {
+		if err := c.Send(m); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // DropCounter is implemented by lossy transports (pipes with a
@@ -214,7 +251,7 @@ func (c *chanConn) Send(m Message) error {
 		case old := <-c.send:
 			if c.policy == flow.SpillToStorage && c.spill != nil {
 				if err := c.spill(old); err == nil {
-					Recycle(old)
+					Recycle(&old)
 					continue
 				}
 			}
@@ -245,7 +282,7 @@ func (c *chanConn) drop(m Message) {
 	if c.dropCtr != nil {
 		c.dropCtr.Inc()
 	}
-	Recycle(m)
+	Recycle(&m)
 }
 
 // DroppedMessages implements DropCounter.
@@ -316,8 +353,9 @@ func (e *encodeBuffer) sized(n int) []byte {
 }
 
 // AppendMessage appends the wire encoding of m to buf and returns the
-// extended slice. It is the allocation-transparent building block;
-// WriteMessage wraps it with a pooled buffer.
+// extended slice. The frame is encoded in place after a single slice
+// grow — no per-record staging array, no per-record append — so the
+// encode cost is one bounds-checked store sequence per record.
 func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	if m.Type >= numMsgTypes {
 		return buf, fmt.Errorf("tp: invalid message type %d", m.Type)
@@ -325,17 +363,23 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	if len(m.Records) > maxFrameRecords {
 		return buf, fmt.Errorf("tp: frame too large (%d records)", len(m.Records))
 	}
-	var h [frameHeaderSize]byte
+	start := len(buf)
+	need := frameHeaderSize + len(m.Records)*trace.RecordSize
+	if cap(buf)-start < need {
+		grown := make([]byte, start, start+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:start+need]
+	h := buf[start:]
 	h[0] = byte(m.Type)
 	h[1] = byte(m.Control)
 	binary.LittleEndian.PutUint32(h[2:], uint32(m.Node))
 	binary.LittleEndian.PutUint64(h[6:], uint64(m.Arg))
 	binary.LittleEndian.PutUint32(h[14:], uint32(len(m.Records)))
-	buf = append(buf, h[:]...)
-	for _, r := range m.Records {
-		var rb [trace.RecordSize]byte
-		trace.EncodeRecord(&rb, r)
-		buf = append(buf, rb[:]...)
+	body := h[frameHeaderSize:]
+	for i, r := range m.Records {
+		trace.PutRecord(body[i*trace.RecordSize:], r)
 	}
 	return buf, nil
 }
@@ -350,7 +394,7 @@ func WriteMessage(w io.Writer, m Message) error {
 		_, err = w.Write(buf)
 	}
 	encodePool.Put(eb)
-	Recycle(m)
+	Recycle(&m)
 	return err
 }
 
@@ -359,8 +403,13 @@ func WriteMessage(w io.Writer, m Message) error {
 // recycle them once the records are copied out; callers that retain
 // the records simply never recycle.
 func ReadMessage(r io.Reader) (Message, error) {
-	var h [frameHeaderSize]byte
-	if _, err := io.ReadFull(r, h[:]); err != nil {
+	// The header reads into the pooled scratch buffer too: a local
+	// array would escape through the io.ReadFull interface call and
+	// cost one heap allocation per message.
+	eb := encodePool.Get().(*encodeBuffer)
+	defer encodePool.Put(eb)
+	h := eb.sized(frameHeaderSize)
+	if _, err := io.ReadFull(r, h); err != nil {
 		if err == io.EOF {
 			return Message{}, io.EOF
 		}
@@ -386,25 +435,20 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("tp: oversized frame (%d records): %w", count, ErrCorruptFrame)
 	}
 	if count > 0 {
-		eb := encodePool.Get().(*encodeBuffer)
 		body := eb.sized(int(count) * trace.RecordSize)
 		if _, err := io.ReadFull(r, body); err != nil {
-			encodePool.Put(eb)
 			return Message{}, fmt.Errorf("tp: truncated frame body: %w", err)
 		}
-		rs := flow.GetBatch(int(count))
-		for i := 0; i < int(count); i++ {
-			var rb [trace.RecordSize]byte
-			copy(rb[:], body[i*trace.RecordSize:])
-			rec := trace.DecodeRecord(&rb)
-			if !rec.Kind.Valid() {
-				encodePool.Put(eb)
+		// Decode straight out of the pooled body buffer into a pooled
+		// record batch — no per-record staging copy.
+		rs := flow.GetBatch(int(count))[:count]
+		for i := range rs {
+			rs[i] = trace.GetRecord(body[i*trace.RecordSize:])
+			if !rs[i].Kind.Valid() {
 				flow.PutBatch(rs)
 				return Message{}, fmt.Errorf("tp: record %d has invalid kind: %w", i, ErrCorruptFrame)
 			}
-			rs = append(rs, rec)
 		}
-		encodePool.Put(eb)
 		m.Records = rs
 		m.Pooled = true
 	}

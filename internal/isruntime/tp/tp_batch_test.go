@@ -1,0 +1,165 @@
+package tp
+
+import (
+	"bytes"
+	"testing"
+
+	"prism/internal/isruntime/flow"
+	"prism/internal/raceflag"
+	"prism/internal/trace"
+)
+
+func TestRecycleDoubleRecycleGuard(t *testing.T) {
+	batch := flow.GetBatch(4)
+	batch = append(batch, trace.Record{Kind: trace.KindUser})
+	m := PooledDataMessage(7, batch)
+	Recycle(&m)
+	if m.Records != nil || m.Pooled {
+		t.Fatalf("first Recycle did not clear the message: %+v", m)
+	}
+	// The cleared message makes a second Recycle inert. Without the
+	// guard the slice would enter the pool twice and the next two
+	// GetBatch calls could hand the same backing array to two owners.
+	Recycle(&m)
+	a := flow.GetBatch(4)
+	b := flow.GetBatch(4)
+	a = append(a, trace.Record{Tag: 1})
+	b = append(b, trace.Record{Tag: 2})
+	if &a[0] == &b[0] {
+		t.Fatal("double recycle handed one backing array to two owners")
+	}
+	flow.PutBatch(a)
+	flow.PutBatch(b)
+}
+
+func TestRecycleUnpooledLeavesPoolAlone(t *testing.T) {
+	rs := []trace.Record{{Kind: trace.KindUser}}
+	m := DataMessage(1, rs)
+	Recycle(&m)
+	if m.Records != nil {
+		t.Fatal("Recycle must clear unpooled messages too")
+	}
+	if rs[0].Kind != trace.KindUser {
+		t.Fatal("caller's slice was touched")
+	}
+}
+
+func TestSendBatchTCPRoundTrip(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	const nMsgs = 5
+	ms := make([]Message, 0, nMsgs)
+	for i := 0; i < nMsgs; i++ {
+		batch := flow.GetBatch(3)
+		for j := 0; j < 3; j++ {
+			batch = append(batch, trace.Record{
+				Node: int32(i), Kind: trace.KindUser, Tag: uint16(i*10 + j),
+			})
+		}
+		ms = append(ms, PooledDataMessage(int32(i), batch))
+	}
+	ms = append(ms, ControlMessage(99, CtlFlush, 42))
+	if err := SendAll(c, ms); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nMsgs; i++ {
+		got, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Node != int32(i) || len(got.Records) != 3 {
+			t.Fatalf("msg %d: %+v", i, got)
+		}
+		for j, r := range got.Records {
+			if r.Tag != uint16(i*10+j) {
+				t.Fatalf("msg %d rec %d tag %d", i, j, r.Tag)
+			}
+		}
+		Recycle(&got)
+	}
+	got, err := srv.Recv()
+	if err != nil || got.Type != MsgControl || got.Control != CtlFlush || got.Arg != 42 {
+		t.Fatalf("control: %+v err %v", got, err)
+	}
+}
+
+func TestSendAllFallbackOnPipe(t *testing.T) {
+	// Pipes have no SendBatch; SendAll must fall back to per-message
+	// Send and still deliver everything in order.
+	a, b := Pipe(8)
+	defer a.Close()
+	ms := make([]Message, 0, 4)
+	for i := 0; i < 4; i++ {
+		ms = append(ms, DataMessage(int32(i), []trace.Record{{Kind: trace.KindUser, Tag: uint16(i)}}))
+	}
+	if err := SendAll(a, ms); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		got, err := b.Recv()
+		if err != nil || got.Node != int32(i) {
+			t.Fatalf("msg %d: %+v err %v", i, got, err)
+		}
+	}
+}
+
+func TestCodecRoundTripAllocFree(t *testing.T) {
+	// The zero-copy wire path: encode appends in place after one grow,
+	// decode reads straight from the pooled body into a pooled batch.
+	// With buffers warm, a full encode/decode round trip must not
+	// allocate.
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc budgets are meaningless")
+	}
+	recs := make([]trace.Record, 64)
+	for i := range recs {
+		recs[i] = trace.Record{Node: 3, Kind: trace.KindUser, Tag: uint16(i), Logical: uint64(i)}
+	}
+	var buf []byte
+	var rd bytes.Reader
+	var fail string
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendMessage(buf[:0], DataMessage(3, recs))
+		if err != nil {
+			fail = err.Error()
+			return
+		}
+		rd.Reset(buf)
+		m, err := ReadMessage(&rd)
+		if err != nil {
+			fail = err.Error()
+			return
+		}
+		if len(m.Records) != len(recs) || m.Records[17].Tag != 17 {
+			fail = "round trip mangled records"
+			return
+		}
+		Recycle(&m)
+	})
+	if fail != "" {
+		t.Fatal(fail)
+	}
+	if allocs > 0 {
+		t.Fatalf("codec round trip allocates %.1f times per op; want 0", allocs)
+	}
+}

@@ -264,7 +264,7 @@ func TestPooledWireRoundTrip(t *testing.T) {
 	if len(m.Records) != 3 || m.Records[1].Tag != 1 {
 		t.Fatalf("decoded %+v", m)
 	}
-	Recycle(m)
+	Recycle(&m)
 }
 
 // writableBuffer adapts a byte slice as an io.ReadWriter without the

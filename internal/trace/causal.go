@@ -100,12 +100,20 @@ func (o *Orderer) Resume() { o.resume = true }
 // dispatchable, in causal order, each stamped with a Lamport logical
 // timestamp.
 func (o *Orderer) Add(rec Record, seq uint64) []Record {
-	var out []Record
+	return o.AddTo(nil, rec, seq)
+}
+
+// AddTo is Add appending into a caller-provided buffer, so a processor
+// offering a whole batch can reuse one dispatch slice across records
+// instead of allocating per Add.
+func (o *Orderer) AddTo(dst []Record, rec Record, seq uint64) []Record {
+	out := dst
 	o.offer(seqRecord{rec: rec, seq: seq}, &out)
 	// Releasing one event can unblock chains across sources; offer
 	// held events repeatedly until a fixed point. The data volumes
-	// here are ISM input buffers, small by construction.
-	for {
+	// here are ISM input buffers, small by construction. The in-order
+	// common case holds nothing and skips the loop entirely.
+	for len(o.held) > 0 {
 		progressed := false
 		for key, buf := range o.held {
 			want := o.nextSeq[key]

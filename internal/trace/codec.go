@@ -35,6 +35,10 @@ type Writer struct {
 	// allocation at every Write (the slice is passed through the
 	// io.Writer interface).
 	buf [RecordSize]byte
+	// batch is the WriteAll coalescing scratch: a chunk of records is
+	// encoded here and handed to the underlying writer as one write,
+	// so a flush of l records costs O(l/chunk) writes instead of l.
+	batch []byte
 }
 
 // NewWriter creates a trace Writer on w. The header is written lazily
@@ -68,12 +72,35 @@ func (tw *Writer) Write(r Record) error {
 	return nil
 }
 
-// WriteAll appends all records.
+// writeAllChunk bounds the WriteAll coalescing scratch (records per
+// encoded chunk): large enough to amortize the per-write overhead,
+// small enough that the scratch stays cache- and pool-friendly.
+const writeAllChunk = 512
+
+// WriteAll appends all records, coalescing the encode into chunked
+// bulk writes instead of one buffered write per record.
 func (tw *Writer) WriteAll(rs []Record) error {
-	for _, r := range rs {
-		if err := tw.Write(r); err != nil {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	for len(rs) > 0 {
+		n := len(rs)
+		if n > writeAllChunk {
+			n = writeAllChunk
+		}
+		need := n * RecordSize
+		if cap(tw.batch) < need {
+			tw.batch = make([]byte, need)
+		}
+		buf := tw.batch[:need]
+		for i, r := range rs[:n] {
+			PutRecord(buf[i*RecordSize:], r)
+		}
+		if _, err := tw.w.Write(buf); err != nil {
 			return err
 		}
+		tw.wrote += n
+		rs = rs[n:]
 	}
 	return nil
 }
@@ -89,8 +116,12 @@ func (tw *Writer) Flush() error {
 	return tw.w.Flush()
 }
 
-// EncodeRecord encodes r into buf.
-func EncodeRecord(buf *[RecordSize]byte, r Record) {
+// PutRecord encodes r into the first RecordSize bytes of buf. It is
+// the in-place building block the batch wire path uses to encode a
+// whole frame after a single slice grow; EncodeRecord wraps it for
+// fixed-array callers.
+func PutRecord(buf []byte, r Record) {
+	_ = buf[RecordSize-1] // one bounds check for the whole record
 	binary.LittleEndian.PutUint32(buf[0:], uint32(r.Node))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(r.Process))
 	buf[8] = byte(r.Kind)
@@ -101,8 +132,11 @@ func EncodeRecord(buf *[RecordSize]byte, r Record) {
 	buf[35] = 0
 }
 
-// DecodeRecord decodes a record from buf.
-func DecodeRecord(buf *[RecordSize]byte) Record {
+// GetRecord decodes a record from the first RecordSize bytes of buf —
+// the zero-copy dual of PutRecord, letting readers decode straight out
+// of a frame body without a per-record staging copy.
+func GetRecord(buf []byte) Record {
+	_ = buf[RecordSize-1]
 	return Record{
 		Node:    int32(binary.LittleEndian.Uint32(buf[0:])),
 		Process: int32(binary.LittleEndian.Uint32(buf[4:])),
@@ -113,6 +147,12 @@ func DecodeRecord(buf *[RecordSize]byte) Record {
 		Payload: int64(binary.LittleEndian.Uint64(buf[27:])),
 	}
 }
+
+// EncodeRecord encodes r into buf.
+func EncodeRecord(buf *[RecordSize]byte, r Record) { PutRecord(buf[:], r) }
+
+// DecodeRecord decodes a record from buf.
+func DecodeRecord(buf *[RecordSize]byte) Record { return GetRecord(buf[:]) }
 
 // Reader decodes records from an io.Reader.
 type Reader struct {
