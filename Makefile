@@ -2,6 +2,11 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 BENCHTIME ?= 1s
+# GOMAXPROCS sweep for the multi-core scaling benchmarks: the pipeline
+# and ISM ingest paths are the ones the sharded merge is supposed to
+# scale, so `make bench` re-runs them at each of these proc counts.
+BENCHCPUS ?= 1,2,4,8
+SWEEPBENCH ?= PipelineThroughput|ISMPipeline
 SHA := $(shell git rev-parse --short HEAD)
 # benchdiff inputs: baseline file, candidate file, and the ns/op
 # regression percentage that fails the diff.
@@ -35,6 +40,7 @@ race:
 # Narrow with e.g. `make bench BENCH=FactorialVista BENCHCOUNT=3`.
 bench:
 	$(GO) test -run XXX -timeout 0 -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem -count $(BENCHCOUNT) ./... | tee bench.out
+	$(GO) test -run XXX -timeout 0 -bench '$(SWEEPBENCH)' -benchtime $(BENCHTIME) -benchmem -count $(BENCHCOUNT) -cpu $(BENCHCPUS) . | tee -a bench.out
 	$(GO) run ./cmd/benchjson -sha $(SHA) < bench.out > BENCH_$(SHA).json
 	@rm -f bench.out
 	@echo wrote BENCH_$(SHA).json
@@ -43,6 +49,7 @@ bench:
 # just proof that each one still compiles, runs, and terminates.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench='$(SWEEPBENCH)' -benchtime=1x -cpu 4 .
 
 # benchdiff compares two committed baselines and fails on ns/op
 # regressions past THRESHOLD percent:

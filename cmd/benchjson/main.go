@@ -170,8 +170,8 @@ func compareDocs(oldDoc, newDoc document, threshold float64) comparison {
 		}
 		if row.delta > threshold {
 			row.regression = true
-			c.regressed = append(c.regressed, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)",
-				n.Name, o.NsPerOpMin, n.NsPerOpMin, row.delta))
+			c.regressed = append(c.regressed, fmt.Sprintf("%s (procs=%d): %.0f → %.0f ns/op (%+.1f%%)",
+				n.Name, n.Procs, o.NsPerOpMin, n.NsPerOpMin, row.delta))
 		}
 		c.rows = append(c.rows, row)
 	}
@@ -202,23 +202,23 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 
 	c := compareDocs(oldDoc, newDoc, threshold)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "benchmark\tns/op old\tns/op new\tΔ%%\tB/op old\tB/op new\tallocs old\tallocs new\t\n")
+	fmt.Fprintf(w, "benchmark\tprocs\tns/op old\tns/op new\tΔ%%\tB/op old\tB/op new\tallocs old\tallocs new\t\n")
 	for _, r := range c.rows {
 		mark := ""
 		if r.regression {
 			mark = " !"
 		}
-		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%s\t%d\t%d\t%d\t%d\t\n",
-			r.newE.Name, r.oldE.NsPerOpMin, r.newE.NsPerOpMin, r.delta, mark,
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%+.1f%s\t%d\t%d\t%d\t%d\t\n",
+			r.newE.Name, r.newE.Procs, r.oldE.NsPerOpMin, r.newE.NsPerOpMin, r.delta, mark,
 			r.oldE.BytesPerOp, r.newE.BytesPerOp, r.oldE.AllocsPerOp, r.newE.AllocsPerOp)
 	}
 	for _, n := range c.added {
-		fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%d\t-\t%d\t\n",
-			n.Name, n.NsPerOpMin, n.BytesPerOp, n.AllocsPerOp)
+		fmt.Fprintf(w, "%s\t%d\t-\t%.0f\tnew\t-\t%d\t-\t%d\t\n",
+			n.Name, n.Procs, n.NsPerOpMin, n.BytesPerOp, n.AllocsPerOp)
 	}
 	for _, o := range c.removed {
-		fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t%d\t-\t%d\t-\t\n",
-			o.Name, o.NsPerOpMin, o.BytesPerOp, o.AllocsPerOp)
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t-\tgone\t%d\t-\t%d\t-\t\n",
+			o.Name, o.Procs, o.NsPerOpMin, o.BytesPerOp, o.AllocsPerOp)
 	}
 	w.Flush()
 	if len(c.added) > 0 || len(c.removed) > 0 {

@@ -22,6 +22,11 @@ func TestCompareDocsSharedDeltas(t *testing.T) {
 	if len(c.regressed) != 1 {
 		t.Fatalf("regressed: %v", c.regressed)
 	}
+	// The regression report must carry the GOMAXPROCS context: a -cpu
+	// sweep runs the same name at several proc counts.
+	if want := "BenchmarkB (procs=4)"; len(c.regressed[0]) < len(want) || c.regressed[0][:len(want)] != want {
+		t.Fatalf("regressed line %q lacks procs context", c.regressed[0])
+	}
 }
 
 func TestCompareDocsOneSided(t *testing.T) {

@@ -14,7 +14,7 @@
 //
 //	ismd [-addr 127.0.0.1:7311] [-spool trace.bin] [-miso] [-stats 2s]
 //	     [-overflow drop-oldest|block|drop-newest] [-publish 0]
-//	     [-resilient] [-degraded-after 5s] [-shards 1]
+//	     [-resilient] [-degraded-after 5s] [-shards 1] [-merge-ring 0]
 //
 // With -resilient the manager runs the session protocol in front of
 // the input stage: sequenced batches from resilient LIS nodes (see
@@ -51,8 +51,20 @@ func main() {
 	publish := flag.Duration("publish", 0, "self-publish runtime metrics into the stream at this interval (0 disables)")
 	resilient := flag.Bool("resilient", false, "run the session protocol (ack, dedup, replay tolerance) in front of the input stage")
 	degradedAfter := flag.Duration("degraded-after", 5*time.Second, "with -resilient, report nodes silent for longer than this as degraded (0 disables)")
-	shards := flag.Int("shards", 1, "ingest shards; sources hash across shard stages that merge at the causal orderer")
+	shards := flag.Int("shards", 1, "ingest shards; sources hash across per-shard orderer lanes that frontier-merge before dispatch")
+	mergeRing := flag.Int("merge-ring", 0, "per-shard merge ring capacity in batches, rounded up to a power of two (0 means the built-in default)")
 	flag.Parse()
+
+	// Shard and ring misconfiguration fails fast rather than being
+	// silently clamped: a lane per shard is a real goroutine plus a
+	// bounded ring, so an absurd count is a deployment mistake.
+	const maxShards = 256
+	if *shards < 1 || *shards > maxShards {
+		log.Fatalf("ismd: -shards must be between 1 and %d, got %d", maxShards, *shards)
+	}
+	if *mergeRing < 0 || *mergeRing > 1<<20 {
+		log.Fatalf("ismd: -merge-ring must be between 0 and %d, got %d", 1<<20, *mergeRing)
+	}
 
 	reg := metrics.NewRegistry()
 	// ResumeSources: a restarted resilient manager is re-served by
@@ -61,8 +73,9 @@ func main() {
 	// died with the previous incarnation.
 	cfg := ism.Config{
 		Buffering: ism.SISO, Ordered: true, Metrics: reg,
-		ResumeSources: *resilient,
-		Shards:        *shards,
+		ResumeSources:     *resilient,
+		Shards:            *shards,
+		MergeRingCapacity: *mergeRing,
 	}
 	if *miso {
 		cfg.Buffering = ism.MISO
@@ -101,6 +114,11 @@ func main() {
 		log.Fatalf("ismd: %v", err)
 	}
 	log.Printf("ismd: %s ISM listening on %s", cfg.Buffering, ln.Addr())
+	// The effective topology, post-defaulting and ring rounding — the
+	// same figures the metrics snapshot reports as ism.shards and
+	// ism.merge_ring_capacity.
+	log.Printf("ismd: shards=%d merge-ring=%d overflow=%s ordered=%v resilient=%v",
+		manager.ShardCount(), manager.MergeRingCap(), *overflow, cfg.Ordered, *resilient)
 
 	stopPublish := make(chan struct{})
 	if *publish > 0 {
@@ -153,8 +171,8 @@ func main() {
 				log.Printf("ismd: close: %v", err)
 			}
 			st := manager.Stats()
-			fmt.Printf("final: arrived=%d dispatched=%d out-of-order=%d hold-back=%.3f\n",
-				st.Arrived, st.Dispatched, st.OutOfOrder, st.HoldBackRatio)
+			fmt.Printf("final: arrived=%d dispatched=%d out-of-order=%d hold-back=%.3f merge-stalls=%d\n",
+				st.Arrived, st.Dispatched, st.OutOfOrder, st.HoldBackRatio, st.MergeStalls)
 			if receiver != nil {
 				fmt.Printf("session: dup-batches=%d gap-batches=%d\n",
 					receiver.TotalDups(), receiver.TotalGaps())

@@ -206,7 +206,16 @@ func TestProbeRunStops(t *testing.T) {
 		p.Run(stop)
 		close(done)
 	}()
-	time.Sleep(5 * time.Millisecond)
+	// Wait for a sample rather than sleeping a fixed interval: on an
+	// oversubscribed host (race CI at GOMAXPROCS=4 on one core) the
+	// probe goroutine may not get scheduled for several milliseconds.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Samples() == 0 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	close(stop)
 	select {
 	case <-done:

@@ -1,0 +1,91 @@
+package flow
+
+import (
+	"sync/atomic"
+)
+
+// SPSC is a bounded lock-free single-producer/single-consumer ring.
+// It is the hand-off lane between one ISM ingest shard and the merger
+// goroutine: exactly one goroutine may call TryPush and exactly one
+// may call TryPop. Slots are batch-granular (one envelope per slot),
+// so the per-record cost of the cursor atomics is amortized over a
+// whole LIS flush.
+//
+// Layout: the producer cursor (tail) and consumer cursor (head) live
+// on separate cache lines so the two sides never false-share, and
+// each side keeps a plain-field cache of the opposite cursor so the
+// common case (ring neither full nor empty) costs one atomic load and
+// one atomic store per operation.
+//
+// Memory ordering: Go's sync/atomic operations are sequentially
+// consistent, so the slot write in TryPush happens-before the tail
+// store, and a consumer that observes the new tail observes the slot;
+// symmetrically the consumer's slot clear happens-before its head
+// store, so the producer never overwrites a slot still being read.
+// This is what keeps the ring race-detector-clean.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_         [64]byte // keep cursors off the buf header's line
+	tail      atomic.Uint64
+	headCache uint64 // producer's last-observed head
+	_         [48]byte
+	head      atomic.Uint64
+	tailCache uint64 // consumer's last-observed tail
+	_         [48]byte
+}
+
+// NewSPSC returns an empty ring holding at least capacity elements;
+// the actual capacity is capacity rounded up to a power of two (and at
+// least 2) so index masking replaces modulo.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// TryPush appends v and reports success; it fails only when the ring
+// is full. Producer-side only.
+func (r *SPSC[T]) TryPush(v T) bool {
+	t := r.tail.Load()
+	if t-r.headCache == uint64(len(r.buf)) {
+		r.headCache = r.head.Load()
+		if t-r.headCache == uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// TryPop removes and returns the oldest element; ok is false when the
+// ring is empty. The vacated slot is zeroed so pooled payloads do not
+// linger past their hand-off. Consumer-side only.
+func (r *SPSC[T]) TryPop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tailCache {
+		r.tailCache = r.tail.Load()
+		if h == r.tailCache {
+			return v, false
+		}
+	}
+	var zero T
+	v = r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// Len returns the number of buffered elements. It is exact when called
+// from either endpoint goroutine and a point-in-time snapshot
+// otherwise.
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }

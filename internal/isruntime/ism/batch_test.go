@@ -113,25 +113,28 @@ func TestShardedOrderedEquivalence(t *testing.T) {
 	}
 }
 
-func TestProcessBatchAllocFree(t *testing.T) {
-	// The decode→stage→order→dispatch hot path must not allocate in
-	// steady state: the batch pool supplies the record slices, the
-	// orderer's dispatch buffer is reused across batches, and the
-	// subscriber fan-out holds no per-record state. processBatch runs
-	// synchronously here because AllocsPerRun only observes the calling
-	// goroutine.
+func TestMergePathAllocFree(t *testing.T) {
+	// The stage→sequence→ring→merge→dispatch hot path must not allocate
+	// in steady state: the batch pool supplies the record slices, the
+	// SPSC ring hands slots across by value, and the causal merger's
+	// dispatch buffer is reused across slots. The lane and merger
+	// stages run synchronously here — same code shape as sequenceBatch
+	// plus merger.dispatch — because AllocsPerRun only observes the
+	// calling goroutine.
 	if raceflag.Enabled {
 		t.Skip("race instrumentation allocates; alloc budgets are meaningless")
 	}
-	var clock event.VirtualClock
-	m := New(Config{Buffering: SISO, Ordered: true}, &clock)
-	defer m.Close()
+	seqr := trace.NewSequencer()
+	cm := trace.NewCausalMerger()
+	ring := flow.NewSPSC[mergeSlot](8)
+	var orderBuf []trace.Record
 	var delivered uint64
-	m.Subscribe("count", func(trace.Record) { delivered++ })
 
 	const perBatch = 64
 	seq := uint64(0)
 	run := func() {
+		// Lane side: batch in from the pool, sequenced into a pooled
+		// slot, input batch recycled.
 		batch := flow.GetBatch(perBatch)
 		for j := 0; j < perBatch; j++ {
 			batch = append(batch, trace.Record{
@@ -139,11 +142,34 @@ func TestProcessBatchAllocFree(t *testing.T) {
 			})
 			seq++
 		}
-		m.processBatch(batchEnv{node: 1, recs: batch, arrival: clock.Now(), pooled: true})
+		out := flow.GetBatch(len(batch))
+		for _, r := range batch {
+			s := r.Logical
+			r.Logical = 0
+			out = seqr.AddTo(out, r, s)
+		}
+		flow.PutBatch(batch)
+		if !ring.TryPush(mergeSlot{tick: seq, recs: out, pooled: true}) {
+			t.Fatal("ring full")
+		}
+		// Merger side: pop, causally merge, dispatch, recycle.
+		slot, ok := ring.TryPop()
+		if !ok {
+			t.Fatal("ring empty")
+		}
+		orderBuf = orderBuf[:0]
+		for _, r := range slot.recs {
+			orderBuf = cm.AddTo(orderBuf, r)
+		}
+		delivered += uint64(len(orderBuf))
+		flow.PutBatch(slot.recs)
 	}
+	// Warm once outside the measurement so the dispatch buffer and maps
+	// reach steady-state size.
+	run()
 	allocs := testing.AllocsPerRun(200, run)
 	if allocs > 0 {
-		t.Fatalf("processBatch allocates %.1f times per op; want 0", allocs)
+		t.Fatalf("merge path allocates %.1f times per op; want 0", allocs)
 	}
 	if delivered == 0 {
 		t.Fatal("no records delivered")

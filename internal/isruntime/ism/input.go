@@ -49,8 +49,10 @@ type stageAccounting struct {
 
 // onDropEnv builds the OnDrop hook: count the batch's records as
 // dropped and recycle the pooled slice. extra runs afterwards (the
-// MISO stage uses it to maintain its occupancy hints).
-func (a *stageAccounting) onDropEnv(extra func()) func(batchEnv) {
+// MISO stage uses it to maintain its occupancy hints); settle tells
+// the owning lane the batch left the stage without being popped, so
+// the merger stops waiting for its ingest tick.
+func (a *stageAccounting) onDropEnv(extra func(), settle func(batchEnv)) func(batchEnv) {
 	return func(e batchEnv) {
 		a.droppedRecs.Add(uint64(len(e.recs)))
 		if e.pooled {
@@ -59,13 +61,17 @@ func (a *stageAccounting) onDropEnv(extra func()) func(batchEnv) {
 		if extra != nil {
 			extra()
 		}
+		if settle != nil {
+			settle(e)
+		}
 	}
 }
 
 // spillEnv adapts a storage spill target to batch envelopes: the whole
 // batch is appended as one bulk write, counted per record, and the
-// pooled slice recycled. extra runs after a successful spill.
-func (a *stageAccounting) spillEnv(s flow.Spill, extra func()) func(batchEnv) error {
+// pooled slice recycled. extra runs after a successful spill; settle
+// as in onDropEnv.
+func (a *stageAccounting) spillEnv(s flow.Spill, extra func(), settle func(batchEnv)) func(batchEnv) error {
 	if s == nil {
 		return nil
 	}
@@ -80,6 +86,9 @@ func (a *stageAccounting) spillEnv(s flow.Spill, extra func()) func(batchEnv) er
 		if extra != nil {
 			extra()
 		}
+		if settle != nil {
+			settle(e)
+		}
 		return nil
 	}
 }
@@ -90,14 +99,15 @@ type sisoStage struct {
 }
 
 // newSISOStage builds the shared-FIFO stage. The policy must be valid
-// (the ISM constructor checks). capacity counts queued batches.
-func newSISOStage(capacity int, policy flow.OverflowPolicy, spill flow.Spill) *sisoStage {
+// (the ISM constructor checks). capacity counts queued batches; settle
+// (may be nil) is notified when a batch is dropped or spilled.
+func newSISOStage(capacity int, policy flow.OverflowPolicy, spill flow.Spill, settle func(batchEnv)) *sisoStage {
 	s := &sisoStage{}
-	q, err := flow.NewQueue[batchEnv](capacity, policy, s.spillEnv(spill, nil))
+	q, err := flow.NewQueue[batchEnv](capacity, policy, s.spillEnv(spill, nil, settle))
 	if err != nil {
 		panic(err)
 	}
-	q.OnDrop(s.onDropEnv(nil))
+	q.OnDrop(s.onDropEnv(nil, settle))
 	s.q = q
 	return s
 }
@@ -129,6 +139,7 @@ type misoStage struct {
 	cap    int
 	policy flow.OverflowPolicy
 	spill  flow.Spill
+	settle func(batchEnv)
 
 	// total upper-bounds the stage-wide occupancy for an O(1) empty
 	// fast path on pop.
@@ -141,7 +152,7 @@ type misoStage struct {
 	closed bool
 }
 
-func newMISOStage(capacityPerSource int, policy flow.OverflowPolicy, spill flow.Spill) *misoStage {
+func newMISOStage(capacityPerSource int, policy flow.OverflowPolicy, spill flow.Spill, settle func(batchEnv)) *misoStage {
 	if !policy.Valid() {
 		panic("ism: invalid overflow policy")
 	}
@@ -149,6 +160,7 @@ func newMISOStage(capacityPerSource int, policy flow.OverflowPolicy, spill flow.
 		cap:    capacityPerSource,
 		policy: policy,
 		spill:  spill,
+		settle: settle,
 		queues: map[int32]*misoSource{},
 	}
 }
@@ -168,12 +180,12 @@ func (s *misoStage) push(node int32, e batchEnv) {
 			src.hint.Add(-1)
 			s.total.Add(-1)
 		}
-		q, err := flow.NewQueue[batchEnv](s.cap, s.policy, s.spillEnv(s.spill, dec))
+		q, err := flow.NewQueue[batchEnv](s.cap, s.policy, s.spillEnv(s.spill, dec, s.settle))
 		if err != nil {
 			s.mu.Unlock()
 			panic(err)
 		}
-		q.OnDrop(s.onDropEnv(dec))
+		q.OnDrop(s.onDropEnv(dec, s.settle))
 		src.q = q
 		if s.closed {
 			q.Close()

@@ -13,6 +13,13 @@
 // an output buffer dispatching to subscribed tools, and optional
 // spooling to a trace file for off-line use.
 //
+// Ingest is sharded: each shard lane owns an input stage and a
+// trace.Sequencer restoring per-source program order, and hands its
+// ordered sub-stream through a bounded SPSC ring to one merger
+// goroutine (merge.go) that k-way merges the lanes on their ingest-
+// tick frontiers, applies cross-source causal ordering, and
+// dispatches. There is no lock on the record hot path.
+//
 // The input stage is a bounded flow.Queue with a pluggable overflow
 // policy (Config.Overflow); activity is reported through an
 // ism-scoped metrics.Registry of which Stats() is a snapshot view.
@@ -61,14 +68,21 @@ type Config struct {
 	// envelopes (the unit of transfer is one LIS flush, not one
 	// record). Zero means a generous default.
 	InputCapacity int
-	// Shards fans ingest out across N input stages, each drained by
-	// its own processor goroutine, with source-affinity hashing: a
-	// given node always lands in the same shard, so per-source FIFO
-	// order — the causal orderer's contract — is preserved, while
-	// independent sources decode and stage in parallel. The shards
-	// merge at a single ordering/dispatch point. Zero or one keeps a
-	// single stage.
+	// Shards fans ingest out across N lanes, each with its own input
+	// stage, sequencer and drain goroutine, with source-affinity
+	// hashing: a given node always lands in the same shard, so
+	// per-source FIFO order — the causal orderer's contract — is
+	// preserved, while independent sources decode, stage and sequence
+	// in parallel. The lanes' ordered sub-streams are k-way merged by
+	// a dedicated merger goroutine before dispatch. Zero or one keeps
+	// a single lane.
 	Shards int
+	// MergeRingCapacity bounds each lane's SPSC hand-off ring to the
+	// merger, in batch slots (rounded up to a power of two). A full
+	// ring backpressures the lane, which in turn backpressures the
+	// input stage under its overflow policy. Zero means a generous
+	// default.
+	MergeRingCapacity int
 	// Overflow selects what the input stage does when a buffer is
 	// full. The zero value, flow.DropOldest, keeps the monitoring
 	// default: displace stale backlog to admit fresh data. Block
@@ -100,8 +114,8 @@ type Config struct {
 	// buffer between the data processor and the tools (the "Single
 	// Output buffer" of the SISO/MISO configurations, §3.3.2): a
 	// dispatcher goroutine drains it, so slow tools exert
-	// backpressure on the processor only when the buffer fills.
-	// Zero keeps synchronous dispatch on the processor goroutine.
+	// backpressure on the merger only when the buffer fills.
+	// Zero keeps synchronous dispatch on the merger goroutine.
 	OutputCapacity int
 }
 
@@ -126,18 +140,21 @@ type Stats struct {
 	InputDropped uint64
 	// InputSpilled counts records demoted to OverflowSpill.
 	InputSpilled uint64
+	// MergeStalls counts merger waits imposed by the frontier rule.
+	MergeStalls uint64
 }
 
 // batchEnv is the unit flowing through the input stage: one data
-// message's records (a whole LIS flush) plus its arrival timestamp.
-// The slice is always pool-owned by the time it enters a stage —
-// pooled injections transfer ownership zero-copy, unpooled ones are
-// copied into a pooled batch — and the processor recycles it after
-// dispatch.
+// message's records (a whole LIS flush) plus its arrival timestamp and
+// the global ingest tick the merger orders lanes by. The slice is
+// always pool-owned by the time it enters a stage — pooled injections
+// transfer ownership zero-copy, unpooled ones are copied into a pooled
+// batch — and the merger recycles it after dispatch.
 type batchEnv struct {
 	node    int32
 	recs    []trace.Record
 	arrival int64
+	tick    uint64
 	pooled  bool
 }
 
@@ -174,17 +191,61 @@ func newISMCounters(reg *metrics.Registry) ismCounters {
 }
 
 // ismShard is one ingest lane: an input stage drained by its own
-// processor goroutine. Source-affinity hashing keeps each node's
+// goroutine, a per-lane sequencer restoring program order for the
+// sources hashed to it, and an SPSC ring handing the ordered
+// sub-stream to the merger. Source-affinity hashing keeps each node's
 // batches in one lane, so per-source FIFO order survives the fan-out.
 type ismShard struct {
+	id    int
 	input inputStage
 	avail chan struct{}
+
+	seq      *trace.Sequencer // nil unless Ordered
+	lastHeld int              // last held count folded into the gauge
+
+	ring  *flow.SPSC[mergeSlot]
+	space chan struct{} // merger -> lane: a ring slot freed
+
+	// pushedBatches counts batches bound for this lane, raised before
+	// the batch's tick is drawn; settledBatches counts batches that
+	// left the lane (sequenced, dropped or spilled). Equality means no
+	// tick is outstanding — the merger's drained-lane test.
+	pushedBatches  atomic.Uint64
+	settledBatches atomic.Uint64
+	// frontier is the highest tick the lane has finished sequencing
+	// (monotone watermark).
+	frontier atomic.Uint64
+	// ringRecs counts records pushed into the ring; with the merger's
+	// merged counter it forms the Drain watermark.
+	ringRecs atomic.Uint64
+
+	ringGauge *metrics.Gauge
+	lagGauge  *metrics.Gauge
 }
 
 func (s *ismShard) signal() {
 	select {
 	case s.avail <- struct{}{}:
 	default:
+	}
+}
+
+// signalSpace tells a lane blocked on a full ring that the merger
+// freed a slot.
+func (s *ismShard) signalSpace() {
+	select {
+	case s.space <- struct{}{}:
+	default:
+	}
+}
+
+// maxTick raises an atomic tick watermark monotonically.
+func maxTick(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -197,6 +258,8 @@ type ISM struct {
 	ctr   ismCounters
 
 	shards []*ismShard
+	merge  *merger
+	tick   atomic.Uint64 // global ingest tick, drawn per batch
 	stop   chan struct{}
 	runWG  sync.WaitGroup
 
@@ -206,14 +269,6 @@ type ISM struct {
 	out       chan trace.Record
 	outDone   chan struct{}
 	outPushed atomic.Uint64
-
-	// procMu is the merge point behind the sharded ingest: it
-	// serializes the causal orderer, the dispatch buffer and batch
-	// emission, so shards decode and stage in parallel but records
-	// leave the manager in one causally ordered stream.
-	procMu   sync.Mutex
-	orderer  *trace.Orderer
-	orderBuf []trace.Record // reusable dispatch buffer, guarded by procMu
 
 	mu        sync.Mutex
 	subs      []subscriber
@@ -235,6 +290,9 @@ func New(cfg Config, clock event.Clock) *ISM {
 	if cfg.InputCapacity <= 0 {
 		cfg.InputCapacity = 1 << 16
 	}
+	if cfg.MergeRingCapacity <= 0 {
+		cfg.MergeRingCapacity = 256
+	}
 	if !cfg.Overflow.Valid() {
 		panic(fmt.Sprintf("ism: invalid overflow policy %v", cfg.Overflow))
 	}
@@ -251,22 +309,49 @@ func New(cfg Config, clock event.Clock) *ISM {
 		ctr:   newISMCounters(cfg.Metrics),
 		stop:  make(chan struct{}),
 	}
+	scope := m.ctr.reg.Scope("ism")
 	m.shards = make([]*ismShard, shards)
 	for i := range m.shards {
-		var st inputStage
+		sh := &ismShard{
+			id:    i,
+			avail: make(chan struct{}, 1),
+			ring:  flow.NewSPSC[mergeSlot](cfg.MergeRingCapacity),
+			space: make(chan struct{}, 1),
+		}
+		// Dropped and spilled batches still settle, or the merger would
+		// wait forever for their ticks. They advance the frontier too:
+		// a lane absorbing a stream of drops (a lossy policy under
+		// overload, or late injections against a closing stage) must
+		// clear the frontier rule by watermark, not only by the drained
+		// check — the drained check alone livelocks while drops are in
+		// flight. Lossy policies carry no cross-lane determinism
+		// contract, so the overshoot is harmless.
+		settle := func(e batchEnv) {
+			maxTick(&sh.frontier, e.tick)
+			sh.settledBatches.Add(1)
+			m.merge.signal()
+		}
 		if cfg.Buffering == SISO {
-			st = newSISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
+			sh.input = newSISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill, settle)
 		} else {
-			st = newMISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill)
+			sh.input = newMISOStage(cfg.InputCapacity, cfg.Overflow, cfg.OverflowSpill, settle)
 		}
-		m.shards[i] = &ismShard{input: st, avail: make(chan struct{}, 1)}
-	}
-	if cfg.Ordered {
-		m.orderer = trace.NewOrderer()
-		if cfg.ResumeSources {
-			m.orderer.Resume()
+		if cfg.Ordered {
+			sh.seq = trace.NewSequencer()
+			if cfg.ResumeSources {
+				sh.seq.Resume()
+			}
 		}
+		ss := scope.Scope(fmt.Sprintf("shard%d", i))
+		sh.ringGauge = ss.Gauge("ring_occupancy")
+		sh.lagGauge = ss.Gauge("frontier_lag")
+		m.shards[i] = sh
 	}
+	m.merge = newMerger(m)
+	// Effective configuration, exposed so sweep results stay
+	// attributable from a metrics snapshot alone.
+	scope.Gauge("shards").Set(int64(shards))
+	scope.Gauge("merge_ring_capacity").Set(int64(m.shards[0].ring.Cap()))
 	if cfg.Spool != nil {
 		m.spool = trace.NewWriter(cfg.Spool)
 	}
@@ -275,6 +360,7 @@ func New(cfg Config, clock event.Clock) *ISM {
 		m.outDone = make(chan struct{})
 		go m.dispatchOutput()
 	}
+	go m.merge.run()
 	m.runWG.Add(len(m.shards))
 	for _, s := range m.shards {
 		go m.runShard(s)
@@ -323,7 +409,7 @@ func (m *ISM) emit(r trace.Record) {
 }
 
 // Subscribe registers a tool sink; every dispatched record is passed
-// to fn in causal (or arrival) order on the processor goroutine.
+// to fn in causal (or arrival) order on the merger goroutine.
 // Subscribers must be registered before data flows for complete
 // streams; late subscribers see only subsequent records.
 func (m *ISM) Subscribe(name string, fn func(trace.Record)) {
@@ -423,7 +509,18 @@ func (m *ISM) Inject(msg tp.Message) {
 			tp.Recycle(&msg)
 			return
 		}
-		env := batchEnv{node: msg.Node, arrival: m.clock.Now(), pooled: true}
+		s := m.shardFor(msg.Node)
+		// The batch must be visible in pushedBatches before its tick
+		// is drawn: the merger reads settled==pushed as "no tick
+		// outstanding", which must imply no smaller tick is still in
+		// flight toward this lane.
+		s.pushedBatches.Add(1)
+		env := batchEnv{
+			node:    msg.Node,
+			arrival: m.clock.Now(),
+			tick:    m.tick.Add(1),
+			pooled:  true,
+		}
 		if msg.Pooled {
 			env.recs = msg.Records
 			msg.Records, msg.Pooled = nil, false // ownership moved
@@ -432,14 +529,13 @@ func (m *ISM) Inject(msg tp.Message) {
 			copy(env.recs, msg.Records)
 		}
 		m.pushed.Add(uint64(n))
-		s := m.shardFor(msg.Node)
 		s.input.push(msg.Node, env)
 		s.signal()
 	}
 }
 
-// runShard drains one ingest lane. Batches merge at processBatch's
-// procMu — the single ordering point behind the parallel stages.
+// runShard drains one ingest lane through its sequencer into the
+// merge ring.
 func (m *ISM) runShard(s *ismShard) {
 	defer m.runWG.Done()
 	for {
@@ -455,62 +551,72 @@ func (m *ISM) runShard(s *ismShard) {
 					if !ok {
 						return
 					}
-					m.processBatch(env)
+					m.sequenceBatch(s, env)
 				}
 			}
 		}
-		m.processBatch(env)
+		m.sequenceBatch(s, env)
 	}
 }
 
-// processBatch runs one batch envelope through ordering and dispatch.
-// The whole batch crosses the merge point under one procMu hold — the
-// batch-granularity win: one lock round-trip, one clock read, one
-// latency observation and one dispatch-buffer reuse per LIS flush
-// instead of per record.
-func (m *ISM) processBatch(env batchEnv) {
+// sequenceBatch runs one batch envelope through the lane's sequencer
+// and hands the program-ordered releases to the merger as one ring
+// slot. The whole batch is sequenced in one pass — one batch-pool
+// round trip, one ring push, one frontier update per LIS flush instead
+// of per record. A full ring parks the lane on the space signal, which
+// backpressures the input stage under its overflow policy.
+func (m *ISM) sequenceBatch(s *ismShard, env batchEnv) {
 	n := uint64(len(env.recs))
-	m.procMu.Lock()
-	now := m.clock.Now()
 	m.ctr.arrived.Add(n)
-	if m.orderer == nil {
-		m.ctr.latency.Observe(now - env.arrival)
-		m.ctr.dispatched.Add(n)
-		m.emitAll(env.recs)
-	} else {
-		out := m.orderBuf[:0]
+	out, pooled := env.recs, env.pooled
+	if s.seq != nil {
+		buf := flow.GetBatch(len(env.recs))
 		for _, r := range env.recs {
 			// The sensor carried the capture sequence in Logical; the
-			// orderer reassigns Logical as a Lamport stamp on dispatch.
+			// merger reassigns Logical as a Lamport stamp on dispatch.
 			seq := r.Logical
 			r.Logical = 0
-			prev := len(out)
-			out = m.orderer.AddTo(out, r, seq)
-			if len(out) == prev {
+			prev := len(buf)
+			buf = s.seq.AddTo(buf, r, seq)
+			if len(buf) == prev {
 				m.ctr.outOfOrder.Inc()
 			}
 		}
-		m.ctr.held.Set(int64(m.orderer.Held()))
-		m.ctr.maxHeld.SetMax(int64(m.orderer.MaxHeld()))
-		if len(out) > 0 {
-			// Latency is attributed to the arriving batch that caused
-			// dispatch; held records' latency is folded in when
-			// released.
-			m.ctr.latency.Observe(now - env.arrival)
+		if env.pooled {
+			flow.PutBatch(env.recs)
 		}
-		m.ctr.dispatched.Add(uint64(len(out)))
-		m.emitAll(out)
-		m.orderBuf = out[:0]
+		// The held gauge sums per-lane and merger contributions;
+		// publishing the delta keeps concurrent lanes from clobbering
+		// each other's counts.
+		if h := s.seq.Held(); h != s.lastHeld {
+			m.ctr.held.Add(int64(h - s.lastHeld))
+			s.lastHeld = h
+			m.ctr.maxHeld.SetMax(m.ctr.held.Value())
+		}
+		out, pooled = buf, true
 	}
-	m.procMu.Unlock()
-	if env.pooled {
-		flow.PutBatch(env.recs)
+	if len(out) > 0 {
+		slot := mergeSlot{tick: env.tick, arrival: env.arrival, recs: out, pooled: pooled}
+		for !s.ring.TryPush(slot) {
+			<-s.space
+		}
+		s.ringRecs.Add(uint64(len(out)))
+		s.ringGauge.Set(int64(s.ring.Len()))
+	} else if pooled {
+		flow.PutBatch(out)
 	}
+	// Settle order matters: the frontier must cover the tick before
+	// the batch counts as settled, and processed moves last so the
+	// Drain watermark implies the ring push above is visible.
+	maxTick(&s.frontier, env.tick)
+	s.settledBatches.Add(1)
 	m.processed.Add(n)
+	m.merge.signal()
 }
 
 // emitAll hands a dispatched batch to the output buffer or directly to
-// the spool and subscribers. Callers hold procMu.
+// the spool and subscribers. It runs on the merger goroutine — the
+// single dispatch point behind the parallel lanes.
 func (m *ISM) emitAll(rs []trace.Record) {
 	if len(rs) == 0 {
 		return
@@ -539,6 +645,13 @@ func (m *ISM) emitAll(rs []trace.Record) {
 	m.ctr.delivered.Add(uint64(len(rs)))
 }
 
+// ShardCount reports the effective number of ingest lanes.
+func (m *ISM) ShardCount() int { return len(m.shards) }
+
+// MergeRingCap reports the effective per-lane merge ring capacity
+// after the power-of-two rounding the ring applies.
+func (m *ISM) MergeRingCap() int { return m.shards[0].ring.Cap() }
+
 // Stats returns a snapshot of ISM statistics — a view over the
 // metrics registry plus input-stage accounting.
 func (m *ISM) Stats() Stats {
@@ -554,6 +667,7 @@ func (m *ISM) Stats() Stats {
 		Delivered:     m.ctr.delivered.Value(),
 		InputDropped:  m.stageDropped(),
 		InputSpilled:  m.stageSpilled(),
+		MergeStalls:   m.merge.stalls.Value(),
 	}
 	if st.Arrived > 0 {
 		st.HoldBackRatio = float64(st.OutOfOrder) / float64(st.Arrived)
@@ -582,10 +696,19 @@ func (m *ISM) stageSpilled() uint64 {
 	return n
 }
 
-// Drain blocks until every record injected so far has been processed.
-// It is a test and shutdown aid; production tools consume the live
-// stream. Records injected concurrently with Drain may or may not be
-// covered.
+// ringRecsTotal sums records handed into the merge rings.
+func (m *ISM) ringRecsTotal() uint64 {
+	var n uint64
+	for _, s := range m.shards {
+		n += s.ringRecs.Load()
+	}
+	return n
+}
+
+// Drain blocks until every record injected so far has been processed
+// and merged. It is a test and shutdown aid; production tools consume
+// the live stream. Records injected concurrently with Drain may or may
+// not be covered.
 func (m *ISM) Drain() {
 	target := m.pushed.Load()
 	// Records displaced by input-stage overflow are never processed —
@@ -597,6 +720,14 @@ func (m *ISM) Drain() {
 		}
 		time.Sleep(50 * time.Microsecond)
 	}
+	// Sequenced records sit in the SPSC rings until the merger consumes
+	// them; every lane publishes its ring count before processed, so
+	// the ring watermark is final once the loop above exits.
+	ringTarget := m.ringRecsTotal()
+	for m.merge.merged.Load() < ringTarget {
+		m.merge.signal()
+		time.Sleep(50 * time.Microsecond)
+	}
 	if m.out != nil {
 		outTarget := m.outPushed.Load()
 		for m.ctr.delivered.Value() < outTarget {
@@ -605,10 +736,9 @@ func (m *ISM) Drain() {
 	}
 }
 
-// Close stops the processor after draining buffered input, flushes the
-// spool, and returns. Serve goroutines exit when their connections
-// close (the caller owns the connections). The input stage is closed
-// last so late injections fail fast instead of accumulating.
+// Close stops the lanes after draining buffered input, lets the merger
+// drain the rings, flushes the spool, and returns. Serve goroutines
+// exit when their connections close (the caller owns the connections).
 func (m *ISM) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -617,11 +747,23 @@ func (m *ISM) Close() error {
 	}
 	m.closed = true
 	m.mu.Unlock()
-	close(m.stop)
-	m.runWG.Wait()
+	// The input stages must close BEFORE the lanes stop: an Inject racing
+	// Close has already raised its lane's pushed count, and if its stage
+	// push landed after that lane's final drain the batch would never
+	// settle — the merger would then stall forever on settled < pushed
+	// while another lane sits parked on a full ring, deadlocking the
+	// runWG wait below. A closed stage rejects the late push as a drop,
+	// and the drop hook settles the batch. Envelopes already queued
+	// remain poppable, so the lanes' final drain still processes them.
 	for _, s := range m.shards {
 		s.input.close()
 	}
+	close(m.stop)
+	m.runWG.Wait()
+	// Lanes are done: every slot is in the rings. Stop the merger,
+	// which final-drains them without the frontier rule.
+	close(m.merge.stop)
+	<-m.merge.done
 	if m.out != nil {
 		close(m.out)
 		<-m.outDone

@@ -489,7 +489,7 @@ func env(tags ...uint16) batchEnv {
 func TestStageOverflowDrops(t *testing.T) {
 	// Queue capacity counts batch envelopes; drop accounting counts the
 	// records inside the displaced batches.
-	s := newSISOStage(2, flow.DropOldest, nil)
+	s := newSISOStage(2, flow.DropOldest, nil, nil)
 	s.push(0, env(1, 2))
 	s.push(0, env(3))
 	s.push(0, env(4)) // displaces the 2-record batch {1,2}
@@ -500,7 +500,7 @@ func TestStageOverflowDrops(t *testing.T) {
 	if !ok || len(e.recs) != 1 || e.recs[0].Tag != 3 {
 		t.Fatalf("head %+v", e)
 	}
-	m := newMISOStage(1, flow.DropOldest, nil)
+	m := newMISOStage(1, flow.DropOldest, nil, nil)
 	m.push(0, env(1, 2))
 	m.push(0, env(3))
 	if m.dropped() != 2 {

@@ -12,10 +12,22 @@ import (
 // in one (or multiple) input buffer(s) to reconstruct the causal order
 // of the data before dispatch to a tool." (§3.3)
 //
-// Orderer implements exactly that: per-source sequence tracking plus
-// send/recv matching with Lamport clock assignment. Events arrive in
-// arbitrary network order; Add returns every event that became
-// dispatchable (in causal order, stamped with Logical timestamps).
+// The implementation is split into two independently usable stages so
+// a sharded ISM can run the first stage per ingest shard and the
+// second once at the merge point:
+//
+//   - Sequencer repairs program order within each source from the
+//     per-source capture sequence numbers. It needs no cross-source
+//     state, so one Sequencer per shard is sound as long as each
+//     source's records all land on the same shard (the ISM's
+//     source-affinity hash guarantees this).
+//   - CausalMerger matches receives to sends across sources and
+//     assigns Lamport logical timestamps. It is inherently global and
+//     runs single-threaded at the merge point. Its input must be
+//     program-ordered per source; it never reorders within a source.
+//
+// Orderer composes the two for callers that want the original
+// single-stage behavior.
 
 // SourceKey identifies an event source (node, process).
 type SourceKey struct {
@@ -25,14 +37,272 @@ type SourceKey struct {
 // seqRecord is a Record plus the per-source sequence number assigned
 // at capture time; the LIS stamps Tag-independent sequence numbers
 // into Payload for kinds that do not use it, but to stay general the
-// Orderer takes the sequence explicitly.
+// Sequencer takes the sequence explicitly.
 type seqRecord struct {
 	rec Record
 	seq uint64
 }
 
+type msgKey struct {
+	from, to int32
+	tag      uint16
+}
+
+// Sequencer reconstructs per-source program order from out-of-order
+// arrivals. Records released by AddTo are in capture-sequence order
+// within each source; duplicates (sequence below the source's cursor)
+// are dropped. The Sequencer does not look at record kinds and does
+// not assign logical timestamps — that is the CausalMerger's job.
+type Sequencer struct {
+	resume    bool
+	nextSeq   map[SourceKey]uint64
+	held      map[SourceKey][]seqRecord // out-of-order input buffers
+	heldCount int
+	maxHeld   int
+	sequenced uint64
+}
+
+// NewSequencer returns an empty Sequencer.
+func NewSequencer() *Sequencer {
+	return &Sequencer{
+		nextSeq: map[SourceKey]uint64{},
+		held:    map[SourceKey][]seqRecord{},
+	}
+}
+
+// Held returns the number of records currently held back waiting for a
+// program-order predecessor.
+func (s *Sequencer) Held() int { return s.heldCount }
+
+// MaxHeld returns the maximum number of simultaneously held records.
+func (s *Sequencer) MaxHeld() int { return s.maxHeld }
+
+// Sequenced returns the total number of records released in program
+// order.
+func (s *Sequencer) Sequenced() uint64 { return s.sequenced }
+
+// Resume makes the sequencer adopt an unseen source's first capture
+// sequence as that source's starting point instead of holding it back
+// waiting for sequence zero. A manager that (re)starts against sources
+// already mid-stream — a crashed ISM re-served by resilient LIS
+// sessions replaying their unacked windows — would otherwise hold
+// every event forever: the prefix went to the dead incarnation and
+// will never be resent. Only sound when each source's events arrive in
+// program order until its first dispatch (the session protocol's
+// in-order replay guarantees this); a reordering transport could
+// present sequence n before 0 for a brand-new source and lose the
+// prefix to dedup. Sources already seen are unaffected.
+func (s *Sequencer) Resume() { s.resume = true }
+
+// AddTo offers a record with its per-source capture sequence number
+// (0-based, contiguous per source) and appends every record that
+// became releasable — the record itself plus any held successors it
+// unblocks — to dst in program order.
+func (s *Sequencer) AddTo(dst []Record, rec Record, seq uint64) []Record {
+	key := SourceKey{rec.Node, rec.Process}
+	if s.resume {
+		if _, seen := s.nextSeq[key]; !seen {
+			s.nextSeq[key] = seq
+		}
+	}
+	want := s.nextSeq[key]
+	if seq != want {
+		if seq < want {
+			// Duplicate or replayed record; drop.
+			return dst
+		}
+		s.held[key] = append(s.held[key], seqRecord{rec: rec, seq: seq})
+		s.heldCount++
+		if s.heldCount > s.maxHeld {
+			s.maxHeld = s.heldCount
+		}
+		return dst
+	}
+	dst = append(dst, rec)
+	s.sequenced++
+	s.nextSeq[key] = seq + 1
+	// Drain held successors now contiguous with the cursor. Gaps are
+	// rare and buffers small; the linear scan per release matches the
+	// original Orderer.
+	buf := s.held[key]
+	for len(buf) > 0 {
+		next := s.nextSeq[key]
+		idx := -1
+		for i, h := range buf {
+			if h.seq == next {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		h := buf[idx]
+		buf = append(buf[:idx], buf[idx+1:]...)
+		s.heldCount--
+		dst = append(dst, h.rec)
+		s.sequenced++
+		s.nextSeq[key] = h.seq + 1
+	}
+	if len(buf) == 0 {
+		delete(s.held, key)
+	} else {
+		s.held[key] = buf
+	}
+	return dst
+}
+
+// CausalMerger enforces the cross-source happens-before edges (a
+// KindRecv happens-after its matching KindSend, matched by Tag with
+// Payload holding the peer node) and assigns Lamport logical
+// timestamps. Input must already be in program order per source;
+// within that constraint sources may interleave arbitrarily, which is
+// exactly what the ISM's k-way shard merge produces.
+//
+// When a receive arrives before its send, the receive is parked and
+// its whole source stalls: later records from that source queue behind
+// it (program order must survive the wait). The matching send releases
+// the receive and drains the queue, recursively unblocking any chains.
+// Release order is deterministic — it depends only on the input
+// sequence, never on map iteration order — which is what makes
+// sharded-vs-single-orderer runs byte-comparable.
+type CausalMerger struct {
+	clock      uint64
+	sendSeen   map[msgKey]int      // multiset of dispatched sends
+	recvsHeld  map[msgKey][]Record // receives waiting for sends
+	pending    map[SourceKey]*pendQueue
+	stalled    map[SourceKey]bool
+	heldCount  int
+	maxHeld    int
+	dispatched uint64
+}
+
+// pendQueue is a head-indexed FIFO of program-order successors parked
+// behind a stalled receive; popping advances head instead of
+// reslicing so drained queues recycle their backing arrays.
+type pendQueue struct {
+	buf  []Record
+	head int
+}
+
+// NewCausalMerger returns an empty CausalMerger whose Lamport clock
+// starts at 1.
+func NewCausalMerger() *CausalMerger {
+	return &CausalMerger{
+		sendSeen:  map[msgKey]int{},
+		recvsHeld: map[msgKey][]Record{},
+		pending:   map[SourceKey]*pendQueue{},
+		stalled:   map[SourceKey]bool{},
+	}
+}
+
+// Held returns the number of records currently held back waiting for a
+// message dependency (parked receives plus their queued successors).
+func (m *CausalMerger) Held() int { return m.heldCount }
+
+// MaxHeld returns the maximum number of simultaneously held records.
+func (m *CausalMerger) MaxHeld() int { return m.maxHeld }
+
+// Dispatched returns the total number of records released in causal
+// order.
+func (m *CausalMerger) Dispatched() uint64 { return m.dispatched }
+
+// Clock returns the current Lamport clock value — the logical
+// timestamp of the most recently dispatched record.
+func (m *CausalMerger) Clock() uint64 { return m.clock }
+
+func (m *CausalMerger) hold() {
+	m.heldCount++
+	if m.heldCount > m.maxHeld {
+		m.maxHeld = m.heldCount
+	}
+}
+
+// AddTo offers the next record of its source's program-ordered stream
+// and appends every record that became dispatchable — stamped with
+// Lamport timestamps, in causal order — to dst.
+func (m *CausalMerger) AddTo(dst []Record, rec Record) []Record {
+	key := SourceKey{rec.Node, rec.Process}
+	if m.stalled[key] {
+		// A receive from this source is parked; program order forces
+		// everything behind it to wait too.
+		q := m.pending[key]
+		if q == nil {
+			q = &pendQueue{}
+			m.pending[key] = q
+		}
+		q.buf = append(q.buf, rec)
+		m.hold()
+		return dst
+	}
+	return m.offer(dst, rec, key)
+}
+
+func (m *CausalMerger) offer(dst []Record, rec Record, key SourceKey) []Record {
+	if rec.Kind == KindRecv {
+		mk := msgKey{from: int32(rec.Payload), to: rec.Node, tag: rec.Tag}
+		if m.sendSeen[mk] == 0 {
+			m.recvsHeld[mk] = append(m.recvsHeld[mk], rec)
+			m.stalled[key] = true
+			m.hold()
+			return dst
+		}
+		m.sendSeen[mk]--
+	}
+	return m.release(dst, rec)
+}
+
+func (m *CausalMerger) release(dst []Record, rec Record) []Record {
+	m.clock++
+	rec.Logical = m.clock
+	dst = append(dst, rec)
+	m.dispatched++
+	if rec.Kind == KindSend {
+		mk := msgKey{from: rec.Node, to: int32(rec.Payload), tag: rec.Tag}
+		m.sendSeen[mk]++
+		// Unblock the oldest receive waiting on this send, then drain
+		// the successors queued behind it.
+		if waiting := m.recvsHeld[mk]; len(waiting) > 0 {
+			r := waiting[0]
+			m.recvsHeld[mk] = waiting[1:]
+			if len(m.recvsHeld[mk]) == 0 {
+				delete(m.recvsHeld, mk)
+			}
+			m.heldCount--
+			m.sendSeen[mk]--
+			dst = m.release(dst, r)
+			rk := SourceKey{r.Node, r.Process}
+			delete(m.stalled, rk)
+			dst = m.drainPending(dst, rk)
+		}
+	}
+	return dst
+}
+
+func (m *CausalMerger) drainPending(dst []Record, key SourceKey) []Record {
+	q := m.pending[key]
+	if q == nil {
+		return dst
+	}
+	for q.head < len(q.buf) && !m.stalled[key] {
+		rec := q.buf[q.head]
+		q.buf[q.head] = Record{}
+		q.head++
+		m.heldCount--
+		// May re-park (another receive with a missing send) — the loop
+		// condition stops the drain and the remainder stays queued.
+		dst = m.offer(dst, rec, key)
+	}
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return dst
+}
+
 // Orderer reconstructs causal order from out-of-order event arrivals
-// and assigns Lamport logical timestamps.
+// and assigns Lamport logical timestamps. It is the single-stage
+// composition of a Sequencer and a CausalMerger.
 //
 // Causality model:
 //   - events from the same source are ordered by their capture
@@ -44,56 +314,33 @@ type seqRecord struct {
 // An event is dispatchable when its program-order predecessor has been
 // dispatched and, for receives, the matching send has been dispatched.
 type Orderer struct {
-	clock      uint64
-	resume     bool
-	nextSeq    map[SourceKey]uint64
-	held       map[SourceKey][]seqRecord // out-of-order input buffers
-	sendSeen   map[msgKey]int            // multiset of dispatched sends
-	recvsHeld  map[msgKey][]seqRecord    // receives waiting for sends
-	heldCount  int
-	maxHeld    int
-	dispatched uint64
-}
-
-type msgKey struct {
-	from, to int32
-	tag      uint16
+	seq    *Sequencer
+	merge  *CausalMerger
+	seqBuf []Record // reused program-order staging buffer
 }
 
 // NewOrderer returns an empty Orderer whose Lamport clock starts at 1.
 func NewOrderer() *Orderer {
-	return &Orderer{
-		nextSeq:   map[SourceKey]uint64{},
-		held:      map[SourceKey][]seqRecord{},
-		sendSeen:  map[msgKey]int{},
-		recvsHeld: map[msgKey][]seqRecord{},
-	}
+	return &Orderer{seq: NewSequencer(), merge: NewCausalMerger()}
 }
 
 // Held returns the number of events currently held back out of order —
 // the instantaneous input-buffer length of §3.3's "average buffer
-// length" metric.
-func (o *Orderer) Held() int { return o.heldCount }
+// length" metric — across both stages.
+func (o *Orderer) Held() int { return o.seq.Held() + o.merge.Held() }
 
-// MaxHeld returns the maximum number of simultaneously held events.
-func (o *Orderer) MaxHeld() int { return o.maxHeld }
+// MaxHeld returns an upper bound on the maximum number of
+// simultaneously held events (the per-stage maxima can peak at
+// different times).
+func (o *Orderer) MaxHeld() int { return o.seq.MaxHeld() + o.merge.MaxHeld() }
 
 // Dispatched returns the total number of events released in causal
 // order.
-func (o *Orderer) Dispatched() uint64 { return o.dispatched }
+func (o *Orderer) Dispatched() uint64 { return o.merge.Dispatched() }
 
 // Resume makes the orderer adopt an unseen source's first capture
-// sequence as that source's starting point instead of holding it back
-// waiting for sequence zero. A manager that (re)starts against sources
-// already mid-stream — a crashed ISM re-served by resilient LIS
-// sessions replaying their unacked windows — would otherwise hold
-// every event forever: the prefix went to the dead incarnation and
-// will never be resent. Only sound when each source's events arrive in
-// program order until its first dispatch (the session protocol's
-// in-order replay guarantees this); a reordering transport could
-// present sequence n before 0 for a brand-new source and lose the
-// prefix to dedup. Sources already seen are unaffected.
-func (o *Orderer) Resume() { o.resume = true }
+// sequence as that source's starting point; see Sequencer.Resume.
+func (o *Orderer) Resume() { o.seq.Resume() }
 
 // Add offers an event with its per-source capture sequence number
 // (0-based, contiguous per source). It returns the events that became
@@ -107,117 +354,11 @@ func (o *Orderer) Add(rec Record, seq uint64) []Record {
 // offering a whole batch can reuse one dispatch slice across records
 // instead of allocating per Add.
 func (o *Orderer) AddTo(dst []Record, rec Record, seq uint64) []Record {
-	out := dst
-	o.offer(seqRecord{rec: rec, seq: seq}, &out)
-	// Releasing one event can unblock chains across sources; offer
-	// held events repeatedly until a fixed point. The data volumes
-	// here are ISM input buffers, small by construction. The in-order
-	// common case holds nothing and skips the loop entirely.
-	for len(o.held) > 0 {
-		progressed := false
-		for key, buf := range o.held {
-			want := o.nextSeq[key]
-			for len(buf) > 0 {
-				idx := -1
-				for i, h := range buf {
-					if h.seq == want {
-						idx = i
-						break
-					}
-				}
-				if idx < 0 {
-					break
-				}
-				h := buf[idx]
-				buf = append(buf[:idx], buf[idx+1:]...)
-				o.heldCount--
-				if o.tryDispatch(h, &out) {
-					want = o.nextSeq[key]
-					progressed = true
-				} else {
-					// Re-held as a receive waiting for its send;
-					// program order is satisfied so do not requeue here.
-					break
-				}
-			}
-			if len(buf) == 0 {
-				delete(o.held, key)
-			} else {
-				o.held[key] = buf
-			}
-		}
-		if !progressed {
-			break
-		}
+	o.seqBuf = o.seq.AddTo(o.seqBuf[:0], rec, seq)
+	for _, r := range o.seqBuf {
+		dst = o.merge.AddTo(dst, r)
 	}
-	return out
-}
-
-func (o *Orderer) offer(h seqRecord, out *[]Record) {
-	key := SourceKey{h.rec.Node, h.rec.Process}
-	if o.resume {
-		if _, seen := o.nextSeq[key]; !seen {
-			o.nextSeq[key] = h.seq
-		}
-	}
-	if h.seq != o.nextSeq[key] {
-		if h.seq < o.nextSeq[key] {
-			// Duplicate or replayed event; drop.
-			return
-		}
-		o.held[key] = append(o.held[key], h)
-		o.heldCount++
-		if o.heldCount > o.maxHeld {
-			o.maxHeld = o.heldCount
-		}
-		return
-	}
-	o.tryDispatch(h, out)
-}
-
-// tryDispatch dispatches h if its message dependency is satisfied.
-// Program order must already hold. It reports whether h was
-// dispatched.
-func (o *Orderer) tryDispatch(h seqRecord, out *[]Record) bool {
-	if h.rec.Kind == KindRecv {
-		mk := msgKey{from: int32(h.rec.Payload), to: h.rec.Node, tag: h.rec.Tag}
-		if o.sendSeen[mk] == 0 {
-			o.recvsHeld[mk] = append(o.recvsHeld[mk], h)
-			o.heldCount++
-			if o.heldCount > o.maxHeld {
-				o.maxHeld = o.heldCount
-			}
-			return false
-		}
-		o.sendSeen[mk]--
-	}
-	o.release(h, out)
-	return true
-}
-
-func (o *Orderer) release(h seqRecord, out *[]Record) {
-	key := SourceKey{h.rec.Node, h.rec.Process}
-	o.clock++
-	h.rec.Logical = o.clock
-	*out = append(*out, h.rec)
-	o.dispatched++
-	o.nextSeq[key] = h.seq + 1
-
-	if h.rec.Kind == KindSend {
-		mk := msgKey{from: h.rec.Node, to: int32(h.rec.Payload), tag: h.rec.Tag}
-		o.sendSeen[mk]++
-		// Unblock any receive waiting on this send.
-		if waiting := o.recvsHeld[mk]; len(waiting) > 0 {
-			r := waiting[0]
-			o.recvsHeld[mk] = waiting[1:]
-			if len(o.recvsHeld[mk]) == 0 {
-				delete(o.recvsHeld, mk)
-			}
-			o.heldCount--
-			o.sendSeen[mk]--
-			o.release(r, out)
-		}
-	}
+	return dst
 }
 
 // CheckCausal verifies that a dispatched stream is causally

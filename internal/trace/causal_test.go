@@ -223,3 +223,123 @@ func TestOrdererResumeAdoptsMidStreamSource(t *testing.T) {
 		t.Fatalf("held %d", plain.Held())
 	}
 }
+
+func TestSequencerProgramOrderOnly(t *testing.T) {
+	s := NewSequencer()
+	// Gap: seq 1 held until 0 arrives; Logical is left untouched.
+	if out := s.AddTo(nil, Record{Node: 2, Kind: KindUser, Tag: 1, Logical: 77}, 1); len(out) != 0 {
+		t.Fatalf("gap released early: %v", out)
+	}
+	if s.Held() != 1 || s.MaxHeld() != 1 {
+		t.Fatalf("held %d maxHeld %d", s.Held(), s.MaxHeld())
+	}
+	out := s.AddTo(nil, Record{Node: 2, Kind: KindUser, Tag: 0}, 0)
+	if len(out) != 2 || out[0].Tag != 0 || out[1].Tag != 1 {
+		t.Fatalf("release chain: %v", out)
+	}
+	if out[1].Logical != 77 {
+		t.Fatalf("sequencer must not touch Logical: %v", out[1])
+	}
+	// Receives are NOT held for their sends — that is the merger's job.
+	out = s.AddTo(out[:0], Record{Node: 2, Kind: KindRecv, Tag: 9, Payload: 0}, 2)
+	if len(out) != 1 {
+		t.Fatalf("sequencer held a recv: %v", out)
+	}
+	// Duplicate dropped.
+	if out := s.AddTo(nil, Record{Node: 2, Kind: KindUser}, 1); len(out) != 0 {
+		t.Fatalf("duplicate released: %v", out)
+	}
+	if s.Sequenced() != 3 || s.Held() != 0 {
+		t.Fatalf("sequenced %d held %d", s.Sequenced(), s.Held())
+	}
+}
+
+func TestCausalMergerStallsSourceBehindRecv(t *testing.T) {
+	m := NewCausalMerger()
+	// Node 1's recv arrives (program-ordered) before node 0's send; the
+	// user event behind it must queue, not overtake.
+	if out := m.AddTo(nil, Record{Node: 1, Kind: KindRecv, Tag: 7, Payload: 0}); len(out) != 0 {
+		t.Fatal("recv released before send")
+	}
+	if out := m.AddTo(nil, Record{Node: 1, Kind: KindUser, Tag: 1}); len(out) != 0 {
+		t.Fatal("successor overtook stalled recv")
+	}
+	if m.Held() != 2 || m.MaxHeld() != 2 {
+		t.Fatalf("held %d maxHeld %d", m.Held(), m.MaxHeld())
+	}
+	out := m.AddTo(nil, Record{Node: 0, Kind: KindSend, Tag: 7, Payload: 1})
+	if len(out) != 3 {
+		t.Fatalf("send should release the chain: %v", out)
+	}
+	if out[0].Kind != KindSend || out[1].Kind != KindRecv || out[2].Tag != 1 {
+		t.Fatalf("release order: %v", out)
+	}
+	for i, r := range out {
+		if r.Logical != uint64(i+1) {
+			t.Fatalf("lamport stamps: %v", out)
+		}
+	}
+	if m.Held() != 0 || m.Dispatched() != 3 || m.Clock() != 3 {
+		t.Fatalf("held %d dispatched %d clock %d", m.Held(), m.Dispatched(), m.Clock())
+	}
+	if err := CheckCausal(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCausalMergerDeterministic feeds the same per-source-ordered
+// interleaving twice and requires byte-identical output — the property
+// the ISM's sharded-vs-single equivalence tests lean on.
+func TestCausalMergerDeterministic(t *testing.T) {
+	st := rng.New(99)
+	const P = 4
+	run := func(input []Record) []Record {
+		m := NewCausalMerger()
+		var out []Record
+		for _, r := range input {
+			out = m.AddTo(out, r)
+		}
+		if m.Held() != 0 {
+			t.Fatalf("%d records stuck", m.Held())
+		}
+		return out
+	}
+	for trial := 0; trial < 20; trial++ {
+		// Per-source streams with a ring of sends/recvs, interleaved by
+		// random round-robin — program order preserved per source.
+		streams := make([][]Record, P)
+		for i := 0; i < P; i++ {
+			tag := uint16(i)
+			streams[i] = []Record{
+				{Node: int32(i), Kind: KindUser},
+				{Node: int32(i), Kind: KindSend, Tag: tag, Payload: int64((i + 1) % P)},
+				{Node: int32(i), Kind: KindRecv, Tag: uint16((i + P - 1) % P), Payload: int64((i + P - 1) % P)},
+				{Node: int32(i), Kind: KindUser, Tag: 100},
+			}
+		}
+		var input []Record
+		cursors := make([]int, P)
+		remaining := 4 * P
+		for remaining > 0 {
+			i := st.Intn(P)
+			if cursors[i] == len(streams[i]) {
+				continue
+			}
+			input = append(input, streams[i][cursors[i]])
+			cursors[i]++
+			remaining--
+		}
+		a, b := run(input), run(input)
+		if len(a) != len(input) {
+			t.Fatalf("trial %d: released %d of %d", trial, len(a), len(input))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: nondeterministic at %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+		if err := CheckCausal(a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
