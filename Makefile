@@ -14,13 +14,14 @@ BASELINE ?= $(firstword $(sort $(wildcard BENCH_*.json)))
 CANDIDATE ?= BENCH_$(SHA).json
 THRESHOLD ?= 5
 
-.PHONY: check vet build test race bench benchsmoke benchdiff fmt
+.PHONY: check vet build test race bench benchsmoke benchdiff fuzzsmoke fmt
 
 # check is the tier-1 gate: vet, build, the full test suite under the
-# race detector, and a one-iteration compile-and-run pass over every
+# race detector, a one-iteration compile-and-run pass over every
 # benchmark so a broken benchmark cannot sit undetected until the next
-# `make bench`. Run it before every commit.
-check: vet build race benchsmoke
+# `make bench`, and a short fuzz of the columnar segment decoder. Run
+# it before every commit.
+check: vet build race benchsmoke fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +51,12 @@ bench:
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='$(SWEEPBENCH)' -benchtime=1x -cpu 4 .
+
+# fuzzsmoke gives the segment decoder's fuzz target a short budget:
+# enough to catch a decode regression on the corpus plus fresh
+# mutations, cheap enough to sit inside the tier-1 gate.
+fuzzsmoke:
+	$(GO) test -run=NONE -fuzz='FuzzSegmentDecode' -fuzztime=10s ./internal/trace
 
 # benchdiff compares two committed baselines and fails on ns/op
 # regressions past THRESHOLD percent:

@@ -40,6 +40,7 @@ type sample struct {
 	bytesPerOp  int64
 	allocsPerOp int64
 	iterations  int64
+	metrics     map[string]float64 // custom b.ReportMetric units
 }
 
 // entry is the aggregated JSON record for one benchmark name.
@@ -53,6 +54,10 @@ type entry struct {
 	NsPerOpMax  float64 `json:"ns_per_op_max"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom b.ReportMetric units (MB/s, records/s,
+	// disk-B/rec, ...) so domain figures like on-disk bytes per record
+	// are tracked by the committed baselines, not only ns/op.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type document struct {
@@ -270,7 +275,7 @@ func parseBenchLine(line string) (string, sample, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			s.nsPerOp = v
 			got = true
@@ -278,6 +283,15 @@ func parseBenchLine(line string) (string, sample, bool) {
 			s.bytesPerOp = int64(v)
 		case "allocs/op":
 			s.allocsPerOp = int64(v)
+		default:
+			// A unit-looking token after a number is a custom
+			// b.ReportMetric figure (MB/s, disk-B/rec, ...).
+			if strings.ContainsRune(unit, '/') {
+				if s.metrics == nil {
+					s.metrics = map[string]float64{}
+				}
+				s.metrics[unit] = v
+			}
 		}
 	}
 	return fields[0], s, got
@@ -306,6 +320,12 @@ func aggregate(name string, ss []sample) entry {
 		// last observation.
 		e.BytesPerOp = s.bytesPerOp
 		e.AllocsPerOp = s.allocsPerOp
+		for unit, v := range s.metrics {
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
 	}
 	e.NsPerOpMean = sum / float64(len(ss))
 	return e

@@ -76,10 +76,30 @@ func TestParseBenchLine(t *testing.T) {
 	if _, _, ok := parseBenchLine("ok  \tprism\t7.394s"); ok {
 		t.Fatal("non-benchmark line parsed")
 	}
-	// Custom metrics (records/s) must not be mistaken for ns/op.
+	// Custom metrics (records/s) must not be mistaken for ns/op, and
+	// must be captured under their own units.
 	name, s, ok = parseBenchLine("BenchmarkPipe-1   145584   18081 ns/op   509.72 MB/s   14158873 records/s   0 B/op   0 allocs/op")
 	if !ok || name != "BenchmarkPipe-1" || s.nsPerOp != 18081 || s.allocsPerOp != 0 {
 		t.Fatalf("parsed %q %+v ok=%v", name, s, ok)
+	}
+	if s.metrics["MB/s"] != 509.72 || s.metrics["records/s"] != 14158873 {
+		t.Fatalf("custom metrics %v", s.metrics)
+	}
+	// b.ReportMetric figures like the segment disk density survive
+	// into the sample.
+	_, s, ok = parseBenchLine("BenchmarkSegmentWrite-4   1000   50000 ns/op   4.04 disk-B/rec   8.91 ratio/flat   0 allocs/op")
+	if !ok || s.metrics["disk-B/rec"] != 4.04 || s.metrics["ratio/flat"] != 8.91 {
+		t.Fatalf("custom metrics %v", s.metrics)
+	}
+}
+
+func TestAggregateKeepsCustomMetrics(t *testing.T) {
+	e := aggregate("BenchmarkSeg-4", []sample{
+		{nsPerOp: 100, metrics: map[string]float64{"disk-B/rec": 4.1}},
+		{nsPerOp: 90, metrics: map[string]float64{"disk-B/rec": 4.04}},
+	})
+	if e.Metrics["disk-B/rec"] != 4.04 {
+		t.Fatalf("metrics %v", e.Metrics)
 	}
 }
 

@@ -13,8 +13,17 @@
 // Usage:
 //
 //	ismd [-addr 127.0.0.1:7311] [-spool trace.bin] [-miso] [-stats 2s]
-//	     [-overflow drop-oldest|block|drop-newest] [-publish 0]
+//	     [-overflow drop-oldest|block|drop-newest|spill] [-publish 0]
 //	     [-resilient] [-degraded-after 5s] [-shards 1] [-merge-ring 0]
+//	     [-spill-dir d] [-spill-hot 16384] [-spill-segment 8192]
+//	     [-spill-warm 8] [-compact-budget 0]
+//
+// With -overflow spill, records displaced from the input stage demote
+// into a tiered columnar store (hot in-memory window, warm compressed
+// segments, background-compacted cold segments) instead of being
+// dropped; -spill-dir persists the segments as files, and
+// -compact-budget bounds the compactor's I/O rate so compaction cannot
+// starve the ingest path's disk bandwidth.
 //
 // With -resilient the manager runs the session protocol in front of
 // the input stage: sequenced batches from resilient LIS nodes (see
@@ -37,6 +46,7 @@ import (
 	"prism/internal/isruntime/flow"
 	"prism/internal/isruntime/ism"
 	"prism/internal/isruntime/metrics"
+	"prism/internal/isruntime/storage"
 	"prism/internal/isruntime/tp"
 	"prism/internal/report"
 	"prism/internal/trace"
@@ -47,7 +57,12 @@ func main() {
 	spool := flag.String("spool", "", "spool merged trace to this file")
 	miso := flag.Bool("miso", false, "use MISO input buffering (default SISO)")
 	statsEvery := flag.Duration("stats", 2*time.Second, "statistics print interval")
-	overflow := flag.String("overflow", "drop-oldest", "input overflow policy: drop-oldest, block or drop-newest")
+	overflow := flag.String("overflow", "drop-oldest", "input overflow policy: drop-oldest, block, drop-newest or spill")
+	spillDir := flag.String("spill-dir", "", "with -overflow spill, store tiered segments as files under this directory (default in-memory)")
+	spillHot := flag.Int("spill-hot", 1<<14, "tiered spill hot-window capacity in records")
+	spillSegment := flag.Int("spill-segment", 1<<13, "tiered spill records per sealed segment")
+	spillWarm := flag.Int("spill-warm", 8, "warm segments that trigger a background compaction round")
+	compactBudget := flag.Int64("compact-budget", 0, "compactor I/O budget in bytes/second (0 unbounded)")
 	publish := flag.Duration("publish", 0, "self-publish runtime metrics into the stream at this interval (0 disables)")
 	resilient := flag.Bool("resilient", false, "run the session protocol (ack, dedup, replay tolerance) in front of the input stage")
 	degradedAfter := flag.Duration("degraded-after", 5*time.Second, "with -resilient, report nodes silent for longer than this as degraded (0 disables)")
@@ -80,6 +95,7 @@ func main() {
 	if *miso {
 		cfg.Buffering = ism.MISO
 	}
+	var tier *storage.Tiered
 	switch *overflow {
 	case "drop-oldest":
 		cfg.Overflow = flow.DropOldest
@@ -87,6 +103,24 @@ func main() {
 		cfg.Overflow = flow.Block
 	case "drop-newest":
 		cfg.Overflow = flow.DropNewest
+	case "spill":
+		// Displaced records demote into a tiered columnar store instead
+		// of being lost: hot in-memory window, warm sealed segments,
+		// cold background-compacted merges under the I/O budget.
+		var err error
+		tier, err = storage.NewTiered(storage.TieredConfig{
+			HotCapacity:    *spillHot,
+			SegmentRecords: *spillSegment,
+			WarmLimit:      *spillWarm,
+			Dir:            *spillDir,
+			CompactBudget:  *compactBudget,
+			Metrics:        reg,
+		})
+		if err != nil {
+			log.Fatalf("ismd: %v", err)
+		}
+		cfg.Overflow = flow.SpillToStorage
+		cfg.OverflowSpill = tier
 	default:
 		log.Fatalf("ismd: unknown overflow policy %q", *overflow)
 	}
@@ -176,6 +210,16 @@ func main() {
 			if receiver != nil {
 				fmt.Printf("session: dup-batches=%d gap-batches=%d\n",
 					receiver.TotalDups(), receiver.TotalGaps())
+			}
+			if tier != nil {
+				// ISM.Close already flushed the hot window through the
+				// OverflowSpill Flush hook; Close here stops the compactor.
+				if err := tier.Close(); err != nil {
+					log.Printf("ismd: spill tier: %v", err)
+				}
+				ts := tier.Stats()
+				fmt.Printf("spill tier: appended=%d sealed=%d warm=%d cold=%d compactions=%d disk-bytes=%d\n",
+					ts.Appended, ts.Sealed, ts.WarmSegments, ts.ColdSegments, ts.Compactions, ts.BytesToDisk)
 			}
 			if err := report.RenderMetrics(os.Stdout, "ISM runtime metrics", reg.Snapshot()); err != nil {
 				log.Printf("ismd: metrics: %v", err)

@@ -774,5 +774,14 @@ func (m *ISM) Close() error {
 		err = m.spool.Flush()
 	}
 	m.mu.Unlock()
+	// Records demoted to spill storage are part of the off-line record:
+	// a spill target with buffered state (a storage.Hierarchy main
+	// buffer, a Tiered hot window) is flushed so shutdown leaves every
+	// demoted record durable, not parked in memory.
+	if f, ok := m.cfg.OverflowSpill.(interface{ Flush() error }); ok {
+		if ferr := f.Flush(); err == nil {
+			err = ferr
+		}
+	}
 	return err
 }

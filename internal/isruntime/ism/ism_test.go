@@ -523,3 +523,57 @@ func TestStageOverflowDrops(t *testing.T) {
 		t.Fatal("siso should be empty")
 	}
 }
+
+// flushSpill records whether the manager flushed its spill target on
+// Close — the hook that makes demoted records durable at shutdown.
+type flushSpill struct {
+	mu      sync.Mutex
+	recs    []trace.Record
+	flushed bool
+}
+
+func (f *flushSpill) Append(rs ...trace.Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recs = append(f.recs, rs...)
+	return nil
+}
+
+func (f *flushSpill) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushed = true
+	return nil
+}
+
+func TestCloseFlushesOverflowSpill(t *testing.T) {
+	var clock event.VirtualClock
+	spill := &flushSpill{}
+	m := New(Config{
+		Buffering: SISO, InputCapacity: 2,
+		Overflow: flow.SpillToStorage, OverflowSpill: spill,
+	}, &clock)
+	block := make(chan struct{})
+	m.Subscribe("slow", func(r trace.Record) {
+		if r.Tag == 0 {
+			<-block // stall the processor so the burst demotes
+		}
+	})
+	for i := 0; i < 100; i++ {
+		m.Inject(dataMsg(0, seqRec(0, trace.KindUser, uint16(i), uint64(i), 0)))
+	}
+	close(block)
+	m.Drain()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spill.mu.Lock()
+	defer spill.mu.Unlock()
+	if !spill.flushed {
+		t.Fatal("Close did not flush the overflow spill")
+	}
+	st := m.Stats()
+	if st.InputSpilled == 0 || uint64(len(spill.recs)) != st.InputSpilled {
+		t.Fatalf("spill holds %d records, stats say %d", len(spill.recs), st.InputSpilled)
+	}
+}

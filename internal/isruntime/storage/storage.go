@@ -15,6 +15,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 
@@ -49,6 +50,7 @@ type Stats struct {
 	Appended    uint64 // records accepted
 	Spills      uint64 // main-buffer flushes to the next level
 	ToDisk      uint64 // records written to the next level
+	BytesToDisk uint64 // bytes handed to the next level (post-buffering)
 	Overwritten uint64 // records displaced in ring mode
 	Resident    int    // records currently in the main buffer
 	Peak        int    // maximum main-buffer occupancy
@@ -59,33 +61,69 @@ type Option func(*Hierarchy)
 
 // WithMetrics mirrors the hierarchy's activity into the given registry
 // under the "storage" scope (storage.appended, storage.spills,
-// storage.to_disk, storage.overwritten, storage.resident).
+// storage.to_disk, storage.bytes_disk, storage.overwritten,
+// storage.resident).
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(h *Hierarchy) {
 		s := reg.Scope("storage")
 		h.m = &hierMetrics{
 			appended: s.Counter("appended"), spills: s.Counter("spills"),
-			toDisk: s.Counter("to_disk"), overwritten: s.Counter("overwritten"),
-			resident: s.Gauge("resident"),
+			toDisk: s.Counter("to_disk"), bytesDisk: s.Counter("bytes_disk"),
+			overwritten: s.Counter("overwritten"),
+			resident:    s.Gauge("resident"),
 		}
 	}
 }
 
+// WithSegments makes the hierarchy spill columnar compressed segments
+// (trace.AppendSegment) instead of the flat fixed-width encoding: each
+// spill run becomes one self-framed segment readable with
+// trace.SegmentReader. On the batched spill workloads the segments are
+// several times smaller than RecordSize bytes per record.
+func WithSegments() Option {
+	return func(h *Hierarchy) { h.columnar = true }
+}
+
+// WithName attaches a diagnostic name — typically the next level's
+// file path — used in spill error messages to locate torn segments.
+func WithName(name string) Option {
+	return func(h *Hierarchy) { h.name = name }
+}
+
 // hierMetrics is the optional registry-backed counter set.
 type hierMetrics struct {
-	appended, spills, toDisk, overwritten *metrics.Counter
-	resident                              *metrics.Gauge
+	appended, spills, toDisk, bytesDisk, overwritten *metrics.Counter
+	resident                                         *metrics.Gauge
+}
+
+// countingWriter counts the bytes reaching the next storage level —
+// the denominator of the spill path's on-disk bandwidth.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // Hierarchy is a two-level store: a bounded in-memory main buffer over
 // an optional next level (any io.Writer; typically a file, receiving
-// the binary trace format). It is safe for concurrent use.
+// the binary trace format — or columnar segments under WithSegments).
+// It is safe for concurrent use.
 type Hierarchy struct {
 	mu         sync.Mutex
 	discipline Discipline
 	capacity   int
 	main       []trace.Record
-	next       *trace.Writer
+	next       *trace.Writer        // flat next-level encoder (nil under WithSegments)
+	seg        *trace.SegmentWriter // columnar next-level encoder (nil unless WithSegments)
+	cw         *countingWriter
+	lastBytes  int64 // bytes_disk counter watermark
+	name       string
+	columnar   bool
 	stats      Stats
 	m          *hierMetrics
 	closed     bool
@@ -101,12 +139,17 @@ func New(d Discipline, capacity int, next io.Writer, opts ...Option) (*Hierarchy
 	if d == Spill && next == nil {
 		return nil, errors.New("storage: spill discipline needs a next level")
 	}
-	h := &Hierarchy{discipline: d, capacity: capacity}
-	if next != nil {
-		h.next = trace.NewWriter(next)
-	}
+	h := &Hierarchy{discipline: d, capacity: capacity, name: "next-level"}
 	for _, opt := range opts {
 		opt(h)
+	}
+	if next != nil {
+		h.cw = &countingWriter{w: next}
+		if h.columnar {
+			h.seg = trace.NewSegmentWriter(h.cw)
+		} else {
+			h.next = trace.NewWriter(h.cw)
+		}
 	}
 	return h, nil
 }
@@ -176,13 +219,25 @@ func (h *Hierarchy) Append(rs ...trace.Record) error {
 }
 
 // spillLocked writes the whole main buffer to the next level as one
-// coalesced bulk write.
+// coalesced bulk write — one columnar segment under WithSegments, one
+// chunked flat run otherwise. A failed write reports the segment's
+// name and byte position so crash-restart diagnostics can locate the
+// torn tail instead of guessing from a bare encoder error.
 func (h *Hierarchy) spillLocked() error {
-	if h.next == nil || len(h.main) == 0 {
+	if h.cw == nil || len(h.main) == 0 {
 		return nil
 	}
-	if err := h.next.WriteAll(h.main); err != nil {
-		return err
+	start := h.cw.n
+	var err error
+	if h.seg != nil {
+		_, err = h.seg.WriteSegment(h.main)
+	} else {
+		err = h.next.WriteAll(h.main)
+	}
+	if err != nil {
+		h.syncBytesLocked()
+		return fmt.Errorf("storage: spill of %d records to %s: segment at offset %d torn after %d bytes: %w",
+			len(h.main), h.name, start, h.cw.n-start, err)
 	}
 	h.stats.Spills++
 	h.stats.ToDisk += uint64(len(h.main))
@@ -190,8 +245,25 @@ func (h *Hierarchy) spillLocked() error {
 		h.m.spills.Inc()
 		h.m.toDisk.Add(uint64(len(h.main)))
 	}
+	h.syncBytesLocked()
 	h.main = h.main[:0]
 	return nil
+}
+
+// syncBytesLocked folds the counting writer's position into the stats
+// and the bytes_disk counter. Under the flat encoding the position
+// advances when the buffered writer flushes; segments write through.
+func (h *Hierarchy) syncBytesLocked() {
+	if h.cw == nil {
+		return
+	}
+	h.stats.BytesToDisk = uint64(h.cw.n)
+	if delta := h.cw.n - h.lastBytes; delta > 0 {
+		h.lastBytes = h.cw.n
+		if h.m != nil {
+			h.m.bytesDisk.Add(uint64(delta))
+		}
+	}
 }
 
 // Flush forces the main buffer down to the next level (no-op without
@@ -204,7 +276,9 @@ func (h *Hierarchy) Flush() error {
 	}
 	h.stats.Resident = len(h.main)
 	if h.next != nil {
-		return h.next.Flush()
+		err := h.next.Flush()
+		h.syncBytesLocked()
+		return err
 	}
 	return nil
 }
@@ -221,6 +295,7 @@ func (h *Hierarchy) Recent() []trace.Record {
 func (h *Hierarchy) Stats() Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.syncBytesLocked()
 	st := h.stats
 	st.Resident = len(h.main)
 	return st
@@ -240,7 +315,9 @@ func (h *Hierarchy) Close() error {
 		}
 	}
 	if h.next != nil {
-		return h.next.Flush()
+		err := h.next.Flush()
+		h.syncBytesLocked()
+		return err
 	}
 	return nil
 }

@@ -2,9 +2,12 @@ package storage
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 
+	"prism/internal/isruntime/metrics"
 	"prism/internal/trace"
 )
 
@@ -135,6 +138,107 @@ func TestPeakTracking(t *testing.T) {
 	_ = h.Flush()
 	if st := h.Stats(); st.Resident != 0 || st.Peak != 6 {
 		t.Fatalf("stats after flush %+v", st)
+	}
+}
+
+func TestBytesToDiskAccounting(t *testing.T) {
+	var disk bytes.Buffer
+	reg := metrics.NewRegistry()
+	h, err := New(Spill, 10, &disk, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(recs(55)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.BytesToDisk != uint64(disk.Len()) {
+		t.Fatalf("BytesToDisk %d, disk holds %d", st.BytesToDisk, disk.Len())
+	}
+	if st.BytesToDisk == 0 {
+		t.Fatal("no bytes accounted")
+	}
+	if got := reg.Snapshot().Value("storage.bytes_disk"); got != float64(st.BytesToDisk) {
+		t.Fatalf("storage.bytes_disk metric %v, stats say %d", got, st.BytesToDisk)
+	}
+}
+
+func TestSegmentSpillRoundTrip(t *testing.T) {
+	var disk bytes.Buffer
+	h, err := New(Spill, 16, &disk, WithSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := recs(57)
+	if err := h.Append(in...); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	diskBytes := disk.Len()
+	got, err := trace.NewSegmentReader(&disk).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("segments hold %d of %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("record %d reordered or corrupted", i)
+		}
+	}
+	st := h.Stats()
+	if st.BytesToDisk != uint64(diskBytes) {
+		t.Fatalf("BytesToDisk %d, disk holds %d", st.BytesToDisk, diskBytes)
+	}
+	// The segment spill must be denser than the flat encoding it
+	// replaces.
+	if int(st.BytesToDisk) >= len(in)*trace.RecordSize {
+		t.Fatalf("columnar spill (%d bytes) is no smaller than flat (%d)", st.BytesToDisk, len(in)*trace.RecordSize)
+	}
+}
+
+// failAfterWriter accepts the first n bytes, then fails mid-write.
+type failAfterWriter struct {
+	n    int
+	seen int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.seen+len(p) <= w.n {
+		w.seen += len(p)
+		return len(p), nil
+	}
+	ok := w.n - w.seen
+	if ok < 0 {
+		ok = 0
+	}
+	w.seen += ok
+	return ok, errors.New("disk full")
+}
+
+func TestSpillErrorReportsPosition(t *testing.T) {
+	h, err := New(Spill, 8, &failAfterWriter{n: 10}, WithSegments(), WithName("/spool/seg.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.Append(recs(30)...)
+	if err == nil {
+		t.Fatal("spill onto a failing device succeeded")
+	}
+	msg := err.Error()
+	for _, want := range []string{"/spool/seg.bin", "offset", "torn after"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("spill error %q missing %q", msg, want)
+		}
+	}
+	if st := h.Stats(); st.BytesToDisk != 10 {
+		t.Fatalf("BytesToDisk %d after partial write of 10", st.BytesToDisk)
 	}
 }
 

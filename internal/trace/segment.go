@@ -1,0 +1,733 @@
+package trace
+
+// Columnar trace segments. A segment is the unit of compressed trace
+// retention: one run of records stored column-by-column, each column
+// under the encoding its distribution favors, with a footer index that
+// lets a reader answer "does this segment matter to my query?" from a
+// handful of bytes instead of a full decode.
+//
+//	┌ header ──────────────────────────────────────────────────┐
+//	│ magic u32 │ version u32 │ segLen u32 │ count u32          │
+//	├ columns (concatenated, offsets in the footer) ───────────┤
+//	│ 0 time     delta-of-delta zigzag varints                  │
+//	│ 1 logical  delta-of-delta zigzag varints (ingest ticks)   │
+//	│ 2 node     run-length (len uvarint, value zigzag varint)  │
+//	│ 3 process  run-length (len uvarint, value zigzag varint)  │
+//	│ 4 kind     dictionary (size uvarint, kinds) + RLE indexes │
+//	│ 5 tag      delta zigzag varints                           │
+//	│ 6 payload  delta zigzag varints                           │
+//	├ footer ──────────────────────────────────────────────────┤
+//	│ colOff[7] u32 │ colEnd u32                                │
+//	│ minTime i64 │ maxTime i64                                 │
+//	│ nSources u32 │ nSources × {node i32, count u32,           │
+//	│                            minTime i64, maxTime i64}      │
+//	│ crc32c u32 │ footerLen u32 │ footerMagic u32              │
+//	└──────────────────────────────────────────────────────────┘
+//
+// The crc32c covers every byte between the header and the crc field
+// itself — columns and footer index alike.
+//
+// Timestamps and ingest ticks are near-monotone, so their second
+// differences are near zero and encode in one byte; node and process
+// ids arrive in long constant runs (a spill run is a sequence of
+// per-source batches); kinds draw from a tiny alphabet. The flat codec
+// spends a fixed RecordSize = 36 bytes per record; a segment of the
+// pipeline-benchmark workload spends well under 9.
+//
+// All fixed-width integers are little-endian. Signed varint values use
+// zigzag encoding. Delta arithmetic is two's-complement wrapping in
+// both directions, so every int64/uint64 bit pattern round-trips
+// exactly.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"slices"
+)
+
+const (
+	segMagic     = 0x47455350 // "PSEG"
+	segFootMagic = 0x50455347 // "GSEP"
+	segVersion   = 1
+
+	segHeaderSize = 16
+	// segFooterBase is the footer size with zero sources; each source
+	// range adds segSourceSize bytes.
+	segFooterBase = 64
+	segSourceSize = 24
+	// segMinSize is the smallest well-formed segment (empty, no
+	// sources).
+	segMinSize = segHeaderSize + segFooterBase
+	// MaxSegmentBytes bounds a single segment's encoded size. The
+	// stream reader refuses larger length claims before allocating.
+	MaxSegmentBytes = 1 << 30
+
+	numColumns = 7
+)
+
+// ErrBadSegment is returned for structurally invalid or corrupt
+// segment bytes. Decoders never panic on hostile input; they wrap this
+// sentinel with a description of what failed.
+var ErrBadSegment = errors.New("trace: bad segment")
+
+var segCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// SourceRange is one per-source entry in a segment's footer index: how
+// many of the segment's records a node contributed and the time span
+// they cover.
+type SourceRange struct {
+	Node    int32
+	Count   int
+	MinTime int64
+	MaxTime int64
+}
+
+// zigzag maps signed values to unsigned so small-magnitude deltas of
+// either sign encode in few varint bytes.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// segScratch holds the per-encoder reusable state so steady-state
+// segment encoding performs no allocation beyond output growth.
+type segScratch struct {
+	sources []SourceRange
+	kinds   []byte
+}
+
+// AppendSegment appends the columnar segment encoding of rs to dst and
+// returns the extended slice. The records are stored in the given
+// order and decode byte-identically. Encoding scratch is allocated per
+// call; hot paths should hold a SegmentWriter, which reuses it.
+func AppendSegment(dst []byte, rs []Record) []byte {
+	var sc segScratch
+	return appendSegment(dst, rs, &sc)
+}
+
+func appendSegment(dst []byte, rs []Record, sc *segScratch) []byte {
+	base := len(dst)
+	// Header; segLen is patched once the total is known.
+	dst = binary.LittleEndian.AppendUint32(dst, segMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, segVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rs)))
+
+	var colOff [numColumns + 1]uint32
+	col := func(i int) { colOff[i] = uint32(len(dst) - base) }
+
+	// Column 0: capture time, delta-of-delta.
+	col(0)
+	dst = appendDoD(dst, rs, func(r *Record) int64 { return r.Time })
+	// Column 1: logical/ingest ticks, delta-of-delta over the uint64
+	// bits.
+	col(1)
+	dst = appendDoD(dst, rs, func(r *Record) int64 { return int64(r.Logical) })
+	// Column 2: node ids, run-length encoded.
+	col(2)
+	dst = appendRLE(dst, rs, func(r *Record) int64 { return int64(r.Node) })
+	// Column 3: process ids, run-length encoded.
+	col(3)
+	dst = appendRLE(dst, rs, func(r *Record) int64 { return int64(r.Process) })
+	// Column 4: kinds, dictionary + run-length indexes.
+	col(4)
+	dst = appendKinds(dst, rs, sc)
+	// Column 5: tags, delta.
+	col(5)
+	dst = appendDelta(dst, rs, func(r *Record) int64 { return int64(r.Tag) })
+	// Column 6: payloads, delta.
+	col(6)
+	dst = appendDelta(dst, rs, func(r *Record) int64 { return r.Payload })
+	col(7)
+	colEnd := uint32(len(dst) - base)
+
+	// Footer.
+	for i := 0; i < numColumns; i++ {
+		dst = binary.LittleEndian.AppendUint32(dst, colOff[i])
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, colEnd)
+	minT, maxT := timeRange(rs)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(minT))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(maxT))
+	sc.sources = collectSources(sc.sources[:0], rs)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sc.sources)))
+	for _, s := range sc.sources {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Node))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Count))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.MinTime))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.MaxTime))
+	}
+	// The checksum covers the columns AND the footer index (everything
+	// between the header and the crc field itself): a flipped index
+	// byte must fail loudly, not silently misdirect range queries.
+	crc := crc32.Checksum(dst[base+segHeaderSize:], segCRC)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	footerLen := uint32(segFooterBase + segSourceSize*len(sc.sources))
+	dst = binary.LittleEndian.AppendUint32(dst, footerLen)
+	dst = binary.LittleEndian.AppendUint32(dst, segFootMagic)
+
+	binary.LittleEndian.PutUint32(dst[base+8:], uint32(len(dst)-base))
+	return dst
+}
+
+// appendDoD encodes a column as zigzag varints of second differences:
+// near-monotone sequences (timestamps, ingest ticks) have near-zero
+// curvature and cost one byte per record.
+func appendDoD(dst []byte, rs []Record, get func(*Record) int64) []byte {
+	var prev, prevDelta int64
+	for i := range rs {
+		v := get(&rs[i])
+		delta := v - prev
+		dst = binary.AppendUvarint(dst, zigzag(delta-prevDelta))
+		prev, prevDelta = v, delta
+	}
+	return dst
+}
+
+// appendDelta encodes a column as zigzag varints of first differences.
+func appendDelta(dst []byte, rs []Record, get func(*Record) int64) []byte {
+	var prev int64
+	for i := range rs {
+		v := get(&rs[i])
+		dst = binary.AppendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+// appendRLE encodes a column as (runLength uvarint, value zigzag
+// varint) pairs — constant runs of any length cost a handful of bytes.
+func appendRLE(dst []byte, rs []Record, get func(*Record) int64) []byte {
+	for i := 0; i < len(rs); {
+		v := get(&rs[i])
+		j := i + 1
+		for j < len(rs) && get(&rs[j]) == v {
+			j++
+		}
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		dst = binary.AppendUvarint(dst, zigzag(v))
+		i = j
+	}
+	return dst
+}
+
+// appendKinds encodes the kind column as a first-appearance dictionary
+// followed by run-length encoded dictionary indexes.
+func appendKinds(dst []byte, rs []Record, sc *segScratch) []byte {
+	var idx [256]int16
+	for i := range idx {
+		idx[i] = -1
+	}
+	sc.kinds = sc.kinds[:0]
+	for i := range rs {
+		k := byte(rs[i].Kind)
+		if idx[k] < 0 {
+			idx[k] = int16(len(sc.kinds))
+			sc.kinds = append(sc.kinds, k)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(sc.kinds)))
+	dst = append(dst, sc.kinds...)
+	for i := 0; i < len(rs); {
+		k := rs[i].Kind
+		j := i + 1
+		for j < len(rs) && rs[j].Kind == k {
+			j++
+		}
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		dst = append(dst, byte(idx[byte(k)]))
+		i = j
+	}
+	return dst
+}
+
+// timeRange returns the min and max capture time over rs (zeros for an
+// empty run).
+func timeRange(rs []Record) (int64, int64) {
+	if len(rs) == 0 {
+		return 0, 0
+	}
+	minT, maxT := rs[0].Time, rs[0].Time
+	for i := 1; i < len(rs); i++ {
+		if t := rs[i].Time; t < minT {
+			minT = t
+		} else if t > maxT {
+			maxT = t
+		}
+	}
+	return minT, maxT
+}
+
+// collectSources accumulates per-node counts and time spans into dst
+// (reused backing storage), returned sorted by node.
+func collectSources(dst []SourceRange, rs []Record) []SourceRange {
+	for i := range rs {
+		r := &rs[i]
+		found := false
+		for j := range dst {
+			if dst[j].Node == r.Node {
+				dst[j].Count++
+				if r.Time < dst[j].MinTime {
+					dst[j].MinTime = r.Time
+				}
+				if r.Time > dst[j].MaxTime {
+					dst[j].MaxTime = r.Time
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, SourceRange{Node: r.Node, Count: 1, MinTime: r.Time, MaxTime: r.Time})
+		}
+	}
+	slices.SortFunc(dst, func(a, b SourceRange) int { return int(a.Node) - int(b.Node) })
+	return dst
+}
+
+// Segment is a parsed columnar segment: the footer index is decoded,
+// the columns stay lazy until a decode call. The zero value is ready;
+// Parse may be called repeatedly to reuse the index and decode scratch
+// across segments.
+type Segment struct {
+	buf      []byte
+	count    int
+	minTime  int64
+	maxTime  int64
+	sources  []SourceRange
+	colOff   [numColumns + 1]int
+	filtered []Record // reused scratch for filtered decodes
+}
+
+// Parse reads the segment at the start of buf, returning the bytes
+// following it. It validates framing, the footer index and the column
+// checksum; the per-column decode work is deferred to the Append*
+// methods. The Segment aliases buf, which must stay immutable while
+// the Segment is in use.
+func (s *Segment) Parse(buf []byte) ([]byte, error) {
+	if len(buf) < segHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than a header", ErrBadSegment, len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != segMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSegment, m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != segVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSegment, v)
+	}
+	segLen := int(binary.LittleEndian.Uint32(buf[8:]))
+	if segLen < segMinSize || segLen > len(buf) {
+		return nil, fmt.Errorf("%w: segment length %d outside [%d, %d]", ErrBadSegment, segLen, segMinSize, len(buf))
+	}
+	count := int(binary.LittleEndian.Uint32(buf[12:]))
+	b := buf[:segLen]
+
+	if m := binary.LittleEndian.Uint32(b[segLen-4:]); m != segFootMagic {
+		return nil, fmt.Errorf("%w: bad footer magic %#x", ErrBadSegment, m)
+	}
+	footerLen := int(binary.LittleEndian.Uint32(b[segLen-8:]))
+	if footerLen < segFooterBase || footerLen > segLen-segHeaderSize {
+		return nil, fmt.Errorf("%w: footer length %d outside [%d, %d]", ErrBadSegment, footerLen, segFooterBase, segLen-segHeaderSize)
+	}
+	foot := b[segLen-footerLen:]
+	var colOff [numColumns + 1]int
+	for i := 0; i < numColumns; i++ {
+		colOff[i] = int(binary.LittleEndian.Uint32(foot[4*i:]))
+	}
+	colEnd := int(binary.LittleEndian.Uint32(foot[4*numColumns:]))
+	colOff[numColumns] = colEnd
+	if colEnd != segLen-footerLen {
+		return nil, fmt.Errorf("%w: column end %d does not meet footer start %d", ErrBadSegment, colEnd, segLen-footerLen)
+	}
+	prev := segHeaderSize
+	for i := 0; i <= numColumns; i++ {
+		if colOff[i] < prev || colOff[i] > colEnd {
+			return nil, fmt.Errorf("%w: column %d offset %d outside [%d, %d]", ErrBadSegment, i, colOff[i], prev, colEnd)
+		}
+		prev = colOff[i]
+	}
+	if colOff[0] != segHeaderSize {
+		return nil, fmt.Errorf("%w: first column starts at %d, want %d", ErrBadSegment, colOff[0], segHeaderSize)
+	}
+	// Every varint column spends at least one byte per record, so an
+	// absurd count claim is caught before any decode buffer is sized
+	// by it.
+	for _, c := range [...]int{0, 1, 5, 6} {
+		if colOff[c+1]-colOff[c] < count {
+			return nil, fmt.Errorf("%w: column %d has %d bytes for %d records", ErrBadSegment, c, colOff[c+1]-colOff[c], count)
+		}
+	}
+	minTime := int64(binary.LittleEndian.Uint64(foot[32:]))
+	maxTime := int64(binary.LittleEndian.Uint64(foot[40:]))
+	nSources := int(binary.LittleEndian.Uint32(foot[48:]))
+	if footerLen != segFooterBase+segSourceSize*nSources {
+		return nil, fmt.Errorf("%w: footer length %d does not fit %d sources", ErrBadSegment, footerLen, nSources)
+	}
+	sources := s.sources[:0]
+	total := 0
+	prevNode := int64(math.MinInt64)
+	for i := 0; i < nSources; i++ {
+		off := 52 + segSourceSize*i
+		sr := SourceRange{
+			Node:    int32(binary.LittleEndian.Uint32(foot[off:])),
+			Count:   int(binary.LittleEndian.Uint32(foot[off+4:])),
+			MinTime: int64(binary.LittleEndian.Uint64(foot[off+8:])),
+			MaxTime: int64(binary.LittleEndian.Uint64(foot[off+16:])),
+		}
+		if int64(sr.Node) <= prevNode {
+			return nil, fmt.Errorf("%w: source index not strictly ascending at node %d", ErrBadSegment, sr.Node)
+		}
+		prevNode = int64(sr.Node)
+		total += sr.Count
+		sources = append(sources, sr)
+	}
+	if total != count {
+		return nil, fmt.Errorf("%w: source counts sum to %d, segment claims %d records", ErrBadSegment, total, count)
+	}
+	if want := binary.LittleEndian.Uint32(foot[52+segSourceSize*nSources:]); crc32.Checksum(b[segHeaderSize:segLen-12], segCRC) != want {
+		return nil, fmt.Errorf("%w: segment checksum mismatch", ErrBadSegment)
+	}
+
+	s.buf = b
+	s.count = count
+	s.minTime, s.maxTime = minTime, maxTime
+	s.sources = sources
+	s.colOff = colOff
+	return buf[segLen:], nil
+}
+
+// Count returns the number of records in the segment.
+func (s *Segment) Count() int { return s.count }
+
+// Len returns the segment's encoded length in bytes.
+func (s *Segment) Len() int { return len(s.buf) }
+
+// MinTime returns the earliest capture time in the segment.
+func (s *Segment) MinTime() int64 { return s.minTime }
+
+// MaxTime returns the latest capture time in the segment.
+func (s *Segment) MaxTime() int64 { return s.maxTime }
+
+// Sources returns the per-source footer index, sorted by node. The
+// slice is owned by the Segment and valid until the next Parse.
+func (s *Segment) Sources() []SourceRange { return s.sources }
+
+// Overlaps reports whether any record's time could fall in
+// [minT, maxT] — the segment-skipping test for time-range reads.
+func (s *Segment) Overlaps(minT, maxT int64) bool {
+	return s.count > 0 && s.minTime <= maxT && s.maxTime >= minT
+}
+
+// HasSource reports whether the segment holds records from node — the
+// segment-skipping test for per-source reads.
+func (s *Segment) HasSource(node int32) bool {
+	_, ok := slices.BinarySearchFunc(s.sources, node, func(sr SourceRange, n int32) int {
+		return int(sr.Node) - int(n)
+	})
+	return ok
+}
+
+// column returns column i's encoded bytes.
+func (s *Segment) column(i int) []byte { return s.buf[s.colOff[i]:s.colOff[i+1]] }
+
+// AppendRecords decodes every record in the segment, appending to dst.
+// On error dst is returned at its original length. With sufficient
+// capacity in dst the decode performs no allocation.
+func (s *Segment) AppendRecords(dst []Record) ([]Record, error) {
+	base := len(dst)
+	dst = slices.Grow(dst, s.count)[:base+s.count]
+	out := dst[base:]
+
+	if err := s.decodeDoD(0, out, func(r *Record, v int64) { r.Time = v }); err != nil {
+		return dst[:base], err
+	}
+	if err := s.decodeDoD(1, out, func(r *Record, v int64) { r.Logical = uint64(v) }); err != nil {
+		return dst[:base], err
+	}
+	if err := s.decodeRLE(2, out, func(r *Record, v int64) { r.Node = int32(v) }); err != nil {
+		return dst[:base], err
+	}
+	if err := s.decodeRLE(3, out, func(r *Record, v int64) { r.Process = int32(v) }); err != nil {
+		return dst[:base], err
+	}
+	if err := s.decodeKinds(out); err != nil {
+		return dst[:base], err
+	}
+	if err := s.decodeDelta(5, out, func(r *Record, v int64) { r.Tag = uint16(v) }); err != nil {
+		return dst[:base], err
+	}
+	if err := s.decodeDelta(6, out, func(r *Record, v int64) { r.Payload = v }); err != nil {
+		return dst[:base], err
+	}
+	return dst, nil
+}
+
+// AppendRange decodes the records whose capture time falls in
+// [minT, maxT], appending to dst. Segments whose footer excludes the
+// range are skipped without touching the columns.
+func (s *Segment) AppendRange(dst []Record, minT, maxT int64) ([]Record, error) {
+	if !s.Overlaps(minT, maxT) {
+		return dst, nil
+	}
+	var err error
+	s.filtered, err = s.AppendRecords(s.filtered[:0])
+	if err != nil {
+		return dst, err
+	}
+	for _, r := range s.filtered {
+		if r.Time >= minT && r.Time <= maxT {
+			dst = append(dst, r)
+		}
+	}
+	return dst, nil
+}
+
+// AppendSource decodes the records contributed by node, appending to
+// dst. Segments without that source are skipped via the footer index.
+func (s *Segment) AppendSource(dst []Record, node int32) ([]Record, error) {
+	if !s.HasSource(node) {
+		return dst, nil
+	}
+	var err error
+	s.filtered, err = s.AppendRecords(s.filtered[:0])
+	if err != nil {
+		return dst, err
+	}
+	for _, r := range s.filtered {
+		if r.Node == node {
+			dst = append(dst, r)
+		}
+	}
+	return dst, nil
+}
+
+// uvarint reads one varint from col, returning the remaining bytes.
+func uvarint(col []byte, what string) (uint64, []byte, error) {
+	u, n := binary.Uvarint(col)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated or overlong varint in %s column", ErrBadSegment, what)
+	}
+	return u, col[n:], nil
+}
+
+func (s *Segment) decodeDoD(ci int, out []Record, set func(*Record, int64)) error {
+	col := s.column(ci)
+	name := colNames[ci]
+	var prev, prevDelta int64
+	for i := range out {
+		u, rest, err := uvarint(col, name)
+		if err != nil {
+			return err
+		}
+		col = rest
+		delta := prevDelta + unzigzag(u)
+		v := prev + delta
+		set(&out[i], v)
+		prev, prevDelta = v, delta
+	}
+	if len(col) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %s column", ErrBadSegment, len(col), name)
+	}
+	return nil
+}
+
+func (s *Segment) decodeDelta(ci int, out []Record, set func(*Record, int64)) error {
+	col := s.column(ci)
+	name := colNames[ci]
+	var prev int64
+	for i := range out {
+		u, rest, err := uvarint(col, name)
+		if err != nil {
+			return err
+		}
+		col = rest
+		v := prev + unzigzag(u)
+		set(&out[i], v)
+		prev = v
+	}
+	if len(col) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %s column", ErrBadSegment, len(col), name)
+	}
+	return nil
+}
+
+func (s *Segment) decodeRLE(ci int, out []Record, set func(*Record, int64)) error {
+	col := s.column(ci)
+	name := colNames[ci]
+	i := 0
+	for i < len(out) {
+		runLen, rest, err := uvarint(col, name)
+		if err != nil {
+			return err
+		}
+		u, rest, err := uvarint(rest, name)
+		if err != nil {
+			return err
+		}
+		col = rest
+		if runLen == 0 || runLen > uint64(len(out)-i) {
+			return fmt.Errorf("%w: %s run of %d exceeds remaining %d records", ErrBadSegment, name, runLen, len(out)-i)
+		}
+		v := unzigzag(u)
+		for j := 0; j < int(runLen); j++ {
+			set(&out[i+j], v)
+		}
+		i += int(runLen)
+	}
+	if len(col) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %s column", ErrBadSegment, len(col), name)
+	}
+	return nil
+}
+
+func (s *Segment) decodeKinds(out []Record) error {
+	col := s.column(4)
+	dictLen, col, err := uvarint(col, "kind")
+	if err != nil {
+		return err
+	}
+	if dictLen > 256 || dictLen > uint64(len(col)) {
+		return fmt.Errorf("%w: kind dictionary of %d entries in %d bytes", ErrBadSegment, dictLen, len(col))
+	}
+	dict := col[:dictLen]
+	col = col[dictLen:]
+	i := 0
+	for i < len(out) {
+		runLen, rest, err := uvarint(col, "kind")
+		if err != nil {
+			return err
+		}
+		if len(rest) == 0 {
+			return fmt.Errorf("%w: kind run missing dictionary index", ErrBadSegment)
+		}
+		idx := rest[0]
+		col = rest[1:]
+		if runLen == 0 || runLen > uint64(len(out)-i) {
+			return fmt.Errorf("%w: kind run of %d exceeds remaining %d records", ErrBadSegment, runLen, len(out)-i)
+		}
+		if uint64(idx) >= dictLen {
+			return fmt.Errorf("%w: kind dictionary index %d out of %d", ErrBadSegment, idx, dictLen)
+		}
+		k := Kind(dict[idx])
+		for j := 0; j < int(runLen); j++ {
+			out[i+j].Kind = k
+		}
+		i += int(runLen)
+	}
+	if len(col) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in kind column", ErrBadSegment, len(col))
+	}
+	return nil
+}
+
+var colNames = [numColumns]string{"time", "logical", "node", "process", "kind", "tag", "payload"}
+
+// SegmentWriter encodes record runs as consecutive segments on an
+// io.Writer. Each WriteSegment is a single Write of one self-framed
+// segment, so a segment file is an append-only concatenation — and a
+// torn tail is detected by the next reader, not silently decoded.
+// Encode scratch is reused across calls.
+type SegmentWriter struct {
+	w        io.Writer
+	buf      []byte
+	sc       segScratch
+	wrote    int64
+	segments int
+}
+
+// NewSegmentWriter creates a segment writer on w.
+func NewSegmentWriter(w io.Writer) *SegmentWriter {
+	return &SegmentWriter{w: w}
+}
+
+// WriteSegment encodes rs as one segment and writes it, returning the
+// encoded size.
+func (sw *SegmentWriter) WriteSegment(rs []Record) (int, error) {
+	sw.buf = appendSegment(sw.buf[:0], rs, &sw.sc)
+	n, err := sw.w.Write(sw.buf)
+	sw.wrote += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if n != len(sw.buf) {
+		return n, io.ErrShortWrite
+	}
+	sw.segments++
+	return n, nil
+}
+
+// Offset returns the total bytes written — the next segment's start
+// offset.
+func (sw *SegmentWriter) Offset() int64 { return sw.wrote }
+
+// Segments returns the number of segments written.
+func (sw *SegmentWriter) Segments() int { return sw.segments }
+
+// SegmentReader is the bulk decoder over a stream of segments: it
+// frames segments out of an io.Reader, exposes each one's footer index
+// for skipping, and reconstructs records into caller-owned batches
+// with no steady-state allocation (the segment buffer and index
+// scratch are reused across segments).
+type SegmentReader struct {
+	r   io.Reader
+	seg Segment
+	buf []byte
+}
+
+// NewSegmentReader creates a segment reader on r.
+func NewSegmentReader(r io.Reader) *SegmentReader {
+	return &SegmentReader{r: r}
+}
+
+// Next frames and parses the next segment, returning its index view.
+// The returned Segment is reused by the following Next call. It
+// returns io.EOF cleanly at end of stream.
+func (sr *SegmentReader) Next() (*Segment, error) {
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadSegment, err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != segMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSegment, m)
+	}
+	segLen := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if segLen < segMinSize || segLen > MaxSegmentBytes {
+		return nil, fmt.Errorf("%w: segment length %d outside [%d, %d]", ErrBadSegment, segLen, segMinSize, MaxSegmentBytes)
+	}
+	if cap(sr.buf) < segLen {
+		sr.buf = make([]byte, segLen)
+	}
+	buf := sr.buf[:segLen]
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(sr.r, buf[segHeaderSize:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated segment body: %v", ErrBadSegment, err)
+	}
+	if _, err := sr.seg.Parse(buf); err != nil {
+		return nil, err
+	}
+	return &sr.seg, nil
+}
+
+// ReadAll decodes every record from every remaining segment.
+func (sr *SegmentReader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		seg, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out, err = seg.AppendRecords(out)
+		if err != nil {
+			return out, err
+		}
+	}
+}

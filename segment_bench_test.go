@@ -1,0 +1,115 @@
+package prism
+
+// Columnar segment benchmarks: BenchmarkSegmentWrite reports the
+// on-disk density (disk-B/rec) and the compression ratio over the flat
+// 36-byte encoding (ratio/flat) so `make bench` baselines track both;
+// BenchmarkSegmentScan races the columnar bulk decoder against the
+// flat trace.Reader on the same records — the acceptance bar is
+// columnar scan throughput at or above the flat reader's, at zero
+// steady-state allocations.
+
+import (
+	"bytes"
+	"testing"
+
+	"prism/internal/trace"
+)
+
+// segmentBenchWorkload is the pipeline-benchmark spill shape: 4
+// sources flushing 256-record batches round-robin, monotone capture
+// times, per-source capture sequences.
+func segmentBenchWorkload() []trace.Record {
+	var rs []trace.Record
+	seqs := make([]uint64, 4)
+	tm := int64(0)
+	for batch := 0; batch < 32; batch++ {
+		src := batch % 4
+		for j := 0; j < 256; j++ {
+			tm += 120
+			rs = append(rs, trace.Record{
+				Node:    int32(src),
+				Kind:    trace.KindUser,
+				Tag:     uint16(j),
+				Time:    tm,
+				Logical: seqs[src],
+			})
+			seqs[src]++
+		}
+	}
+	return rs
+}
+
+func BenchmarkSegmentWrite(b *testing.B) {
+	rs := segmentBenchWorkload()
+	flat := len(rs) * trace.RecordSize
+	var buf []byte
+	b.ReportAllocs()
+	b.SetBytes(int64(flat))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = trace.AppendSegment(buf[:0], rs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(buf))/float64(len(rs)), "disk-B/rec")
+	b.ReportMetric(float64(flat)/float64(len(buf)), "ratio/flat")
+}
+
+func BenchmarkSegmentScan(b *testing.B) {
+	rs := segmentBenchWorkload()
+	b.Run("columnar", func(b *testing.B) {
+		buf := trace.AppendSegment(nil, rs)
+		var seg trace.Segment
+		dst := make([]trace.Record, 0, len(rs))
+		// Warm the decoder's reusable scratch so the measured loop is
+		// the zero-allocation steady state.
+		if _, err := seg.Parse(buf); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		if dst, err = seg.AppendRecords(dst[:0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(rs) * trace.RecordSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := seg.Parse(buf); err != nil {
+				b.Fatal(err)
+			}
+			if dst, err = seg.AppendRecords(dst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(rs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("flat", func(b *testing.B) {
+		var disk bytes.Buffer
+		w := trace.NewWriter(&disk)
+		if err := w.WriteAll(rs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		data := disk.Bytes()
+		dst := make([]trace.Record, 0, len(rs))
+		b.ReportAllocs()
+		b.SetBytes(int64(len(rs) * trace.RecordSize))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			r := trace.NewReader(bytes.NewReader(data))
+			for {
+				rec, err := r.Read()
+				if err != nil {
+					break
+				}
+				dst = append(dst, rec)
+			}
+			if len(dst) != len(rs) {
+				b.Fatalf("flat scan decoded %d of %d", len(dst), len(rs))
+			}
+		}
+		b.ReportMetric(float64(len(rs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+}
