@@ -6,7 +6,10 @@ BENCHTIME ?= 1s
 # and ISM ingest paths are the ones the sharded merge is supposed to
 # scale, so `make bench` re-runs them at each of these proc counts.
 BENCHCPUS ?= 1,2,4,8
-SWEEPBENCH ?= PipelineThroughput|ISMPipeline
+SWEEPBENCH ?= PipelineThroughput|ISMPipeline|TieredScan|ReplayFirehose
+# staticcheck version the CI workflow pins; keep the local install in
+# sync with `go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)`.
+STATICCHECK_VERSION ?= 2025.1
 SHA := $(shell git rev-parse --short HEAD)
 # benchdiff inputs: baseline file, candidate file, and the ns/op
 # regression percentage that fails the diff.
@@ -14,17 +17,28 @@ BASELINE ?= $(firstword $(sort $(wildcard BENCH_*.json)))
 CANDIDATE ?= BENCH_$(SHA).json
 THRESHOLD ?= 5
 
-.PHONY: check vet build test race bench benchsmoke benchdiff fuzzsmoke fmt
+.PHONY: check vet staticcheck build test race bench benchsmoke benchdiff fuzzsmoke fmt
 
-# check is the tier-1 gate: vet, build, the full test suite under the
-# race detector, a one-iteration compile-and-run pass over every
-# benchmark so a broken benchmark cannot sit undetected until the next
-# `make bench`, and a short fuzz of the columnar segment decoder. Run
-# it before every commit.
-check: vet build race benchsmoke fuzzsmoke
+# check is the tier-1 gate: vet, staticcheck (when installed), build,
+# the full test suite under the race detector, a one-iteration
+# compile-and-run pass over every benchmark so a broken benchmark
+# cannot sit undetected until the next `make bench`, and a short fuzz
+# of the columnar segment decoder. Run it before every commit.
+check: vet staticcheck build race benchsmoke fuzzsmoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH and is skipped with a
+# notice otherwise (offline containers cannot `go install` it); CI
+# always installs the pinned $(STATICCHECK_VERSION), so findings never
+# reach main unchecked either way.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs $(STATICCHECK_VERSION))"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -117,3 +117,16 @@ func TestAggregateMinMeanMax(t *testing.T) {
 		t.Fatalf("count=%d iters=%d", e.Count, e.Iterations)
 	}
 }
+
+func TestFmtRate(t *testing.T) {
+	e := entry{Metrics: map[string]float64{"records/s": 18845880}}
+	if got := fmtRate(e); got != "1.88e+07" {
+		t.Fatalf("fmtRate = %q", got)
+	}
+	if got := fmtRate(entry{}); got != "-" {
+		t.Fatalf("fmtRate without metric = %q", got)
+	}
+	if got := fmtRate(entry{Metrics: map[string]float64{"MB/s": 12}}); got != "-" {
+		t.Fatalf("fmtRate with other metric = %q", got)
+	}
+}

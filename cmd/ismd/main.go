@@ -39,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"prism/internal/isruntime/event"
@@ -51,6 +52,38 @@ import (
 	"prism/internal/report"
 	"prism/internal/trace"
 )
+
+// spillOnlyFlags configure the tiered spill store and mean nothing
+// under any other overflow policy.
+var spillOnlyFlags = map[string]bool{
+	"spill-dir":      true,
+	"spill-hot":      true,
+	"spill-segment":  true,
+	"spill-warm":     true,
+	"compact-budget": true,
+}
+
+// validateOverflowFlags rejects spill-tuning flags that were
+// explicitly set while the overflow policy is not "spill". Accepting
+// them silently would let a deployment that typo'd the policy believe
+// its displaced records were being persisted when they are in fact
+// dropped.
+func validateOverflowFlags(fs *flag.FlagSet, overflow string) error {
+	if overflow == "spill" {
+		return nil
+	}
+	var stray []string
+	fs.Visit(func(f *flag.Flag) {
+		if spillOnlyFlags[f.Name] {
+			stray = append(stray, "-"+f.Name)
+		}
+	})
+	if len(stray) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s: valid only with -overflow spill (policy is %q)",
+		strings.Join(stray, ", "), overflow)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7311", "listen address")
@@ -79,6 +112,9 @@ func main() {
 	}
 	if *mergeRing < 0 || *mergeRing > 1<<20 {
 		log.Fatalf("ismd: -merge-ring must be between 0 and %d, got %d", 1<<20, *mergeRing)
+	}
+	if err := validateOverflowFlags(flag.CommandLine, *overflow); err != nil {
+		log.Fatalf("ismd: %v", err)
 	}
 
 	reg := metrics.NewRegistry()

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// spillFlagSet mirrors the spill-related subset of main's flag
+// definitions; validateOverflowFlags only inspects which flags were
+// explicitly set, so names are all that must stay in sync.
+func spillFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("ismd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.String("overflow", "drop-oldest", "")
+	fs.String("spill-dir", "", "")
+	fs.Int("spill-hot", 1<<14, "")
+	fs.Int("spill-segment", 1<<13, "")
+	fs.Int("spill-warm", 8, "")
+	fs.Int64("compact-budget", 0, "")
+	fs.String("spool", "", "")
+	return fs
+}
+
+// TestValidateOverflowFlags pins the satellite contract: every spill
+// tuning flag is rejected unless -overflow spill selected the tiered
+// store, defaults never trip the check, and the error names the
+// offending flags.
+func TestValidateOverflowFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		overflow string
+		wantErr  []string // substrings; empty means valid
+	}{
+		{name: "defaults", args: nil, overflow: "drop-oldest"},
+		{name: "spill flags with spill policy",
+			args:     []string{"-overflow", "spill", "-spill-dir", "/tmp/x", "-spill-hot", "64", "-compact-budget", "1024"},
+			overflow: "spill"},
+		{name: "spill-dir without spill",
+			args:     []string{"-spill-dir", "/tmp/x"},
+			overflow: "drop-oldest",
+			wantErr:  []string{"-spill-dir", "drop-oldest"}},
+		{name: "every spill flag without spill",
+			args: []string{"-overflow", "block", "-spill-dir", "d", "-spill-hot", "1",
+				"-spill-segment", "2", "-spill-warm", "3", "-compact-budget", "4"},
+			overflow: "block",
+			wantErr:  []string{"-spill-dir", "-spill-hot", "-spill-segment", "-spill-warm", "-compact-budget"}},
+		{name: "unrelated flags stay legal",
+			args:     []string{"-spool", "out.bin"},
+			overflow: "drop-newest"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := spillFlagSet()
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			err := validateOverflowFlags(fs, tc.overflow)
+			if len(tc.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("args %v accepted with -overflow %s", tc.args, tc.overflow)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not name %q", err, want)
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,14 @@
 //	        [-duration 10s] [-seed 1] [-dial-timeout 5s] [-io-timeout 0]
 //	        [-resilient] [-redial-backoff 50ms] [-redial-giveup 30s]
 //	        [-window 256] [-heartbeat 1s]
+//	        [-replay <spool|segfile|segdir>] [-speed 1]
+//
+// With -replay the synthetic workload is skipped entirely: the named
+// capture (a flat spool file, a columnar segment file, or a Tiered
+// segment directory) is re-emitted through per-node buffered LISes
+// over the same wire path, with original timing scaled by -speed
+// (0 = max-speed firehose). The run ends when the capture is
+// exhausted; -duration, -procs, -rate, and -policy are ignored.
 //
 // With -resilient the node survives ISM connection faults: the
 // connection redials with exponential backoff (bounded by
@@ -34,6 +42,7 @@ import (
 	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
 	"prism/internal/rng"
+	"prism/internal/workload"
 )
 
 func main() {
@@ -52,6 +61,8 @@ func main() {
 	redialGiveup := flag.Duration("redial-giveup", 30*time.Second, "with -resilient, give up after this much cumulative downtime in one outage (0 = retry forever)")
 	window := flag.Int("window", 256, "with -resilient, unacked batches retained for replay")
 	heartbeat := flag.Duration("heartbeat", time.Second, "with -resilient, liveness beacon interval (0 disables)")
+	replayPath := flag.String("replay", "", "replay a captured trace (flat spool file, segment file, or tier segment directory) instead of running the synthetic workload")
+	speed := flag.Float64("speed", 1, "with -replay, timing scale: 1 = original pacing, 2 = twice as fast, 0 = max-speed firehose")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
@@ -90,6 +101,39 @@ func main() {
 		conn = c
 	}
 	defer conn.Close()
+
+	if *replayPath != "" {
+		recs, err := workload.LoadCapture(*replayPath)
+		if err != nil {
+			log.Fatalf("lisnode: %v", err)
+		}
+		rs := newReplaySession(conn, *buffer, reg)
+		var shuttingDown atomic.Bool
+		go func() {
+			if err := lis.ControlLoop(conn, rs); err != nil && !shuttingDown.Load() {
+				log.Printf("lisnode: control loop: %v", err)
+			}
+		}()
+		stop := make(chan struct{})
+		if sess != nil && *heartbeat > 0 {
+			go heartbeatLoop(sess, *heartbeat, stop)
+		}
+		log.Printf("lisnode: replaying %d records from %s at speed %g -> %s",
+			len(recs), *replayPath, *speed, *ismAddr)
+		st, err := runReplay(rs, recs, *speed, nil)
+		close(stop)
+		if err != nil {
+			log.Fatalf("lisnode: replay: %v", err)
+		}
+		drainSession(sess, *redialGiveup)
+		shuttingDown.Store(true)
+		lst := rs.Stats()
+		fmt.Printf("replay done: records=%d batches=%d sources=%d wall=%s maxlag=%s\n",
+			st.Records, st.Batches, st.Sources, st.Wall, st.MaxLag)
+		fmt.Printf("lis: captured=%d forwarded=%d flushes=%d dropped=%d\n",
+			lst.Captured, lst.Forwarded, lst.Flushes, lst.Dropped)
+		return
+	}
 
 	var server lis.LIS
 	var err error
@@ -130,18 +174,7 @@ func main() {
 		}
 	}()
 	if sess != nil && *heartbeat > 0 {
-		go func() {
-			tick := time.NewTicker(*heartbeat)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-					_ = sess.Heartbeat()
-				}
-			}
-		}()
+		go heartbeatLoop(sess, *heartbeat, stop)
 	}
 	for p := 0; p < *procs; p++ {
 		sensor := event.NewSensor(int32(*node), int32(p), clock, server)
@@ -179,21 +212,7 @@ func main() {
 	if err := server.Flush(); err != nil {
 		log.Printf("lisnode: final flush: %v", err)
 	}
-	if sess != nil {
-		// Drain the replay window before tearing down: resend whatever
-		// the ISM has not acknowledged (it dedupes), bounded by the
-		// redial give-up budget.
-		deadline := time.Now().Add(*redialGiveup + 5*time.Second)
-		for sess.Pending() > 0 && time.Now().Before(deadline) {
-			_ = sess.Resend()
-			if sess.WaitAcked(time.Second) {
-				break
-			}
-		}
-		if n := sess.Pending(); n > 0 {
-			log.Printf("lisnode: %d batches never acknowledged", n)
-		}
-	}
+	drainSession(sess, *redialGiveup)
 	shuttingDown.Store(true)
 	if err := server.Close(); err != nil {
 		log.Printf("lisnode: close: %v", err)
@@ -207,5 +226,38 @@ func main() {
 	if sess != nil {
 		fmt.Printf("session: acked=%d redials=%g spilled=%d\n",
 			sess.Acked(), snap.Value("tp.redials"), sess.Spilled())
+	}
+}
+
+// heartbeatLoop emits session liveness beacons until stop closes.
+func heartbeatLoop(sess *fault.Session, interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			_ = sess.Heartbeat()
+		}
+	}
+}
+
+// drainSession resends the resilience replay window before teardown:
+// whatever the ISM has not acknowledged goes out again (it dedupes),
+// bounded by the redial give-up budget. No-op without a session.
+func drainSession(sess *fault.Session, giveup time.Duration) {
+	if sess == nil {
+		return
+	}
+	deadline := time.Now().Add(giveup + 5*time.Second)
+	for sess.Pending() > 0 && time.Now().Before(deadline) {
+		_ = sess.Resend()
+		if sess.WaitAcked(time.Second) {
+			break
+		}
+	}
+	if n := sess.Pending(); n > 0 {
+		log.Printf("lisnode: %d batches never acknowledged", n)
 	}
 }

@@ -1,0 +1,135 @@
+package flow
+
+import "sync"
+
+// Reorder is a bounded reorder window between a pool of producers and
+// one consumer: `total` indexed work items, produced out of order by
+// whoever finishes first, consumed strictly in index order. Producers
+// Claim the next index (blocking while the window is full, so a slow
+// item bounds how far ahead the pool may run), do the work unlocked,
+// and Put the result; the consumer's Next blocks until the next
+// in-order result lands. It is the parallel-decode counterpart of the
+// SPSC ring: the ring preserves one producer's order, the window
+// restores order across many.
+type Reorder[T any] struct {
+	mu    sync.Mutex
+	ready sync.Cond // consumer waits: next in-order slot filled, or closed
+	space sync.Cond // producers wait: window has room, or closed
+
+	slots  []reorderSlot[T]
+	total  int
+	window int
+	claim  int // next index handed to a producer
+	emit   int // next index owed to the consumer
+	closed bool
+}
+
+type reorderSlot[T any] struct {
+	v      T
+	filled bool
+}
+
+// NewReorder creates a window of the given width over indexes
+// [0, total).
+func NewReorder[T any](window, total int) *Reorder[T] {
+	if window < 1 {
+		window = 1
+	}
+	if total > 0 && window > total {
+		window = total
+	}
+	r := &Reorder[T]{slots: make([]reorderSlot[T], window), total: total, window: window}
+	r.ready.L = &r.mu
+	r.space.L = &r.mu
+	return r
+}
+
+// Claim hands out the next unclaimed index, blocking while the window
+// is full. ok is false once every index has been claimed or the window
+// is closed.
+func (r *Reorder[T]) Claim() (i int, ok bool) {
+	r.mu.Lock()
+	for !r.closed && r.claim < r.total && r.claim-r.emit >= r.window {
+		r.space.Wait()
+	}
+	if r.closed || r.claim >= r.total {
+		r.mu.Unlock()
+		return 0, false
+	}
+	i = r.claim
+	r.claim++
+	if r.claim == r.total {
+		// The remaining emits signal at most `window` waiters; wake
+		// every parked producer now so each observes exhaustion.
+		r.space.Broadcast()
+	}
+	r.mu.Unlock()
+	return i, true
+}
+
+// Put delivers the result for a claimed index. It reports false when
+// the window was closed first; the caller then still owns v and must
+// dispose of it.
+func (r *Reorder[T]) Put(i int, v T) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	s := &r.slots[i%r.window]
+	s.v, s.filled = v, true
+	r.ready.Signal()
+	r.mu.Unlock()
+	return true
+}
+
+// Next returns results in index order, blocking until the next index
+// arrives. ok is false once all results were emitted or the window is
+// closed.
+func (r *Reorder[T]) Next() (v T, ok bool) {
+	var zero T
+	r.mu.Lock()
+	for {
+		if r.closed || r.emit >= r.total {
+			r.mu.Unlock()
+			return zero, false
+		}
+		s := &r.slots[r.emit%r.window]
+		if s.filled {
+			v = s.v
+			s.v, s.filled = zero, false
+			r.emit++
+			r.space.Signal()
+			r.mu.Unlock()
+			return v, true
+		}
+		r.ready.Wait()
+	}
+}
+
+// Close unblocks every Claim, Put, and Next, and hands each
+// undelivered result to dispose (nil drops them). It is idempotent.
+func (r *Reorder[T]) Close(dispose func(T)) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	var held []T
+	var zero T
+	for i := range r.slots {
+		if r.slots[i].filled {
+			held = append(held, r.slots[i].v)
+			r.slots[i].v, r.slots[i].filled = zero, false
+		}
+	}
+	r.ready.Broadcast()
+	r.space.Broadcast()
+	r.mu.Unlock()
+	if dispose != nil {
+		for _, v := range held {
+			dispose(v)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReorderRestoresOrder drives a pool of producers that complete
+// out of order and asserts the consumer sees strict index order.
+func TestReorderRestoresOrder(t *testing.T) {
+	const total, window, workers = 200, 4, 8
+	r := NewReorder[int](window, total)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i, ok := r.Claim()
+				if !ok {
+					return
+				}
+				// Stagger completion so later indexes often finish
+				// first within the window.
+				time.Sleep(time.Duration((i%window)*100) * time.Microsecond)
+				if !r.Put(i, i*3) {
+					return
+				}
+			}
+		}(w)
+	}
+	for want := 0; want < total; want++ {
+		v, ok := r.Next()
+		if !ok {
+			t.Fatalf("Next exhausted at %d of %d", want, total)
+		}
+		if v != want*3 {
+			t.Fatalf("Next returned %d, want %d", v, want*3)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next after total items should report exhaustion")
+	}
+	wg.Wait()
+}
+
+// TestReorderWindowBounds checks that Claim admits at most `window`
+// indexes past the consumer position.
+func TestReorderWindowBounds(t *testing.T) {
+	r := NewReorder[int](2, 10)
+	for i := 0; i < 2; i++ {
+		j, ok := r.Claim()
+		if !ok || j != i {
+			t.Fatalf("Claim %d = (%d, %v)", i, j, ok)
+		}
+	}
+	claimed := make(chan int, 1)
+	go func() {
+		i, _ := r.Claim()
+		claimed <- i
+	}()
+	select {
+	case i := <-claimed:
+		t.Fatalf("Claim admitted index %d past the window", i)
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.Put(0, 100)
+	if v, ok := r.Next(); !ok || v != 100 {
+		t.Fatalf("Next = (%d, %v), want (100, true)", v, ok)
+	}
+	select {
+	case i := <-claimed:
+		if i != 2 {
+			t.Fatalf("unblocked Claim = %d, want 2", i)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Claim stayed blocked after the window advanced")
+	}
+}
+
+// TestReorderClose asserts Close unblocks everyone and routes
+// undelivered results through dispose.
+func TestReorderClose(t *testing.T) {
+	r := NewReorder[int](4, 100)
+	for i := 0; i < 3; i++ {
+		if _, ok := r.Claim(); !ok {
+			t.Fatal("Claim refused before close")
+		}
+	}
+	r.Put(1, 11) // out-of-order: slot 1 filled, slot 0 pending
+	r.Put(2, 22)
+	nextDone := make(chan bool)
+	go func() {
+		_, ok := r.Next()
+		nextDone <- ok
+	}()
+	var disposed []int
+	r.Close(func(v int) { disposed = append(disposed, v) })
+	if ok := <-nextDone; ok {
+		t.Fatal("Next should observe close")
+	}
+	if len(disposed) != 2 {
+		t.Fatalf("disposed %v, want the two undelivered results", disposed)
+	}
+	if _, ok := r.Claim(); ok {
+		t.Fatal("Claim after close")
+	}
+	if r.Put(0, 0) {
+		t.Fatal("Put after close should report false")
+	}
+	r.Close(nil) // idempotent
+}

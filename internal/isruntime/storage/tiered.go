@@ -91,6 +91,13 @@ type tierSegment struct {
 	maxTime    int64
 	sources    []int32 // distinct nodes, ascending — the file-skip index
 	compacting bool    // claimed by the in-flight compaction round
+
+	// Scan pinning (file mode, guarded by Tiered.mu): pins counts live
+	// scanner snapshots referencing this segment's file;
+	// removeDeferred marks a compaction commit that wanted the file
+	// gone while pinned — the last unpin performs the removal.
+	pins           int
+	removeDeferred bool
 }
 
 // overlaps mirrors trace.Segment.Overlaps at the tier index level.
@@ -442,9 +449,13 @@ func (t *Tiered) compactOnce() bool {
 	}
 	for _, s := range claimed {
 		if s.path != "" {
-			// Readers access files only under the lock, so removing
-			// here cannot race a read.
-			_ = os.Remove(s.path)
+			if s.pins > 0 {
+				// A scanner snapshot is still reading this file; the
+				// last unpin removes it.
+				s.removeDeferred = true
+			} else {
+				_ = os.Remove(s.path)
+			}
 		}
 	}
 	t.publishLocked()
@@ -469,95 +480,26 @@ func (t *Tiered) throttle(n int) {
 }
 
 // ReadAll returns every retained record in append order: cold, then
-// warm, then the hot window.
+// warm, then the hot window. Like every Read*, it is a collector over
+// Scan: the tier lock is held only for the snapshot, never for the
+// decode.
 func (t *Tiered) ReadAll() ([]trace.Record, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]trace.Record, 0, int(t.stats.RecordsStored)+len(t.hot))
-	out, err := t.scanLocked(out,
-		func(*tierSegment) bool { return false },
-		func(seg *trace.Segment, dst []trace.Record) ([]trace.Record, error) {
-			return seg.AppendRecords(dst)
-		})
-	if err != nil {
-		return out, err
-	}
-	return append(out, t.hot...), nil
+	hint := int(t.stats.RecordsStored) + len(t.hot)
+	t.mu.Unlock()
+	return t.collect(FilterAll(), hint)
 }
 
 // ReadRange returns the retained records with capture time in
 // [minT, maxT], skipping segments the footer index excludes.
 func (t *Tiered) ReadRange(minT, maxT int64) ([]trace.Record, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out, err := t.scanLocked(nil,
-		func(ts *tierSegment) bool { return !ts.overlaps(minT, maxT) },
-		func(seg *trace.Segment, dst []trace.Record) ([]trace.Record, error) {
-			return seg.AppendRange(dst, minT, maxT)
-		})
-	if err != nil {
-		return out, err
-	}
-	for _, r := range t.hot {
-		if r.Time >= minT && r.Time <= maxT {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	return t.collect(FilterRange(minT, maxT), 0)
 }
 
 // ReadSource returns the retained records contributed by node,
 // skipping segments whose source index excludes it.
 func (t *Tiered) ReadSource(node int32) ([]trace.Record, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out, err := t.scanLocked(nil,
-		func(ts *tierSegment) bool { return !ts.hasSource(node) },
-		func(seg *trace.Segment, dst []trace.Record) ([]trace.Record, error) {
-			return seg.AppendSource(dst, node)
-		})
-	if err != nil {
-		return out, err
-	}
-	for _, r := range t.hot {
-		if r.Node == node {
-			out = append(out, r)
-		}
-	}
-	return out, nil
-}
-
-// scanLocked walks cold then warm (oldest data first), decoding every
-// segment skip admits.
-func (t *Tiered) scanLocked(dst []trace.Record,
-	skip func(*tierSegment) bool,
-	decode func(*trace.Segment, []trace.Record) ([]trace.Record, error),
-) ([]trace.Record, error) {
-	var seg trace.Segment
-	for _, tier := range [2][]*tierSegment{t.cold, t.warm} {
-		for _, ts := range tier {
-			if skip(ts) {
-				continue
-			}
-			data := ts.data
-			if ts.path != "" {
-				var err error
-				data, err = os.ReadFile(ts.path)
-				if err != nil {
-					return dst, fmt.Errorf("storage: read %s: %w", ts.path, err)
-				}
-			}
-			if _, err := seg.Parse(data); err != nil {
-				return dst, fmt.Errorf("storage: segment %s: %w", ts.path, err)
-			}
-			var err error
-			dst, err = decode(&seg, dst)
-			if err != nil {
-				return dst, fmt.Errorf("storage: segment %s: %w", ts.path, err)
-			}
-		}
-	}
-	return dst, nil
+	return t.collect(FilterSource(node), 0)
 }
 
 // Recent returns a copy of the hot window in arrival order.

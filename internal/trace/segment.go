@@ -76,6 +76,31 @@ var ErrBadSegment = errors.New("trace: bad segment")
 
 var segCRC = crc32.MakeTable(crc32.Castagnoli)
 
+// SegmentHeaderSize is the fixed 16-byte prefix every encoded segment
+// starts with: magic, version, encoded length, record count.
+const SegmentHeaderSize = segHeaderSize
+
+// ParseSegmentHeader validates a segment's fixed header prefix and
+// returns its record count and total encoded length (header through
+// footer). Callers use it to frame segments inside a larger file
+// without touching column bytes; Parse re-validates the full framing.
+func ParseSegmentHeader(hdr []byte) (count, segLen int, err error) {
+	if len(hdr) < SegmentHeaderSize {
+		return 0, 0, fmt.Errorf("%w: %d bytes is shorter than a header", ErrBadSegment, len(hdr))
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != segMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic %#x", ErrBadSegment, m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segVersion {
+		return 0, 0, fmt.Errorf("%w: unsupported version %d", ErrBadSegment, v)
+	}
+	segLen = int(binary.LittleEndian.Uint32(hdr[8:]))
+	if segLen < segMinSize || segLen > MaxSegmentBytes {
+		return 0, 0, fmt.Errorf("%w: segment length %d outside [%d, %d]", ErrBadSegment, segLen, segMinSize, MaxSegmentBytes)
+	}
+	return int(binary.LittleEndian.Uint32(hdr[12:])), segLen, nil
+}
+
 // SourceRange is one per-source entry in a segment's footer index: how
 // many of the segment's records a node contributed and the time span
 // they cover.
@@ -693,12 +718,9 @@ func (sr *SegmentReader) Next() (*Segment, error) {
 		}
 		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadSegment, err)
 	}
-	if m := binary.LittleEndian.Uint32(hdr[0:]); m != segMagic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSegment, m)
-	}
-	segLen := int(binary.LittleEndian.Uint32(hdr[8:]))
-	if segLen < segMinSize || segLen > MaxSegmentBytes {
-		return nil, fmt.Errorf("%w: segment length %d outside [%d, %d]", ErrBadSegment, segLen, segMinSize, MaxSegmentBytes)
+	_, segLen, err := ParseSegmentHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
 	if cap(sr.buf) < segLen {
 		sr.buf = make([]byte, segLen)

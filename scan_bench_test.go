@@ -1,0 +1,179 @@
+// Scan-plane and replay benchmarks: the read side of the tiered store
+// (BenchmarkTieredScan, serial vs parallel decode) and captured-trace
+// replay as a workload generator (BenchmarkReplayFirehose, a fixed
+// causal capture re-emitted at -speed 0 through the LIS→pipe→ISM wire
+// path). Both report records/s — the scan plane is judged by how fast
+// it can re-materialize a spilled trace, the replay path by whether it
+// can saturate the pipeline it feeds.
+package prism
+
+import (
+	"io"
+	"testing"
+
+	"prism/internal/isruntime/event"
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/ism"
+	"prism/internal/isruntime/storage"
+	"prism/internal/isruntime/tp"
+	"prism/internal/trace"
+	"prism/internal/workload"
+)
+
+// scanRecords is the store size each scan op covers; segments of
+// scanSegment records give the decode pool real per-segment work.
+const (
+	scanRecords = 1 << 16
+	scanSegment = 1 << 12
+)
+
+func scanBenchStore(b *testing.B, dir string) *storage.Tiered {
+	b.Helper()
+	ts, err := storage.NewTiered(storage.TieredConfig{
+		HotCapacity:    scanSegment,
+		SegmentRecords: scanSegment,
+		WarmLimit:      1 << 20, // no compaction churn mid-measurement
+		Dir:            dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]trace.Record, scanRecords)
+	for i := range recs {
+		recs[i] = trace.Record{
+			Node:    int32(i % 8),
+			Process: int32(i % 4),
+			Kind:    trace.KindUser,
+			Tag:     uint16(i),
+			Time:    int64(i) * 100,
+			Logical: uint64(i),
+			Payload: int64(i),
+		}
+	}
+	for i := 0; i < len(recs); i += scanSegment {
+		if err := ts.Append(recs[i : i+scanSegment]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ts
+}
+
+// benchScan drains one full scan per op and reports record throughput.
+func benchScan(b *testing.B, ts *storage.Tiered, parallel int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := ts.Scan(storage.FilterAll(), storage.ScanOptions{Parallel: parallel})
+		n := 0
+		for {
+			batch, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += len(batch)
+			flow.PutBatch(batch)
+		}
+		sc.Close()
+		if n != scanRecords {
+			b.Fatalf("scanned %d records, want %d", n, scanRecords)
+		}
+	}
+	b.ReportMetric(float64(b.N)*scanRecords/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkTieredScan reads a 64k-record file-backed store end to end:
+// the serial case decodes on one worker, the parallel case lets the
+// pool track GOMAXPROCS — run with -cpu 1,2,4,8 (the Makefile sweep)
+// to see the decode plane scale.
+func BenchmarkTieredScan(b *testing.B) {
+	ts := scanBenchStore(b, b.TempDir())
+	defer ts.Close()
+	b.Run("serial", func(b *testing.B) { benchScan(b, ts, 1) })
+	b.Run("parallel", func(b *testing.B) { benchScan(b, ts, 0) })
+}
+
+// replayCapture builds the fixed causal trace every replay op
+// re-emits: 8 nodes × 2 processes of user events with contiguous
+// per-source capture sequences, grouped the way Replay chunks runs.
+func replayCapture(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	seqs := map[trace.SourceKey]uint64{}
+	for i := range recs {
+		node := int32((i / 32) % 8) // 32-record same-node runs
+		key := trace.SourceKey{Node: node, Process: int32(i % 2)}
+		recs[i] = trace.Record{
+			Node:    node,
+			Process: key.Process,
+			Kind:    trace.KindUser,
+			Tag:     uint16(i),
+			Time:    int64(i) * 50,
+			Logical: seqs[key],
+			Payload: int64(i),
+		}
+		seqs[key]++
+	}
+	return recs
+}
+
+// BenchmarkReplayFirehose measures wire-speed replay: one op pushes a
+// fixed 16k-record capture through workload.Replay at Speed 0 into an
+// ordered MISO ISM over an in-process pipe — the full capture→LIS→
+// transport→sequence→merge path a `lisnode -replay -speed 0` run
+// exercises.
+func BenchmarkReplayFirehose(b *testing.B) {
+	const replayRecords = 1 << 14
+	capture := replayCapture(replayRecords)
+
+	var clock event.VirtualClock
+	m := ism.New(ism.Config{
+		Buffering: ism.MISO,
+		Ordered:   true,
+		Overflow:  flow.Block,
+		Shards:    2,
+	}, &clock)
+	lisSide, ismSide := tp.Pipe(64)
+	m.Serve(ismSide)
+	defer func() {
+		m.Drain()
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+		lisSide.Close()
+	}()
+
+	// Restamp capture sequences continuously across ops: the manager's
+	// per-source sequencers persist, so a per-op restart at zero would
+	// be dedup-dropped and measure the drop path instead of the merge.
+	seqs := map[trace.SourceKey]uint64{}
+	emit := func(node int32, batch []trace.Record) error {
+		cp := flow.GetBatch(len(batch))
+		cp = append(cp, batch...)
+		for k := range cp {
+			key := trace.SourceKey{Node: cp[k].Node, Process: cp[k].Process}
+			cp[k].Logical = seqs[key]
+			seqs[key]++
+		}
+		return lisSide.Send(tp.PooledDataMessage(node, cp))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := workload.Replay(capture, workload.ReplayConfig{
+			Speed:    0,
+			MaxBatch: 256,
+			Emit:     emit,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Records != replayRecords {
+			b.Fatalf("replayed %d records, want %d", st.Records, replayRecords)
+		}
+		m.Drain()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*replayRecords/b.Elapsed().Seconds(), "records/s")
+}
