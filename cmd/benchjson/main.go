@@ -246,8 +246,9 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 
 // fmtRate renders a benchmark's records/s metric for the compare
 // table. Throughput benchmarks (the scan plane, trace replay, the
-// pipeline) report it via b.ReportMetric; surfacing the pair alongside
-// ns/op keeps domain throughput in the same review glance as timing.
+// pipeline, the relay fan-in) report it via b.ReportMetric; surfacing
+// the pair alongside ns/op keeps domain throughput in the same review
+// glance as timing.
 func fmtRate(e entry) string {
 	if v, ok := e.Metrics["records/s"]; ok {
 		return fmt.Sprintf("%.3g", v)

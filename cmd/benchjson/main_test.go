@@ -130,3 +130,23 @@ func TestFmtRate(t *testing.T) {
 		t.Fatalf("fmtRate with other metric = %q", got)
 	}
 }
+
+func TestCompareCarriesRelayFanInRate(t *testing.T) {
+	// The federation fan-in benchmark reports records/s; a compare row
+	// must carry the metric through on both sides so the merge tier's
+	// throughput shows up next to its timing delta.
+	oldE := bench("BenchmarkRelayFanIn", 8, 60000)
+	oldE.Metrics = map[string]float64{"records/s": 4.2e6}
+	newE := bench("BenchmarkRelayFanIn", 8, 56600)
+	newE.Metrics = map[string]float64{"records/s": 4.52e6}
+	c := compareDocs(document{Benchmarks: []entry{oldE}}, document{Benchmarks: []entry{newE}}, 5)
+	if len(c.rows) != 1 {
+		t.Fatalf("rows %+v", c.rows)
+	}
+	if got := fmtRate(c.rows[0].oldE); got != "4.2e+06" {
+		t.Fatalf("old rate = %q", got)
+	}
+	if got := fmtRate(c.rows[0].newE); got != "4.52e+06" {
+		t.Fatalf("new rate = %q", got)
+	}
+}

@@ -17,6 +17,28 @@
 //	     [-resilient] [-degraded-after 5s] [-shards 1] [-merge-ring 0]
 //	     [-spill-dir d] [-spill-hot 16384] [-spill-segment 8192]
 //	     [-spill-warm 8] [-compact-budget 0]
+//	ismd -relay -downstreams N [-max-stall 0] [-lane-ring 0]
+//	     [-resume-spool trace.bin] [-spool trace.bin] [-addr ...]
+//	ismd -uplink relayaddr [-uplink-node 1] [-uplink-batch 512]
+//	     [-uplink-window 0] [-mark-interval 1s] [-addr ...]
+//
+// The last two forms are the federated tier. -relay runs a root relay
+// manager instead of a leaf ISM: downstream managers connect over the
+// session protocol, each gets its own admission lane, and the relay
+// k-way merges the lane streams into one causally ordered root trace,
+// acknowledging a downstream batch only once every record in it has
+// been merged. -downstreams declares the expected fan-in so the merge
+// holds dispatch until every lane has attached; -resume-spool rebuilds
+// a restarted relay's dedup and causal state from its previous spool
+// (point both it and -spool at the same file for an appending
+// crash-restart). -uplink turns a leaf ISM into a federation
+// downstream: its merged output is batched through a replaying session
+// to the relay at the given address, with watermark beacons every
+// -mark-interval. Uplink leaves run SISO with deferred causal
+// stamping — the relay performs the cross-manager causal merge, and
+// SISO injection is what keeps the leaf's dispatch nondecreasing in
+// capture Time, the watermark contract the relay's merge rests on
+// (-miso is rejected).
 //
 // With -overflow spill, records displaced from the input stage demote
 // into a tiered columnar store (hot in-memory window, warm compressed
@@ -34,6 +56,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -47,6 +70,7 @@ import (
 	"prism/internal/isruntime/flow"
 	"prism/internal/isruntime/ism"
 	"prism/internal/isruntime/metrics"
+	"prism/internal/isruntime/relay"
 	"prism/internal/isruntime/storage"
 	"prism/internal/isruntime/tp"
 	"prism/internal/report"
@@ -85,6 +109,169 @@ func validateOverflowFlags(fs *flag.FlagSet, overflow string) error {
 		strings.Join(stray, ", "), overflow)
 }
 
+// relayOnlyFlags configure the relay merge tier and mean nothing on a
+// leaf ISM.
+var relayOnlyFlags = map[string]bool{
+	"downstreams":  true,
+	"max-stall":    true,
+	"lane-ring":    true,
+	"resume-spool": true,
+}
+
+// uplinkOnlyFlags configure the leaf-to-relay uplink session and mean
+// nothing without -uplink.
+var uplinkOnlyFlags = map[string]bool{
+	"uplink-node":   true,
+	"uplink-batch":  true,
+	"uplink-window": true,
+	"mark-interval": true,
+}
+
+// validateModeFlags rejects federation flags that contradict the
+// selected mode: -relay and -uplink are mutually exclusive roles,
+// relay tuning is rejected on leaves, uplink tuning is rejected
+// without an uplink, and -miso is rejected in both federated roles —
+// a relay has no input stage to buffer, and an uplink leaf must
+// dispatch in nondecreasing capture Time, which only SISO staging
+// preserves (MISO's round-robin pop reorders across sources and would
+// let the leaf's watermark overclaim).
+func validateModeFlags(fs *flag.FlagSet, relayMode bool, uplink string) error {
+	if relayMode && uplink != "" {
+		return errors.New("-relay and -uplink are mutually exclusive: a manager is either the federation's merge tier or a downstream of one")
+	}
+	var stray []string
+	fs.Visit(func(f *flag.Flag) {
+		switch {
+		case !relayMode && relayOnlyFlags[f.Name]:
+			stray = append(stray, "-"+f.Name+" (needs -relay)")
+		case uplink == "" && uplinkOnlyFlags[f.Name]:
+			stray = append(stray, "-"+f.Name+" (needs -uplink)")
+		case f.Name == "miso" && relayMode:
+			stray = append(stray, "-miso (a relay has no input stage)")
+		case f.Name == "miso" && uplink != "":
+			stray = append(stray, "-miso (uplink leaves must dispatch in capture-Time order; only SISO staging preserves it)")
+		}
+	})
+	if len(stray) == 0 {
+		return nil
+	}
+	return errors.New(strings.Join(stray, "; "))
+}
+
+// runRelay is the -relay mode: a root relay manager merging downstream
+// manager sessions into the single causally ordered root trace.
+func runRelay(addr, spool, resumeSpool string, downstreams, laneRing int, maxStall, statsEvery, degradedAfter time.Duration) {
+	reg := metrics.NewRegistry()
+	// A restarted relay re-reads its previous spool: emission counts,
+	// causal-merge state and per-source dedup cursors are rebuilt from
+	// it, so downstream at-least-once replays dedupe record-granularly
+	// instead of duplicating the root trace.
+	var resume []trace.Record
+	resumeBytes := 0
+	if resumeSpool != "" {
+		data, err := os.ReadFile(resumeSpool)
+		if err != nil && !os.IsNotExist(err) {
+			log.Fatalf("ismd: resume spool: %v", err)
+		}
+		resumeBytes = len(data)
+		if len(data) > 0 {
+			resume, err = trace.NewReader(strings.NewReader(string(data))).ReadAllHint(len(data) / trace.RecordSize)
+			if err != nil {
+				log.Fatalf("ismd: resume spool: %v", err)
+			}
+			log.Printf("ismd: resuming from %s (%d records)", resumeSpool, len(resume))
+		}
+	}
+	cfg := relay.Config{
+		Root:        true,
+		Downstreams: downstreams,
+		LaneRing:    laneRing,
+		MaxStall:    maxStall,
+		Resume:      resume,
+		Metrics:     reg,
+	}
+	var spoolFile *os.File
+	if spool != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if spool == resumeSpool {
+			// Same file as the resume source: the previous incarnation's
+			// output is the prefix of this one's, so append, don't
+			// truncate — and when that prefix exists its header already
+			// covers the stream, so the relay must not write another one
+			// mid-file.
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+			cfg.SpoolContinue = resumeBytes > 0
+		}
+		f, err := os.OpenFile(spool, mode, 0o644)
+		if err != nil {
+			log.Fatalf("ismd: %v", err)
+		}
+		defer f.Close()
+		cfg.Spool = f
+		spoolFile = f
+	}
+	rel := relay.New(cfg)
+	ln, err := tp.Listen(addr, tp.WithConnMetrics(reg))
+	if err != nil {
+		log.Fatalf("ismd: %v", err)
+	}
+	log.Printf("ismd: relay listening on %s (downstreams=%d max-stall=%s)", ln.Addr(), downstreams, maxStall)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			log.Printf("ismd: downstream connected")
+			rel.Serve(conn)
+		}
+	}()
+
+	ticker := time.NewTicker(statsEvery)
+	defer ticker.Stop()
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	for {
+		select {
+		case <-ticker.C:
+			st := rel.Stats()
+			log.Printf("ismd: lanes=%d merged=%d held=%d stalls=%d order-breaks=%d marks=%d frontier=%d",
+				st.Lanes, st.Dispatched, st.Held, st.Stalls, st.OrderBreaks, st.Marks, rel.Watermark())
+			if degradedAfter > 0 {
+				if deg := rel.Degraded(degradedAfter); len(deg) > 0 {
+					log.Printf("ismd: degraded downstreams (silent > %s): %v", degradedAfter, deg)
+				}
+			}
+		case <-interrupt:
+			log.Printf("ismd: shutting down")
+			ln.Close()
+			// Bounded drain: an unbounded Drain can never finish when
+			// downstream clocks aren't comparable (one leaf's final mark
+			// trails another leaf's tail) or a downstream died without
+			// sealing. Close's final drain dispatches whatever the
+			// watermark rule still holds, and the unacked batches stay
+			// covered by the downstream replay windows.
+			if !rel.DrainFor(5 * time.Second) {
+				log.Printf("ismd: drain incomplete after 5s (stalled watermarks or silent downstreams); final drain dispatches held records")
+			}
+			if err := rel.Close(); err != nil {
+				log.Printf("ismd: close: %v", err)
+			}
+			st := rel.Stats()
+			fmt.Printf("final: lanes=%d merged=%d resumes=%d stalls=%d order-breaks=%d dup-records=%d partition-rejects=%d marks=%d held=%d session-dups=%d\n",
+				st.Lanes, st.Dispatched, st.Resumes, st.Stalls, st.OrderBreaks,
+				st.DupRecords, st.PartitionRejects, st.Marks, st.Held, st.SessionDups)
+			if err := report.RenderMetrics(os.Stdout, "Relay runtime metrics", reg.Snapshot()); err != nil {
+				log.Printf("ismd: metrics: %v", err)
+			}
+			if spoolFile != nil {
+				fmt.Printf("root trace spooled to %s\n", spoolFile.Name())
+			}
+			return
+		}
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7311", "listen address")
 	spool := flag.String("spool", "", "spool merged trace to this file")
@@ -101,7 +288,29 @@ func main() {
 	degradedAfter := flag.Duration("degraded-after", 5*time.Second, "with -resilient, report nodes silent for longer than this as degraded (0 disables)")
 	shards := flag.Int("shards", 1, "ingest shards; sources hash across per-shard orderer lanes that frontier-merge before dispatch")
 	mergeRing := flag.Int("merge-ring", 0, "per-shard merge ring capacity in batches, rounded up to a power of two (0 means the built-in default)")
+	relayMode := flag.Bool("relay", false, "run a root relay manager: merge downstream manager sessions instead of LIS nodes")
+	downstreams := flag.Int("downstreams", 0, "with -relay, expected downstream managers; the merge holds dispatch until all have attached (0 dispatches as lanes appear)")
+	maxStall := flag.Duration("max-stall", 0, "with -relay, bound the merge wait on a lagging lane's watermark before force-dispatching out of order (0 waits forever)")
+	laneRing := flag.Int("lane-ring", 0, "with -relay, per-downstream hand-off ring capacity in batches (0 means the built-in default)")
+	resumeSpool := flag.String("resume-spool", "", "with -relay, rebuild emission and dedup state from this previous spool before serving")
+	uplink := flag.String("uplink", "", "run as a federation downstream: forward this leaf's merged output to the relay at this address")
+	uplinkNode := flag.Int("uplink-node", 1, "with -uplink, this manager's downstream id on the relay (unique per relay)")
+	uplinkBatch := flag.Int("uplink-batch", 512, "with -uplink, records per uplink flush")
+	uplinkWindow := flag.Int("uplink-window", 0, "with -uplink, session replay window in unacked batches (0 means the session default)")
+	markInterval := flag.Duration("mark-interval", time.Second, "with -uplink, watermark beacon cadence")
 	flag.Parse()
+
+	if err := validateModeFlags(flag.CommandLine, *relayMode, *uplink); err != nil {
+		log.Fatalf("ismd: %v", err)
+	}
+	if *relayMode {
+		const maxDownstreams = 4096
+		if *downstreams < 0 || *downstreams > maxDownstreams {
+			log.Fatalf("ismd: -downstreams must be between 0 and %d, got %d", maxDownstreams, *downstreams)
+		}
+		runRelay(*addr, *spool, *resumeSpool, *downstreams, *laneRing, *maxStall, *statsEvery, *degradedAfter)
+		return
+	}
 
 	// Shard and ring misconfiguration fails fast rather than being
 	// silently clamped: a lane per shard is a real goroutine plus a
@@ -127,6 +336,10 @@ func main() {
 		ResumeSources:     *resilient,
 		Shards:            *shards,
 		MergeRingCapacity: *mergeRing,
+		// A federation downstream defers causal stamping to the relay:
+		// the leaf restamps Logical with contiguous per-source uplink
+		// sequences and the root's causal merge assigns Lamport clocks.
+		DeferCausal: *uplink != "",
 	}
 	if *miso {
 		cfg.Buffering = ism.MISO
@@ -173,6 +386,26 @@ func main() {
 
 	clock := event.NewRealClock()
 	manager := ism.New(cfg, clock)
+	var up *relay.Uplink
+	if *uplink != "" {
+		relayAddr := *uplink
+		rd, err := tp.NewRedial(tp.RedialConfig{
+			Dial:    func() (tp.Conn, error) { return tp.Dial(relayAddr, tp.WithConnMetrics(reg)) },
+			Backoff: 50 * time.Millisecond,
+			Metrics: reg,
+		})
+		if err != nil {
+			log.Fatalf("ismd: %v", err)
+		}
+		up = relay.NewUplink(int32(*uplinkNode), rd, relay.UplinkConfig{
+			BatchSize: *uplinkBatch,
+			Window:    *uplinkWindow,
+			Metrics:   reg,
+		})
+		manager.SubscribeBatch("uplink", up.Push)
+		log.Printf("ismd: uplink to %s as downstream %d (batch=%d mark-interval=%s)",
+			relayAddr, *uplinkNode, *uplinkBatch, *markInterval)
+	}
 	var receiver *fault.Receiver
 	if *resilient {
 		receiver = fault.NewReceiver(fault.ReceiverConfig{
@@ -189,6 +422,25 @@ func main() {
 	// ism.merge_ring_capacity.
 	log.Printf("ismd: shards=%d merge-ring=%d overflow=%s ordered=%v resilient=%v",
 		manager.ShardCount(), manager.MergeRingCap(), *overflow, cfg.Ordered, *resilient)
+
+	stopBeacon := make(chan struct{})
+	if up != nil && *markInterval > 0 {
+		// Watermark beacons let the relay's merge release other lanes'
+		// records past this leaf's quiet periods without waiting for the
+		// next data flush.
+		go func() {
+			t := time.NewTicker(*markInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					up.Beacon()
+				case <-stopBeacon:
+					return
+				}
+			}
+		}()
+	}
 
 	stopPublish := make(chan struct{})
 	if *publish > 0 {
@@ -237,6 +489,24 @@ func main() {
 			manager.Broadcast(tp.CtlShutdown, 0)
 			ln.Close()
 			manager.Drain()
+			if up != nil {
+				// Seal the uplink: flush the tail, promise the relay nothing
+				// older is coming, and drive the replay window empty — an
+				// empty window means every record is merged at the root, not
+				// merely delivered.
+				close(stopBeacon)
+				up.Flush()
+				up.Beacon()
+				deadline := time.Now().Add(5 * time.Second)
+				for up.Pending() > 0 && time.Now().Before(deadline) {
+					_ = up.Resend()
+					up.WaitAcked(100 * time.Millisecond)
+				}
+				fmt.Printf("uplink: unacked-batches=%d\n", up.Pending())
+				if err := up.Close(); err != nil {
+					log.Printf("ismd: uplink close: %v", err)
+				}
+			}
 			if err := manager.Close(); err != nil {
 				log.Printf("ismd: close: %v", err)
 			}

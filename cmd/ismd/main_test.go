@@ -23,6 +23,27 @@ func spillFlagSet() *flag.FlagSet {
 	return fs
 }
 
+// modeFlagSet mirrors the federation-related subset of main's flag
+// definitions for validateModeFlags, which likewise only inspects
+// which flags were explicitly set.
+func modeFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("ismd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Bool("relay", false, "")
+	fs.Int("downstreams", 0, "")
+	fs.Duration("max-stall", 0, "")
+	fs.Int("lane-ring", 0, "")
+	fs.String("resume-spool", "", "")
+	fs.String("uplink", "", "")
+	fs.Int("uplink-node", 1, "")
+	fs.Int("uplink-batch", 512, "")
+	fs.Int("uplink-window", 0, "")
+	fs.Duration("mark-interval", 0, "")
+	fs.Bool("miso", false, "")
+	fs.String("spool", "", "")
+	return fs
+}
+
 // TestValidateOverflowFlags pins the satellite contract: every spill
 // tuning flag is rejected unless -overflow spill selected the tiered
 // store, defaults never trip the check, and the error names the
@@ -66,6 +87,73 @@ func TestValidateOverflowFlags(t *testing.T) {
 			}
 			if err == nil {
 				t.Fatalf("args %v accepted with -overflow %s", tc.args, tc.overflow)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not name %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestValidateModeFlags pins the federation mode contract: -relay and
+// -uplink are mutually exclusive, relay tuning needs -relay, uplink
+// tuning needs -uplink, -miso is rejected in both federated roles, and
+// the error names every offending flag.
+func TestValidateModeFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr []string // substrings; empty means valid
+	}{
+		{name: "plain leaf defaults", args: nil},
+		{name: "relay with its own flags",
+			args: []string{"-relay", "-downstreams", "4", "-max-stall", "2s",
+				"-lane-ring", "64", "-resume-spool", "root.bin"}},
+		{name: "uplink with its own flags",
+			args: []string{"-uplink", "127.0.0.1:7311", "-uplink-node", "3",
+				"-uplink-batch", "256", "-uplink-window", "128", "-mark-interval", "500ms"}},
+		{name: "relay and uplink together",
+			args:    []string{"-relay", "-uplink", "127.0.0.1:7311"},
+			wantErr: []string{"mutually exclusive"}},
+		{name: "relay flags without relay",
+			args:    []string{"-downstreams", "4", "-max-stall", "1s"},
+			wantErr: []string{"-downstreams", "-max-stall", "needs -relay"}},
+		{name: "uplink flags without uplink",
+			args:    []string{"-uplink-node", "3", "-mark-interval", "1s", "-uplink-window", "8", "-uplink-batch", "16"},
+			wantErr: []string{"-uplink-node", "-mark-interval", "-uplink-window", "-uplink-batch", "needs -uplink"}},
+		{name: "miso on a relay",
+			args:    []string{"-relay", "-miso"},
+			wantErr: []string{"-miso", "no input stage"}},
+		{name: "miso on an uplink leaf",
+			args:    []string{"-uplink", "127.0.0.1:7311", "-miso"},
+			wantErr: []string{"-miso", "SISO"}},
+		{name: "miso on a plain leaf stays legal",
+			args: []string{"-miso"}},
+		{name: "unrelated flags stay legal in relay mode",
+			args: []string{"-relay", "-spool", "out.bin"}},
+		{name: "mixed stray flags across both roles",
+			args:    []string{"-lane-ring", "8", "-uplink-batch", "32"},
+			wantErr: []string{"-lane-ring", "needs -relay", "-uplink-batch", "needs -uplink"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := modeFlagSet()
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			relayMode := fs.Lookup("relay").Value.String() == "true"
+			uplink := fs.Lookup("uplink").Value.String()
+			err := validateModeFlags(fs, relayMode, uplink)
+			if len(tc.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
 			}
 			for _, want := range tc.wantErr {
 				if !strings.Contains(err.Error(), want) {

@@ -26,6 +26,11 @@
 // reconnects replay the unacked suffix. Run the manager with
 // `ismd -resilient` so replays are deduplicated. Heartbeats let the
 // ISM flag this node degraded when it falls silent.
+//
+// In a federated deployment, lisnodes keep pointing -ism at their
+// leaf manager; it is the leaf that changes role (`ismd -uplink
+// <relay>`), forwarding its merged output up the tree to an
+// `ismd -relay` root. Nodes never talk to the relay directly.
 package main
 
 import (

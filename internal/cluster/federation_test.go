@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"prism/internal/trace"
+)
+
+func fedTraceBytes(t *testing.T, rs []trace.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if err := w.WriteAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFederationModelPredictsRootTrace is the model's acceptance: the
+// in-process federated deployment's root trace is byte-identical to
+// what Predict derives from the captured records alone.
+func TestFederationModelPredictsRootTrace(t *testing.T) {
+	f, err := NewFederation(FederationConfig{
+		Leaves:       4,
+		NodesPerLeaf: 2,
+		ProcsPerNode: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.RunRing(40, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.Predict()
+	if len(got) != len(want) {
+		t.Fatalf("root trace has %d records, model predicts %d", len(got), len(want))
+	}
+	if !bytes.Equal(fedTraceBytes(t, got), fedTraceBytes(t, want)) {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("divergence at %d: got %+v want %+v", i, got[i], want[i])
+			}
+		}
+		t.Fatal("traces differ")
+	}
+	if err := trace.CheckCausal(got); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Root().Stats()
+	if st.Lanes != 4 || st.OrderBreaks != 0 || st.PartitionRejects != 0 {
+		t.Fatalf("root relay stats = %+v", st)
+	}
+}
+
+// TestFederationSingleLeafMatchesFlatCluster pins the degenerate
+// topology: one leaf behind a relay is still the flat model.
+func TestFederationSingleLeafMatchesFlatCluster(t *testing.T) {
+	f, err := NewFederation(FederationConfig{
+		Leaves:       1,
+		NodesPerLeaf: 3,
+		ProcsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.RunRing(10, 50); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.Predict()
+	if !bytes.Equal(fedTraceBytes(t, got), fedTraceBytes(t, want)) {
+		t.Logf("got %d want %d", len(got), len(want))
+		for i := range want {
+			if i < len(got) && got[i] != want[i] {
+				t.Fatalf("divergence at %d: got %+v want %+v", i, got[i], want[i])
+			}
+		}
+		t.Fatal("single-leaf federation diverges from the flat model")
+	}
+	if err := trace.CheckCausal(got); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -429,3 +429,61 @@ func TestSimulateDeterministicReplay(t *testing.T) {
 		t.Fatal("different seeds produced identical injection traces")
 	}
 }
+
+// TestReceiverAckFrontierOverride: with an AckFrontier hook installed,
+// every ack on the wire (fresh-data cadence, duplicate re-ack, hello
+// reply) carries the hook's value while receipt bookkeeping — dedup,
+// frontier, hole tracking — still runs on the receipt sequence. The
+// OnHello hook must fire before the hello's ack so an adoption-seeded
+// frontier is already visible to the first override call.
+func TestReceiverAckFrontierOverride(t *testing.T) {
+	gated := map[int32]int64{3: 0}
+	var hellos []int64
+	r := NewReceiver(ReceiverConfig{
+		AckFrontier: func(node int32) int64 { return gated[node] },
+		OnHello: func(node int32, acked int64) {
+			hellos = append(hellos, acked)
+			if acked > gated[node] {
+				gated[node] = acked
+			}
+		},
+	})
+	ack := &scriptConn{}
+
+	mk := func(seq int64) tp.Message {
+		m := tp.DataMessage(3, []trace.Record{{Payload: seq}})
+		m.Arg = seq
+		return m
+	}
+	// Fresh batches: receipt frontier advances to 2, but the gated
+	// frontier is still 0 and that is what the wire must carry.
+	r.Filter(ack, mk(1))
+	r.Filter(ack, mk(2))
+	if r.High(3) != 2 {
+		t.Fatalf("receipt frontier = %d, want 2", r.High(3))
+	}
+	for _, m := range ack.sent {
+		if m.Control == tp.CtlAck && m.Arg != 0 {
+			t.Fatalf("ack carried %d, want gated 0", m.Arg)
+		}
+	}
+	// Dispatch catches up: the next ack (a duplicate re-ack) carries it.
+	gated[3] = 2
+	if !r.Filter(ack, mk(1)) {
+		t.Fatal("duplicate must be consumed")
+	}
+	if got := ack.sent[len(ack.sent)-1]; got.Control != tp.CtlAck || got.Arg != 2 {
+		t.Fatalf("dup re-ack = %+v, want gated 2", got)
+	}
+	// Hello after a receiver restart: OnHello sees the sender's acked
+	// frontier before the reply ack is computed.
+	if !r.Filter(ack, tp.ControlMessage(3, tp.CtlHello, 7)) {
+		t.Fatal("hello must be consumed")
+	}
+	if len(hellos) != 1 || hellos[0] != 7 {
+		t.Fatalf("OnHello saw %v, want [7]", hellos)
+	}
+	if got := ack.sent[len(ack.sent)-1]; got.Control != tp.CtlAck || got.Arg != 7 {
+		t.Fatalf("hello reply = %+v, want the adopted gated frontier 7", got)
+	}
+}

@@ -44,6 +44,16 @@ type ReceiverConfig struct {
 	// Metrics, when non-nil, reports dup_batches, gap_batches, hellos
 	// and acks_sent under the session scope.
 	Metrics *metrics.Registry
+	// OnHello, when non-nil, observes every hello with the sender's
+	// acked frontier. A dispatch-gated consumer (the relay tier) uses
+	// it to adopt a reconnecting downstream's frontier into its own
+	// admission and ack state.
+	OnHello func(node int32, acked int64)
+	// AckFrontier, when non-nil, overrides the sequence every ack
+	// carries: instead of the receipt frontier, acknowledgements report
+	// this caller-supplied value — a dispatch-gated frontier that only
+	// advances once delivered batches have actually been consumed.
+	AckFrontier func(node int32) int64
 }
 
 // nodeSession is the per-node sequencing state.
@@ -167,9 +177,12 @@ func (r *Receiver) Filter(conn tp.Conn, m tp.Message) bool {
 			if r.mHellos != nil {
 				r.mHellos.Inc()
 			}
+			if r.cfg.OnHello != nil {
+				r.cfg.OnHello(m.Node, m.Arg)
+			}
 			// Tell the (re)connecting sender where it stands so it can
 			// trim everything we already accepted.
-			r.ack(conn, m.Node, high)
+			r.ack(conn, m.Node, r.ackSeq(m.Node, high))
 			return true
 		case tp.CtlHeartbeat:
 			r.mu.Lock()
@@ -202,7 +215,7 @@ func (r *Receiver) Filter(conn tp.Conn, m tp.Message) bool {
 			r.mDups.Inc()
 		}
 		tp.Recycle(&m)
-		r.ack(conn, m.Node, high)
+		r.ack(conn, m.Node, r.ackSeq(m.Node, high))
 		return true
 	}
 	// Fresh batch. Count any holes it opens above the old frontier;
@@ -231,9 +244,19 @@ func (r *Receiver) Filter(conn tp.Conn, m tp.Message) bool {
 	high := ns.high
 	r.mu.Unlock()
 	if ackNow {
-		r.ack(conn, m.Node, high)
+		r.ack(conn, m.Node, r.ackSeq(m.Node, high))
 	}
 	return false
+}
+
+// ackSeq resolves the sequence to acknowledge: the receipt frontier by
+// default, the AckFrontier override when a dispatch-gated caller
+// installed one.
+func (r *Receiver) ackSeq(node int32, high int64) int64 {
+	if r.cfg.AckFrontier != nil {
+		return r.cfg.AckFrontier(node)
+	}
+	return high
 }
 
 // ack sends a cumulative acknowledgement, ignoring transport errors.

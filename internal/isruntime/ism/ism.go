@@ -102,6 +102,19 @@ type Config struct {
 	// false, records are dispatched in arrival order (a pure
 	// merge-only off-line ISM, as in the PICL Table 1 spec).
 	Ordered bool
+	// DeferCausal keeps the per-shard sequencers (program order per
+	// source is restored exactly as under Ordered) but skips the
+	// cross-source causal merge: dispatched records are restamped with
+	// fresh per-source uplink sequence numbers in Logical (contiguous
+	// from 0 per source) instead of Lamport timestamps. This is the
+	// leaf half of the federated tier — a leaf's sends may pair with
+	// receives captured on other leaves, so send/recv matching must
+	// wait for the root relay; the restamp hands the relay's per-lane
+	// sequencers the same per-source contract the LIS capture sequence
+	// gives this manager, surviving dedup and resume adoption (the
+	// restamped stream is always contiguous even when the input was
+	// not). Ignored unless Ordered.
+	DeferCausal bool
 	// ResumeSources makes the ordered processor adopt a source's
 	// first-seen capture sequence as its start instead of holding for
 	// sequence zero — required when this manager can (re)start against
@@ -280,8 +293,9 @@ type ISM struct {
 }
 
 type subscriber struct {
-	name string
-	fn   func(trace.Record)
+	name  string
+	fn    func(trace.Record)
+	batch func([]trace.Record)
 }
 
 // New creates and starts an ISM. It panics on an invalid overflow
@@ -403,6 +417,11 @@ func (m *ISM) emit(r trace.Record) {
 		m.mu.Unlock()
 	}
 	for _, s := range subs {
+		if s.batch != nil {
+			one := [1]trace.Record{r}
+			s.batch(one[:])
+			continue
+		}
 		s.fn(r)
 	}
 	m.ctr.delivered.Inc()
@@ -416,6 +435,20 @@ func (m *ISM) Subscribe(name string, fn func(trace.Record)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.subs = append(m.subs, subscriber{name: name, fn: fn})
+}
+
+// SubscribeBatch registers a batch-granular tool sink: every dispatched
+// batch is passed to fn as one slice, in dispatch order, on the merger
+// goroutine (or in single-record slices on the dispatcher goroutine
+// when an output buffer is configured). The slice is only valid for
+// the duration of the call — the ISM recycles it into the batch pool
+// afterwards — so sinks that keep records must copy. This is the
+// uplink hook of the federated tier: forwarding a leaf's merged output
+// batch-at-a-time keeps the wire path batch-granular end to end.
+func (m *ISM) SubscribeBatch(name string, fn func([]trace.Record)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, subscriber{name: name, batch: fn})
 }
 
 // Serve reads messages from a LIS connection until EOF, feeding the
@@ -637,9 +670,16 @@ func (m *ISM) emitAll(rs []trace.Record) {
 		_ = spool.WriteAll(rs)
 		m.mu.Unlock()
 	}
+	for _, s := range subs {
+		if s.batch != nil {
+			s.batch(rs)
+		}
+	}
 	for _, r := range rs {
 		for _, s := range subs {
-			s.fn(r)
+			if s.fn != nil {
+				s.fn(r)
+			}
 		}
 	}
 	m.ctr.delivered.Add(uint64(len(rs)))

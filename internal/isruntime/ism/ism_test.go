@@ -577,3 +577,106 @@ func TestCloseFlushesOverflowSpill(t *testing.T) {
 		t.Fatalf("spill holds %d records, stats say %d", len(spill.recs), st.InputSpilled)
 	}
 }
+
+// TestDeferCausalRestampsUplinkSequences: a deferred-causal leaf must
+// repair program order per source (sequencers still run) but emit raw
+// records — no Lamport stamps, receives not matched — restamped with
+// fresh contiguous per-source uplink sequences, even when the inbound
+// capture sequences arrive shuffled and with duplicates.
+func TestDeferCausalRestampsUplinkSequences(t *testing.T) {
+	var clock event.VirtualClock
+	m := New(Config{Buffering: SISO, Ordered: true, DeferCausal: true, Shards: 2}, &clock)
+
+	var mu sync.Mutex
+	var got []trace.Record
+	m.Subscribe("t", func(r trace.Record) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+
+	// Node 5: capture sequences 0..3 injected as 1,0 then a duplicate 1,
+	// then 3,2. A receive whose send lives on another leaf must pass
+	// straight through — matching is the root relay's job.
+	m.Inject(dataMsg(5, seqRec(5, trace.KindUser, 1, 1, 0)))
+	m.Inject(dataMsg(5, seqRec(5, trace.KindUser, 0, 0, 0)))
+	m.Inject(dataMsg(5, seqRec(5, trace.KindUser, 1, 1, 0))) // duplicate
+	m.Inject(dataMsg(5, seqRec(5, trace.KindRecv, 9, 3, 77)))
+	m.Inject(dataMsg(5, seqRec(5, trace.KindUser, 2, 2, 0)))
+	// A second source interleaves; its uplink sequences are independent.
+	m.Inject(dataMsg(6, seqRec(6, trace.KindUser, 0, 0, 0)))
+	m.Drain()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("dispatched %d records, want 5 (dup dropped, recv passed through)", len(got))
+	}
+	next := map[trace.SourceKey]uint64{}
+	var tags5 []uint16
+	for _, r := range got {
+		key := trace.SourceKey{Node: r.Node, Process: r.Process}
+		if r.Logical != next[key] {
+			t.Fatalf("record %v: uplink seq %d, want contiguous %d", r, r.Logical, next[key])
+		}
+		next[key]++
+		if r.Node == 5 {
+			tags5 = append(tags5, r.Tag)
+		}
+	}
+	// Program order per source: capture order 0,1,2,3 → tags 0,1,2,9.
+	for i, tag := range []uint16{0, 1, 2, 9} {
+		if tags5[i] != tag {
+			t.Fatalf("node 5 dispatch order %v, want tags [0 1 2 9]", tags5)
+		}
+	}
+}
+
+// TestSubscribeBatchSeesDispatchBatches: batch sinks receive each
+// dispatched batch as one slice whose contents match the record-
+// granular subscriber stream.
+func TestSubscribeBatchSeesDispatchBatches(t *testing.T) {
+	var clock event.VirtualClock
+	m := New(Config{Buffering: SISO, Ordered: true}, &clock)
+
+	var mu sync.Mutex
+	var single, batched []trace.Record
+	var calls int
+	m.Subscribe("rec", func(r trace.Record) {
+		mu.Lock()
+		single = append(single, r)
+		mu.Unlock()
+	})
+	m.SubscribeBatch("batch", func(rs []trace.Record) {
+		mu.Lock()
+		batched = append(batched, rs...) // must copy: slice is pool-owned
+		calls++
+		mu.Unlock()
+	})
+
+	m.Inject(dataMsg(1,
+		seqRec(1, trace.KindUser, 0, 0, 0),
+		seqRec(1, trace.KindUser, 1, 1, 0),
+		seqRec(1, trace.KindUser, 2, 2, 0)))
+	m.Drain()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("batch sink called %d times, want 1 (one dispatch batch)", calls)
+	}
+	if len(batched) != len(single) {
+		t.Fatalf("batch sink saw %d records, record sink %d", len(batched), len(single))
+	}
+	for i := range single {
+		if batched[i] != single[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, batched[i], single[i])
+		}
+	}
+}

@@ -47,9 +47,15 @@ type merger struct {
 	has   []bool
 	heap  []int32 // lane ids, 4-ary min-heap by heads[id].tick
 
-	cm       *trace.CausalMerger // nil unless Ordered
+	cm       *trace.CausalMerger // nil unless Ordered without DeferCausal
 	orderBuf []trace.Record      // reusable dispatch buffer
 	lastHeld int                 // last held count folded into the gauge
+
+	// uplinkSeq restamps dispatched records with fresh per-source
+	// uplink sequence numbers under Config.DeferCausal: the leaf's
+	// contribution to the cross-manager contract (contiguous per-source
+	// sequences for the relay's lane sequencers).
+	uplinkSeq map[trace.SourceKey]uint64
 
 	stalledOn int  // lane blocking the last step, -1 if none
 	retry     bool // a slot landed mid-step; re-step instead of parking
@@ -79,7 +85,11 @@ func newMerger(m *ISM) *merger {
 		done:      make(chan struct{}),
 	}
 	if m.cfg.Ordered {
-		g.cm = trace.NewCausalMerger()
+		if m.cfg.DeferCausal {
+			g.uplinkSeq = make(map[trace.SourceKey]uint64)
+		} else {
+			g.cm = trace.NewCausalMerger()
+		}
 	}
 	s := m.ctr.reg.Scope("ism").Scope("merge")
 	g.slots = s.Counter("slots")
@@ -238,6 +248,17 @@ func (g *merger) dispatch(slot mergeSlot) {
 	n := uint64(len(slot.recs))
 	g.slots.Inc()
 	if g.cm == nil {
+		if g.uplinkSeq != nil {
+			// Deferred causal mode: the record leaves this manager in
+			// program order with a fresh per-source uplink sequence in
+			// Logical — contiguous even when the inbound capture
+			// sequence stream was not (dedup, resume adoption).
+			for i := range slot.recs {
+				key := trace.SourceKey{Node: slot.recs[i].Node, Process: slot.recs[i].Process}
+				slot.recs[i].Logical = g.uplinkSeq[key]
+				g.uplinkSeq[key]++
+			}
+		}
 		m.ctr.latency.Observe(m.clock.Now() - slot.arrival)
 		m.ctr.dispatched.Add(n)
 		m.emitAll(slot.recs)

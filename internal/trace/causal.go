@@ -94,6 +94,20 @@ func (s *Sequencer) Sequenced() uint64 { return s.sequenced }
 // prefix to dedup. Sources already seen are unaffected.
 func (s *Sequencer) Resume() { s.resume = true }
 
+// SetNext seeds a source's program-order cursor: the next fresh record
+// accepted from the source must carry exactly seq, and anything below
+// it is dropped as a duplicate. It is the record-granular restore hook
+// for a manager rebuilt from its own durable output — a relay that
+// re-reads its spool knows exactly how many records of each source it
+// already emitted, and seeding the cursor there makes a sender's
+// at-least-once replay (which resends whole unacked batches, including
+// the already-emitted prefix of a partially dispatched one) dedupe by
+// sequence match instead of re-delivering. Call before the source's
+// records arrive; it overrides any Resume adoption for the key.
+func (s *Sequencer) SetNext(key SourceKey, seq uint64) {
+	s.nextSeq[key] = seq
+}
+
 // AddTo offers a record with its per-source capture sequence number
 // (0-based, contiguous per source) and appends every record that
 // became releasable — the record itself plus any held successors it
@@ -215,6 +229,33 @@ func (m *CausalMerger) hold() {
 	m.heldCount++
 	if m.heldCount > m.maxHeld {
 		m.maxHeld = m.heldCount
+	}
+}
+
+// Observe replays one already-dispatched record back into the merger's
+// bookkeeping without re-emitting it: the Lamport clock adopts the
+// record's stamp, and send/recv matching state is rebuilt exactly as
+// the original dispatch left it (a send deposits a match, a receive
+// consumes one). Feeding a previously emitted trace through Observe in
+// order therefore reconstructs the merger a crash destroyed — the
+// restart hook a relay uses to resume from its spooled root trace with
+// Lamport continuity and without double-matching receives against
+// sends that were consumed before the crash.
+func (m *CausalMerger) Observe(rec Record) {
+	if rec.Logical > m.clock {
+		m.clock = rec.Logical
+	}
+	m.dispatched++
+	switch rec.Kind {
+	case KindSend:
+		m.sendSeen[msgKey{from: rec.Node, to: int32(rec.Payload), tag: rec.Tag}]++
+	case KindRecv:
+		mk := msgKey{from: int32(rec.Payload), to: rec.Node, tag: rec.Tag}
+		// A causally valid trace never emits a receive before its send,
+		// so the guard only matters for hand-built inputs.
+		if m.sendSeen[mk] > 0 {
+			m.sendSeen[mk]--
+		}
 	}
 }
 

@@ -343,3 +343,103 @@ func TestCausalMergerDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSequencerSetNextRestoresCursor pins the spool-restore contract:
+// a seeded cursor drops the replayed prefix by sequence match and
+// releases exactly the unseen suffix, in order.
+func TestSequencerSetNextRestoresCursor(t *testing.T) {
+	s := NewSequencer()
+	key := SourceKey{Node: 7, Process: 0}
+	s.SetNext(key, 3)
+	var got []Record
+	// An at-least-once replay resends the whole batch: sequences 1..5,
+	// of which 1 and 2 were already emitted before the crash.
+	for seq := uint64(1); seq <= 5; seq++ {
+		got = s.AddTo(got, Record{Node: 7, Tag: uint16(seq)}, seq)
+	}
+	if len(got) != 3 {
+		t.Fatalf("released %d records, want 3 (the unseen suffix)", len(got))
+	}
+	for i, r := range got {
+		if r.Tag != uint16(3+i) {
+			t.Fatalf("release %d has tag %d, want %d", i, r.Tag, 3+i)
+		}
+	}
+	if held := s.Held(); held != 0 {
+		t.Fatalf("%d records held after contiguous replay", held)
+	}
+}
+
+// TestSequencerSetNextOverridesResume: an explicitly seeded cursor must
+// win over Resume's first-seen adoption, or a restore followed by a
+// replay starting mid-batch would adopt the wrong start and emit
+// duplicates.
+func TestSequencerSetNextOverridesResume(t *testing.T) {
+	s := NewSequencer()
+	s.Resume()
+	key := SourceKey{Node: 1, Process: 2}
+	s.SetNext(key, 4)
+	var got []Record
+	got = s.AddTo(got, Record{Node: 1, Process: 2, Tag: 2}, 2) // replayed duplicate
+	if len(got) != 0 {
+		t.Fatalf("duplicate below the seeded cursor released: %v", got)
+	}
+	got = s.AddTo(got, Record{Node: 1, Process: 2, Tag: 4}, 4)
+	if len(got) != 1 || got[0].Tag != 4 {
+		t.Fatalf("seeded cursor record not released: %v", got)
+	}
+}
+
+// TestCausalMergerObserveRestores replays an emitted trace prefix into
+// a fresh merger and checks the restored state behaves exactly like
+// the original: the Lamport clock continues past the prefix, an
+// observed-but-unconsumed send still satisfies a late receive, and a
+// consumed send does not double-match.
+func TestCausalMergerObserveRestores(t *testing.T) {
+	send := func(node, peer int32, tag uint16) Record {
+		return Record{Node: node, Kind: KindSend, Tag: tag, Payload: int64(peer)}
+	}
+	recv := func(node, peer int32, tag uint16) Record {
+		return Record{Node: node, Kind: KindRecv, Tag: tag, Payload: int64(peer)}
+	}
+	live := NewCausalMerger()
+	var prefix []Record
+	prefix = live.AddTo(prefix, send(1, 2, 10)) // consumed by the recv below
+	prefix = live.AddTo(prefix, recv(2, 1, 10))
+	prefix = live.AddTo(prefix, send(1, 3, 11)) // still unconsumed at "crash"
+
+	restored := NewCausalMerger()
+	for _, r := range prefix {
+		restored.Observe(r)
+	}
+	if restored.Clock() != live.Clock() {
+		t.Fatalf("restored clock %d, live clock %d", restored.Clock(), live.Clock())
+	}
+	if restored.Dispatched() != uint64(len(prefix)) {
+		t.Fatalf("restored dispatched %d, want %d", restored.Dispatched(), len(prefix))
+	}
+
+	// Both mergers must now treat the continuation identically.
+	cont := []Record{recv(3, 1, 11), recv(2, 1, 10)}
+	var gotLive, gotRest []Record
+	for _, r := range cont {
+		gotLive = live.AddTo(gotLive, r)
+		gotRest = restored.AddTo(gotRest, r)
+	}
+	if len(gotRest) != len(gotLive) {
+		t.Fatalf("restored released %d, live released %d", len(gotRest), len(gotLive))
+	}
+	for i := range gotLive {
+		if gotRest[i] != gotLive[i] {
+			t.Fatalf("restored diverges at %d: %v vs %v", i, gotRest[i], gotLive[i])
+		}
+	}
+	// The tag-10 send was consumed before the crash, so its replayed
+	// receive must park, not dispatch.
+	if len(gotRest) != 1 || gotRest[0].Tag != 11 {
+		t.Fatalf("consumed send double-matched: released %v", gotRest)
+	}
+	if restored.Held() != 1 {
+		t.Fatalf("restored held %d, want the parked tag-10 receive", restored.Held())
+	}
+}

@@ -47,6 +47,17 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriter(w)}
 }
 
+// NewAppendWriter creates a Writer that continues an existing trace
+// stream: no header is emitted, because the stream's original header
+// already covers the appended records. Use it when w is positioned at
+// the end of a file a previous Writer started — writing a fresh header
+// there would corrupt the stream for every subsequent reader.
+func NewAppendWriter(w io.Writer) *Writer {
+	tw := NewWriter(w)
+	tw.started = true
+	return tw
+}
+
 func (tw *Writer) writeHeader() error {
 	if tw.started {
 		return nil

@@ -47,6 +47,44 @@ func TestBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendWriterContinuesStream covers the restart path: a second
+// Writer appending to a stream the first one started must not emit a
+// second header mid-file (a reader would misparse it as record bytes),
+// and the combined stream must read back as one trace.
+func TestAppendWriterContinuesStream(t *testing.T) {
+	var buf bytes.Buffer
+	rs := sampleRecords()
+	w := NewWriter(&buf)
+	if err := w.WriteAll(rs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	aw := NewAppendWriter(&buf)
+	if err := aw.WriteAll(rs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 + len(rs)*RecordSize; buf.Len() != want {
+		t.Fatalf("stream is %d bytes, want %d (one header)", buf.Len(), want)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("read %d records, want %d", len(got), len(rs))
+	}
+	for i := range rs {
+		if got[i] != rs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], rs[i])
+		}
+	}
+}
+
 func TestBinaryRoundTripProperty(t *testing.T) {
 	st := rng.New(55)
 	check := func() bool {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -241,5 +242,64 @@ func TestLoadCapture(t *testing.T) {
 
 	if _, err := LoadCapture(filepath.Join(dir, "missing")); err == nil {
 		t.Fatal("missing capture accepted")
+	}
+}
+
+// TestLoadCaptureEmptyTierDir pins the empty-directory contract: a
+// tier directory with no segments is a configuration error, reported
+// as such — not an empty (and silently useless) capture.
+func TestLoadCaptureEmptyTierDir(t *testing.T) {
+	recs, err := LoadCapture(t.TempDir())
+	if err == nil {
+		t.Fatalf("empty tier dir accepted, returned %d records", len(recs))
+	}
+	if !strings.Contains(err.Error(), ".seg") {
+		t.Fatalf("error %q does not point at the missing .seg files", err)
+	}
+}
+
+// TestLoadCaptureMixedTierDir checks a tier directory shared with
+// foreign files (compaction temp files, editor droppings, stray
+// spools): only *.seg files are read, everything else is skipped, and
+// the loaded records match the segments exactly.
+func TestLoadCaptureMixedTierDir(t *testing.T) {
+	dir := t.TempDir()
+	recs := replayRecs(200)
+	writeSeg := func(name string, rs []trace.Record) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := trace.NewSegmentWriter(f)
+		if _, err := sw.WriteSegment(rs); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSeg("warm-000001.seg", recs[:100])
+	writeSeg("warm-000002.seg", recs[100:])
+	for name, body := range map[string]string{
+		"README.txt":          "not a segment",
+		"warm-000003.seg.tmp": "half-written compaction output",
+		"trace.spool":         "raw spool bytes",
+		".hidden":             "",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadCapture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
 	}
 }

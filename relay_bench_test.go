@@ -1,0 +1,93 @@
+// Federated fan-in benchmark: N uplink sessions feed a root relay
+// over in-process pipes and the relay k-way merges the lane streams
+// into one causally ordered root trace. This is the federation tier's
+// throughput number — records/sec through the uplink batch → session →
+// lane admission → watermark merge → causal dispatch path.
+package prism
+
+import (
+	"sync"
+	"testing"
+
+	"prism/internal/isruntime/flow"
+	"prism/internal/isruntime/relay"
+	"prism/internal/isruntime/tp"
+	"prism/internal/trace"
+)
+
+// relayLanes is the relay's downstream fan-in, and relayBatch the
+// records per uplink flush — sized like a leaf manager's dispatch
+// batch.
+const (
+	relayLanes = 4
+	relayBatch = 256
+)
+
+// BenchmarkRelayFanIn drives b.N batches round-robin across relayLanes
+// uplinks into a root relay and waits for every record to be merged.
+// Capture Times interleave globally across lanes, so the merge is
+// doing real frontier work, not lane-at-a-time pass-through. One op =
+// one batch of relayBatch records.
+func BenchmarkRelayFanIn(b *testing.B) {
+	r := relay.New(relay.Config{Root: true, Downstreams: relayLanes})
+	var delivered uint64
+	r.SubscribeBatch("count", func(rs []trace.Record) { delivered += uint64(len(rs)) })
+
+	ups := make([]*relay.Uplink, relayLanes)
+	for i := range ups {
+		lisSide, ismSide := tp.Pipe(64)
+		r.Serve(ismSide)
+		ups[i] = relay.NewUplink(int32(100+i), lisSide, relay.UplinkConfig{
+			BatchSize: relayBatch,
+			Window:    1024,
+		})
+	}
+
+	seqs := make([]uint64, relayLanes)
+	var now int64
+	b.ReportAllocs()
+	b.SetBytes(int64(relayBatch * trace.RecordSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane := i % relayLanes
+		batch := flow.GetBatch(relayBatch)
+		for j := 0; j < relayBatch; j++ {
+			now++
+			batch = append(batch, trace.Record{
+				Node:    int32(lane),
+				Kind:    trace.KindUser,
+				Time:    now,
+				Payload: now,
+				Logical: seqs[lane],
+			})
+			seqs[lane]++
+		}
+		ups[lane].Push(batch)
+		flow.PutBatch(batch)
+	}
+	// Seal every lane so the merge can release the Time-tails the
+	// other lanes' watermarks were holding, then drain end to end.
+	for _, up := range ups {
+		up.Flush()
+		up.Mark(now + 1)
+	}
+	r.Drain()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*relayBatch/b.Elapsed().Seconds(), "records/s")
+
+	var wg sync.WaitGroup
+	for _, up := range ups {
+		wg.Add(1)
+		go func(u *relay.Uplink) {
+			defer wg.Done()
+			u.Close()
+		}(up)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if delivered == 0 && b.N > 0 {
+		b.Fatal("no records merged")
+	}
+}
