@@ -66,11 +66,13 @@ benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='$(SWEEPBENCH)' -benchtime=1x -cpu 4 .
 
-# fuzzsmoke gives the segment decoder's fuzz target a short budget:
-# enough to catch a decode regression on the corpus plus fresh
-# mutations, cheap enough to sit inside the tier-1 gate.
+# fuzzsmoke gives the decoder fuzz targets a short budget: enough to
+# catch a decode regression on the corpus plus fresh mutations, cheap
+# enough to sit inside the tier-1 gate. Both ends of the columnar
+# codec's life are covered: segment files and wire frames.
 fuzzsmoke:
 	$(GO) test -run=NONE -fuzz='FuzzSegmentDecode' -fuzztime=10s ./internal/trace
+	$(GO) test -run=NONE -fuzz='FuzzColumnarFrameDecode' -fuzztime=10s ./internal/isruntime/tp
 
 # benchdiff compares two committed baselines and fails on ns/op
 # regressions past THRESHOLD percent:

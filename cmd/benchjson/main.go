@@ -207,24 +207,24 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 
 	c := compareDocs(oldDoc, newDoc, threshold)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "benchmark\tprocs\tns/op old\tns/op new\tΔ%%\trec/s old\trec/s new\tB/op old\tB/op new\tallocs old\tallocs new\t\n")
+	fmt.Fprintf(w, "benchmark\tprocs\tns/op old\tns/op new\tΔ%%\trec/s old\trec/s new\twire-B/rec old\twire-B/rec new\tB/op old\tB/op new\tallocs old\tallocs new\t\n")
 	for _, r := range c.rows {
 		mark := ""
 		if r.regression {
 			mark = " !"
 		}
-		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%+.1f%s\t%s\t%s\t%d\t%d\t%d\t%d\t\n",
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%+.1f%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t\n",
 			r.newE.Name, r.newE.Procs, r.oldE.NsPerOpMin, r.newE.NsPerOpMin, r.delta, mark,
-			fmtRate(r.oldE), fmtRate(r.newE),
+			fmtRate(r.oldE), fmtRate(r.newE), fmtWire(r.oldE), fmtWire(r.newE),
 			r.oldE.BytesPerOp, r.newE.BytesPerOp, r.oldE.AllocsPerOp, r.newE.AllocsPerOp)
 	}
 	for _, n := range c.added {
-		fmt.Fprintf(w, "%s\t%d\t-\t%.0f\tnew\t-\t%s\t-\t%d\t-\t%d\t\n",
-			n.Name, n.Procs, n.NsPerOpMin, fmtRate(n), n.BytesPerOp, n.AllocsPerOp)
+		fmt.Fprintf(w, "%s\t%d\t-\t%.0f\tnew\t-\t%s\t-\t%s\t-\t%d\t-\t%d\t\n",
+			n.Name, n.Procs, n.NsPerOpMin, fmtRate(n), fmtWire(n), n.BytesPerOp, n.AllocsPerOp)
 	}
 	for _, o := range c.removed {
-		fmt.Fprintf(w, "%s\t%d\t%.0f\t-\tgone\t%s\t-\t%d\t-\t%d\t-\t\n",
-			o.Name, o.Procs, o.NsPerOpMin, fmtRate(o), o.BytesPerOp, o.AllocsPerOp)
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t-\tgone\t%s\t-\t%s\t-\t%d\t-\t%d\t-\t\n",
+			o.Name, o.Procs, o.NsPerOpMin, fmtRate(o), fmtWire(o), o.BytesPerOp, o.AllocsPerOp)
 	}
 	w.Flush()
 	if len(c.added) > 0 || len(c.removed) > 0 {
@@ -252,6 +252,17 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 func fmtRate(e entry) string {
 	if v, ok := e.Metrics["records/s"]; ok {
 		return fmt.Sprintf("%.3g", v)
+	}
+	return "-"
+}
+
+// fmtWire renders a benchmark's wire-B/rec metric — the achieved wire
+// cost per record the transport benchmarks report. Tracking it in the
+// compare table keeps the framing efficiency (columnar vs flat) under
+// the same regression review as timing.
+func fmtWire(e entry) string {
+	if v, ok := e.Metrics["wire-B/rec"]; ok {
+		return fmt.Sprintf("%.2f", v)
 	}
 	return "-"
 }

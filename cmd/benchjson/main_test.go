@@ -131,6 +131,40 @@ func TestFmtRate(t *testing.T) {
 	}
 }
 
+func TestFmtWire(t *testing.T) {
+	e := entry{Metrics: map[string]float64{"wire-B/rec": 4.166}}
+	if got := fmtWire(e); got != "4.17" {
+		t.Fatalf("fmtWire = %q", got)
+	}
+	if got := fmtWire(entry{}); got != "-" {
+		t.Fatalf("fmtWire without metric = %q", got)
+	}
+	if got := fmtWire(entry{Metrics: map[string]float64{"records/s": 7e6}}); got != "-" {
+		t.Fatalf("fmtWire with other metric = %q", got)
+	}
+}
+
+func TestCompareCarriesWireBytes(t *testing.T) {
+	// The transport benchmarks report the achieved wire bytes per
+	// record; a compare row must carry the metric through on both sides
+	// so a framing efficiency regression (columnar falling back to
+	// flat, a header growing) is visible next to its timing delta.
+	oldE := bench("BenchmarkPipelineThroughput/tcp", 8, 37000)
+	oldE.Metrics = map[string]float64{"wire-B/rec": 36.07}
+	newE := bench("BenchmarkPipelineThroughput/tcp", 8, 34000)
+	newE.Metrics = map[string]float64{"wire-B/rec": 4.166}
+	c := compareDocs(document{Benchmarks: []entry{oldE}}, document{Benchmarks: []entry{newE}}, 5)
+	if len(c.rows) != 1 {
+		t.Fatalf("rows %+v", c.rows)
+	}
+	if got := fmtWire(c.rows[0].oldE); got != "36.07" {
+		t.Fatalf("old wire = %q", got)
+	}
+	if got := fmtWire(c.rows[0].newE); got != "4.17" {
+		t.Fatalf("new wire = %q", got)
+	}
+}
+
 func TestCompareCarriesRelayFanInRate(t *testing.T) {
 	// The federation fan-in benchmark reports records/s; a compare row
 	// must carry the metric through on both sides so the merge tier's

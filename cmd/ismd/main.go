@@ -16,7 +16,7 @@
 //	     [-overflow drop-oldest|block|drop-newest|spill] [-publish 0]
 //	     [-resilient] [-degraded-after 5s] [-shards 1] [-merge-ring 0]
 //	     [-spill-dir d] [-spill-hot 16384] [-spill-segment 8192]
-//	     [-spill-warm 8] [-compact-budget 0]
+//	     [-spill-warm 8] [-compact-budget 0] [-wire columnar|flat]
 //	ismd -relay -downstreams N [-max-stall 0] [-lane-ring 0]
 //	     [-resume-spool trace.bin] [-spool trace.bin] [-addr ...]
 //	ismd -uplink relayaddr [-uplink-node 1] [-uplink-batch 512]
@@ -46,6 +46,14 @@
 // dropped; -spill-dir persists the segments as files, and
 // -compact-budget bounds the compactor's I/O rate so compaction cannot
 // starve the ingest path's disk bandwidth.
+//
+// -wire selects the data-batch framing on every listener and uplink
+// connection. The default, columnar, negotiates per peer: connections
+// advertise the capability and batches travel as column-encoded frames
+// (the segment codec on the wire, several times smaller than flat
+// record arrays) only when both ends support it, so mixed-version
+// deployments interoperate. -wire flat disables the advertisement and
+// forces the fixed-width record framing everywhere.
 //
 // With -resilient the manager runs the session protocol in front of
 // the input stage: sequenced batches from resilient LIS nodes (see
@@ -158,9 +166,34 @@ func validateModeFlags(fs *flag.FlagSet, relayMode bool, uplink string) error {
 	return errors.New(strings.Join(stray, "; "))
 }
 
+// wireStatLines renders the shutdown wire-volume summary from the
+// transport counters: absolute bytes each way and the per-record wire
+// cost actually achieved, the figure that shows whether columnar
+// framing engaged. Directions with no traffic are omitted.
+func wireStatLines(snap metrics.Snapshot) []string {
+	var out []string
+	line := func(dir string, b, r float64) {
+		switch {
+		case r > 0:
+			out = append(out, fmt.Sprintf("wire %s: %.0f B, %.0f records, %.2f B/rec", dir, b, r, b/r))
+		case b > 0:
+			out = append(out, fmt.Sprintf("wire %s: %.0f B (control only)", dir, b))
+		}
+	}
+	line("tx", snap.Value("tp.bytes_tx"), snap.Value("tp.recs_tx"))
+	line("rx", snap.Value("tp.bytes_rx"), snap.Value("tp.recs_rx"))
+	return out
+}
+
+func printWireStats(snap metrics.Snapshot) {
+	for _, l := range wireStatLines(snap) {
+		fmt.Println(l)
+	}
+}
+
 // runRelay is the -relay mode: a root relay manager merging downstream
 // manager sessions into the single causally ordered root trace.
-func runRelay(addr, spool, resumeSpool string, downstreams, laneRing int, maxStall, statsEvery, degradedAfter time.Duration) {
+func runRelay(addr, spool, resumeSpool string, downstreams, laneRing int, maxStall, statsEvery, degradedAfter time.Duration, wire tp.WireMode) {
 	reg := metrics.NewRegistry()
 	// A restarted relay re-reads its previous spool: emission counts,
 	// causal-merge state and per-source dedup cursors are rebuilt from
@@ -211,7 +244,7 @@ func runRelay(addr, spool, resumeSpool string, downstreams, laneRing int, maxSta
 		spoolFile = f
 	}
 	rel := relay.New(cfg)
-	ln, err := tp.Listen(addr, tp.WithConnMetrics(reg))
+	ln, err := tp.Listen(addr, tp.WithConnMetrics(reg), tp.WithWireMode(wire))
 	if err != nil {
 		log.Fatalf("ismd: %v", err)
 	}
@@ -261,7 +294,9 @@ func runRelay(addr, spool, resumeSpool string, downstreams, laneRing int, maxSta
 			fmt.Printf("final: lanes=%d merged=%d resumes=%d stalls=%d order-breaks=%d dup-records=%d partition-rejects=%d marks=%d held=%d session-dups=%d\n",
 				st.Lanes, st.Dispatched, st.Resumes, st.Stalls, st.OrderBreaks,
 				st.DupRecords, st.PartitionRejects, st.Marks, st.Held, st.SessionDups)
-			if err := report.RenderMetrics(os.Stdout, "Relay runtime metrics", reg.Snapshot()); err != nil {
+			snap := reg.Snapshot()
+			printWireStats(snap)
+			if err := report.RenderMetrics(os.Stdout, "Relay runtime metrics", snap); err != nil {
 				log.Printf("ismd: metrics: %v", err)
 			}
 			if spoolFile != nil {
@@ -298,8 +333,13 @@ func main() {
 	uplinkBatch := flag.Int("uplink-batch", 512, "with -uplink, records per uplink flush")
 	uplinkWindow := flag.Int("uplink-window", 0, "with -uplink, session replay window in unacked batches (0 means the session default)")
 	markInterval := flag.Duration("mark-interval", time.Second, "with -uplink, watermark beacon cadence")
+	wire := flag.String("wire", "columnar", "wire framing for data batches: columnar (negotiated, falls back per peer) or flat")
 	flag.Parse()
 
+	wireMode, err := tp.ParseWireMode(*wire)
+	if err != nil {
+		log.Fatalf("ismd: %v", err)
+	}
 	if err := validateModeFlags(flag.CommandLine, *relayMode, *uplink); err != nil {
 		log.Fatalf("ismd: %v", err)
 	}
@@ -308,7 +348,7 @@ func main() {
 		if *downstreams < 0 || *downstreams > maxDownstreams {
 			log.Fatalf("ismd: -downstreams must be between 0 and %d, got %d", maxDownstreams, *downstreams)
 		}
-		runRelay(*addr, *spool, *resumeSpool, *downstreams, *laneRing, *maxStall, *statsEvery, *degradedAfter)
+		runRelay(*addr, *spool, *resumeSpool, *downstreams, *laneRing, *maxStall, *statsEvery, *degradedAfter, wireMode)
 		return
 	}
 
@@ -390,7 +430,7 @@ func main() {
 	if *uplink != "" {
 		relayAddr := *uplink
 		rd, err := tp.NewRedial(tp.RedialConfig{
-			Dial:    func() (tp.Conn, error) { return tp.Dial(relayAddr, tp.WithConnMetrics(reg)) },
+			Dial:    func() (tp.Conn, error) { return tp.Dial(relayAddr, tp.WithConnMetrics(reg), tp.WithWireMode(wireMode)) },
 			Backoff: 50 * time.Millisecond,
 			Metrics: reg,
 		})
@@ -412,11 +452,11 @@ func main() {
 			AckEvery: 1, Clock: clock, Metrics: reg,
 		})
 	}
-	ln, err := tp.Listen(*addr, tp.WithConnMetrics(reg))
+	ln, err := tp.Listen(*addr, tp.WithConnMetrics(reg), tp.WithWireMode(wireMode))
 	if err != nil {
 		log.Fatalf("ismd: %v", err)
 	}
-	log.Printf("ismd: %s ISM listening on %s", cfg.Buffering, ln.Addr())
+	log.Printf("ismd: %s ISM listening on %s (wire=%s)", cfg.Buffering, ln.Addr(), *wire)
 	// The effective topology, post-defaulting and ring rounding — the
 	// same figures the metrics snapshot reports as ism.shards and
 	// ism.merge_ring_capacity.
@@ -527,7 +567,9 @@ func main() {
 				fmt.Printf("spill tier: appended=%d sealed=%d warm=%d cold=%d compactions=%d disk-bytes=%d\n",
 					ts.Appended, ts.Sealed, ts.WarmSegments, ts.ColdSegments, ts.Compactions, ts.BytesToDisk)
 			}
-			if err := report.RenderMetrics(os.Stdout, "ISM runtime metrics", reg.Snapshot()); err != nil {
+			snap := reg.Snapshot()
+			printWireStats(snap)
+			if err := report.RenderMetrics(os.Stdout, "ISM runtime metrics", snap); err != nil {
 				log.Printf("ismd: metrics: %v", err)
 			}
 			if spoolFile != nil {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"prism/internal/isruntime/metrics"
 )
 
 // spillFlagSet mirrors the spill-related subset of main's flag
@@ -158,6 +160,51 @@ func TestValidateModeFlags(t *testing.T) {
 			for _, want := range tc.wantErr {
 				if !strings.Contains(err.Error(), want) {
 					t.Fatalf("error %q does not name %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWireStatLines pins the shutdown wire summary: per-record cost in
+// both directions when records moved, a control-only line when only
+// framing overhead moved, and silence with no traffic at all.
+func TestWireStatLines(t *testing.T) {
+	cases := []struct {
+		name string
+		set  map[string]uint64
+		want []string
+	}{
+		{name: "no traffic", set: nil, want: nil},
+		{name: "tx records",
+			set:  map[string]uint64{"tp.bytes_tx": 800, "tp.recs_tx": 100},
+			want: []string{"wire tx: 800 B, 100 records, 8.00 B/rec"}},
+		{name: "control only",
+			set:  map[string]uint64{"tp.bytes_rx": 36},
+			want: []string{"wire rx: 36 B (control only)"}},
+		{name: "both directions",
+			set: map[string]uint64{
+				"tp.bytes_tx": 400, "tp.recs_tx": 100,
+				"tp.bytes_rx": 72, "tp.recs_rx": 9,
+			},
+			want: []string{
+				"wire tx: 400 B, 100 records, 4.00 B/rec",
+				"wire rx: 72 B, 9 records, 8.00 B/rec",
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			for name, v := range tc.set {
+				reg.Counter(name).Add(v)
+			}
+			got := wireStatLines(reg.Snapshot())
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %q, want %q", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("line %d: got %q, want %q", i, got[i], tc.want[i])
 				}
 			}
 		})

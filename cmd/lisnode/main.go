@@ -9,7 +9,7 @@
 //	        [-policy buffered|forwarding|daemon] [-buffer 64]
 //	        [-duration 10s] [-seed 1] [-dial-timeout 5s] [-io-timeout 0]
 //	        [-resilient] [-redial-backoff 50ms] [-redial-giveup 30s]
-//	        [-window 256] [-heartbeat 1s]
+//	        [-window 256] [-heartbeat 1s] [-wire columnar|flat]
 //	        [-replay <spool|segfile|segdir>] [-speed 1]
 //
 // With -replay the synthetic workload is skipped entirely: the named
@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,10 +69,19 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "with -resilient, liveness beacon interval (0 disables)")
 	replayPath := flag.String("replay", "", "replay a captured trace (flat spool file, segment file, or tier segment directory) instead of running the synthetic workload")
 	speed := flag.Float64("speed", 1, "with -replay, timing scale: 1 = original pacing, 2 = twice as fast, 0 = max-speed firehose")
+	wire := flag.String("wire", "columnar", "wire framing for data batches: columnar (negotiated, falls back per peer) or flat")
 	flag.Parse()
 
+	wireMode, err := tp.ParseWireMode(*wire)
+	if err != nil {
+		log.Fatalf("lisnode: %v", err)
+	}
+	if err := validateSpeed(*speed); err != nil {
+		log.Fatalf("lisnode: %v", err)
+	}
+
 	reg := metrics.NewRegistry()
-	connOpts := []tp.ConnOption{tp.WithConnMetrics(reg)}
+	connOpts := []tp.ConnOption{tp.WithConnMetrics(reg), tp.WithWireMode(wireMode)}
 	if *ioTimeout > 0 {
 		connOpts = append(connOpts,
 			tp.WithReadTimeout(*ioTimeout), tp.WithWriteTimeout(*ioTimeout))
@@ -141,7 +151,6 @@ func main() {
 	}
 
 	var server lis.LIS
-	var err error
 	switch *policy {
 	case "buffered":
 		server, err = lis.NewBuffered(int32(*node), *buffer, conn, lis.WithMetrics(reg))
@@ -227,11 +236,26 @@ func main() {
 		*node, st.Captured, st.Forwarded, st.Flushes, st.Dropped)
 	snap := reg.Snapshot()
 	fmt.Printf("transport: msgs=%g bytes=%g errors=%g\n",
-		snap.Value("tp.msgs_sent"), snap.Value("tp.bytes_sent"), snap.Value("tp.send_errors"))
+		snap.Value("tp.msgs_sent"), snap.Value("tp.bytes_tx"), snap.Value("tp.send_errors"))
+	if recs := snap.Value("tp.recs_tx"); recs > 0 {
+		fmt.Printf("wire: %.2f B/rec over %g records\n", snap.Value("tp.bytes_tx")/recs, recs)
+	}
 	if sess != nil {
 		fmt.Printf("session: acked=%d redials=%g spilled=%d\n",
 			sess.Acked(), snap.Value("tp.redials"), sess.Spilled())
 	}
+}
+
+// validateSpeed rejects replay pacings the scaler cannot honor, before
+// any connection is made. Zero is the documented max-speed firehose;
+// negative and non-finite values used to fall through to the firehose
+// path silently, so a typo'd "-speed -2" looked like a deliberate
+// unpaced replay instead of the mistake it was.
+func validateSpeed(speed float64) error {
+	if speed < 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return fmt.Errorf("-speed must be a finite value >= 0 (0 = max-speed firehose), got %v", speed)
+	}
+	return nil
 }
 
 // heartbeatLoop emits session liveness beacons until stop closes.

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateSpeed(t *testing.T) {
+	cases := []struct {
+		name  string
+		speed float64
+		ok    bool
+	}{
+		{"original pacing", 1, true},
+		{"double speed", 2, true},
+		{"slow motion", 0.25, true},
+		{"firehose", 0, true},
+		{"negative", -1, false},
+		{"negative fraction", -0.5, false},
+		{"nan", math.NaN(), false},
+		{"positive inf", math.Inf(1), false},
+		{"negative inf", math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateSpeed(tc.speed)
+			if tc.ok && err != nil {
+				t.Fatalf("validateSpeed(%v) = %v, want nil", tc.speed, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("validateSpeed(%v) = nil, want error", tc.speed)
+			}
+		})
+	}
+}

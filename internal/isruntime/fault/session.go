@@ -60,9 +60,34 @@ type Session struct {
 	mu      sync.Mutex
 	nextSeq int64
 	acked   int64
-	window  map[int64][]trace.Record
+	low     int64 // no window entry has a sequence below this
+	window  map[int64]windowBatch
+	codec   trace.ColumnCodec
+	scratch []byte // encode staging so window copies are exact-sized
 	spilled uint64
 	lost    uint64
+}
+
+// windowBatch is one retained batch. When the transport has negotiated
+// columnar framing, the batch is column-encoded once at Send and the
+// encoded body rides in the window alongside the records, so every
+// replay (reconnect, resend) retransmits the bytes verbatim instead of
+// re-running the encoder. The records stay authoritative: they feed
+// the spill path on demotion and the flat fallback when a reconnect
+// lands on a peer without columnar support.
+type windowBatch struct {
+	recs  []trace.Record
+	enc   []byte
+	count int
+	crc   uint32
+}
+
+// attach copies the pre-encoded body, if any, onto an outgoing message
+// so the transport frames it without re-encoding.
+func (wb windowBatch) attach(m *tp.Message) {
+	if wb.enc != nil {
+		m.Enc, m.EncCount, m.EncCRC = wb.enc, wb.count, wb.crc
+	}
 }
 
 // onConnectSetter is how the session claims a Redial's replay hook
@@ -84,7 +109,8 @@ func NewSession(node int32, conn tp.Conn, cfg SessionConfig) *Session {
 		conn:    conn,
 		cfg:     cfg,
 		nextSeq: 1,
-		window:  make(map[int64][]trace.Record),
+		low:     1,
+		window:  make(map[int64]windowBatch),
 	}
 	if cfg.Metrics != nil {
 		sc := cfg.Metrics.Scope("session").Scope("node" + itoa(int(node)))
@@ -138,7 +164,18 @@ func (s *Session) Send(m tp.Message) error {
 	s.nextSeq++
 	kept := make([]trace.Record, len(m.Records))
 	copy(kept, m.Records)
-	s.window[seq] = kept
+	wb := windowBatch{recs: kept}
+	if len(kept) > 0 && tp.ColumnarActive(s.conn) {
+		// Stage in the reusable scratch, then copy exact-sized: the
+		// window retains the copy until acked, so encoding straight
+		// into a fresh slice would pay the append growth chain on
+		// every batch.
+		s.scratch = s.scratch[:0]
+		s.scratch, wb.crc = tp.EncodeColumnarBody(s.scratch, kept, &s.codec)
+		wb.enc = append(make([]byte, 0, len(s.scratch)), s.scratch...)
+		wb.count = len(kept)
+	}
+	s.window[seq] = wb
 	for len(s.window) > s.cfg.Window {
 		s.demoteOldestLocked()
 	}
@@ -148,6 +185,7 @@ func (s *Session) Send(m tp.Message) error {
 	}
 
 	m.Arg = seq
+	wb.attach(&m)
 	err := s.conn.Send(m)
 	if err == nil || tp.Retryable(err) {
 		// Retryable: the copy in the window replays on reconnect, so
@@ -163,19 +201,23 @@ func (s *Session) Send(m tp.Message) error {
 }
 
 // demoteOldestLocked moves the lowest-sequence window entry to the
-// spill path. Called with s.mu held.
+// spill path. Called with s.mu held. Sequences are monotonic and
+// removal only ever happens at the low end (cumulative acks, this
+// demotion), so the low watermark finds the oldest entry in amortized
+// constant time instead of scanning the map.
 func (s *Session) demoteOldestLocked() {
-	oldest := int64(-1)
-	for seq := range s.window {
-		if oldest < 0 || seq < oldest {
-			oldest = seq
+	for s.low < s.nextSeq {
+		if _, ok := s.window[s.low]; ok {
+			break
 		}
+		s.low++
 	}
-	if oldest < 0 {
+	if _, ok := s.window[s.low]; !ok {
 		return
 	}
-	rs := s.window[oldest]
-	delete(s.window, oldest)
+	rs := s.window[s.low].recs
+	delete(s.window, s.low)
+	s.low++
 	if s.cfg.Spill != nil {
 		if err := s.cfg.Spill.Append(rs...); err == nil {
 			s.spilled++
@@ -205,7 +247,7 @@ func (s *Session) onConnect(raw tp.Conn) error {
 		}
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	batches := make([][]trace.Record, len(seqs))
+	batches := make([]windowBatch, len(seqs))
 	for i, seq := range seqs {
 		batches[i] = s.window[seq]
 	}
@@ -216,8 +258,9 @@ func (s *Session) onConnect(raw tp.Conn) error {
 		return err
 	}
 	for i, seq := range seqs {
-		m := tp.DataMessage(s.node, batches[i])
+		m := tp.DataMessage(s.node, batches[i].recs)
 		m.Arg = seq
+		batches[i].attach(&m)
 		if err := raw.Send(m); err != nil {
 			return err
 		}
@@ -240,10 +283,9 @@ func (s *Session) Deliver(m tp.Message) bool {
 	if m.Arg > s.acked {
 		s.acked = m.Arg
 	}
-	for seq := range s.window {
-		if seq <= s.acked {
-			delete(s.window, seq)
-		}
+	for s.low <= s.acked {
+		delete(s.window, s.low)
+		s.low++
 	}
 	s.mu.Unlock()
 	return true
@@ -283,14 +325,15 @@ func (s *Session) Resend() error {
 		seqs = append(seqs, seq)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	batches := make([][]trace.Record, len(seqs))
+	batches := make([]windowBatch, len(seqs))
 	for i, seq := range seqs {
 		batches[i] = s.window[seq]
 	}
 	s.mu.Unlock()
 	for i, seq := range seqs {
-		m := tp.DataMessage(s.node, batches[i])
+		m := tp.DataMessage(s.node, batches[i].recs)
 		m.Arg = seq
+		batches[i].attach(&m)
 		if err := s.conn.Send(m); err != nil {
 			return err
 		}

@@ -228,6 +228,11 @@ type ismShard struct {
 	// frontier is the highest tick the lane has finished sequencing
 	// (monotone watermark).
 	frontier atomic.Uint64
+	// done flips when the lane goroutine exits: the stage is drained,
+	// the ring holds its final contents, and any still-unsettled push
+	// is a drop on the closed stage whose tick postdates every ring
+	// slot.
+	done atomic.Bool
 	// ringRecs counts records pushed into the ring; with the merger's
 	// merged counter it forms the Drain watermark.
 	ringRecs atomic.Uint64
@@ -571,6 +576,13 @@ func (m *ISM) Inject(msg tp.Message) {
 // merge ring.
 func (m *ISM) runShard(s *ismShard) {
 	defer m.runWG.Done()
+	// Mark the lane done before releasing the wait: a merger parked on
+	// this lane's settled count re-evaluates against the done flag
+	// instead of chasing in-flight drops forever.
+	defer func() {
+		s.done.Store(true)
+		m.merge.signal()
+	}()
 	for {
 		env, ok := s.input.pop()
 		if !ok {

@@ -199,11 +199,26 @@ func (g *merger) frontierClear(lane int, k uint64) bool {
 		if i == lane || g.has[i] {
 			continue
 		}
+		// The done flag must be read BEFORE the ring length: done is
+		// set after the lane's final ring push, so a true read here
+		// guarantees the length check below sees the ring's final
+		// contents.
+		done := s.done.Load()
 		if s.ring.Len() > 0 {
 			// A slot landed after refill; it may carry a tick below k,
 			// so pick it up before deciding.
 			g.retry = true
 			return false
+		}
+		if done {
+			// The lane has exited with an empty ring: nothing it ever
+			// sequenced remains, and late pushes are drops on the
+			// closed stage whose ticks postdate k. Without this exit
+			// the shutdown race livelocks: injectors hammering a
+			// closing ISM keep an in-flight push outstanding at every
+			// settled-count read, the frontier never clears, and a
+			// sibling lane parked on a full ring is never refilled.
+			continue
 		}
 		// pushed must be read BEFORE settled: a batch counted after the
 		// read drew its tick after k existed, so its tick exceeds k and

@@ -177,13 +177,22 @@ func TestMergeEquivalenceProperty(t *testing.T) {
 // Close deadlocked in its lane wait. Closing the input stages before
 // stopping the lanes settles late pushes through the drop hook; this
 // test hammers the window with tiny rings and concurrent injectors.
+//
+// InputCapacity is kept small so the Block policy parks the injectors
+// once the stage fills: the watchdog then times a bounded drain and
+// trips only on a genuine stall. With the default 1<<16 capacity the
+// injectors bank tens of thousands of envelopes before Close's stage
+// close lands, and on a single-CPU race-detector run draining that
+// backlog against four spinning injectors can exceed any fixed
+// timeout without any liveness bug. The small bound also covers the
+// producer-parked-in-Push-at-close path the large default never hits.
 func TestCloseRacingInject(t *testing.T) {
 	deadline := time.Now().Add(60 * time.Second)
 	for iter := 0; iter < 150 && time.Now().Before(deadline); iter++ {
 		var clock event.VirtualClock
 		m := New(Config{
 			Buffering: MISO, Ordered: true, Overflow: flow.Block,
-			Shards: 2, MergeRingCapacity: 2,
+			Shards: 2, MergeRingCapacity: 2, InputCapacity: 64,
 		}, &clock)
 		m.Subscribe("sink", func(trace.Record) {})
 		stop := make(chan struct{})

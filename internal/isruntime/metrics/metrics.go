@@ -1,7 +1,7 @@
 // Package metrics is the instrumentation system's runtime metrics
 // registry: atomic counters, gauges and histograms with named
 // per-component scopes (lis.node3.captured, ism.out_of_order,
-// tp.bytes_sent). The paper's central argument is that an IS is itself
+// tp.bytes_tx). The paper's central argument is that an IS is itself
 // a system to be measured — its models are parameterized by buffer
 // occupancy, flush counts, drops and transfer latency (§3, Figs. 4–6).
 // This package makes those signals first-class: every runtime layer

@@ -250,6 +250,21 @@ func (r *Redial) withJitter(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// ColumnarActive implements ColumnarSender by deferring to the live
+// underlying connection. Between connections (an outage, or before the
+// first dial) it reports false: a fresh connection renegotiates from
+// scratch, so callers must not assume the capability survives a
+// redial.
+func (r *Redial) ColumnarActive() bool {
+	r.mu.Lock()
+	c := r.conn
+	r.mu.Unlock()
+	if c == nil {
+		return false
+	}
+	return ColumnarActive(c)
+}
+
 // markBroken discards the connection of the given generation so the
 // next operation redials. A stale generation (another goroutine
 // already replaced the conn) is a no-op.

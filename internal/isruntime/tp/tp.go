@@ -86,6 +86,18 @@ type Message struct {
 	// consumer must return the slice with flow.PutBatch. The flag is
 	// transport-local and never encoded on the wire.
 	Pooled bool
+	// Enc, when non-nil, is the pre-encoded columnar wire body of this
+	// data message: EncCount records, EncCRC the crc32c of the bytes
+	// (see EncodeColumnarBody). The session layer holds replay-window
+	// batches in this form so retransmits skip re-encoding; a
+	// columnar-active stream transport frames Enc verbatim, and one
+	// that negotiated flat encodes from Records when present or decodes
+	// Enc when not. The bytes stay owned by the producer and must not
+	// be mutated while the message is in flight; Recycle leaves them
+	// alone.
+	Enc      []byte
+	EncCount int
+	EncCRC   uint32
 }
 
 // DataMessage builds a data message from node with the given records.
@@ -325,7 +337,7 @@ func (c *chanConn) Close() error {
 	}
 }
 
-// Frame layout for the byte-stream transport:
+// Flat frame layout for the byte-stream transport:
 //
 //	type    uint8
 //	control uint8
@@ -333,6 +345,10 @@ func (c *chanConn) Close() error {
 //	arg     int64  (LE)
 //	count   uint32 (LE)   number of records
 //	records count * trace.RecordSize bytes
+//
+// Data frames may instead travel columnar (type frameColumnar, see
+// columnar.go): the same header prefix followed by a bodyLen/crc
+// extension and a column-encoded body, negotiated per connection.
 const frameHeaderSize = 1 + 1 + 4 + 8 + 4
 
 // maxFrameRecords bounds a frame to keep a malformed or hostile peer
@@ -398,11 +414,19 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
-// ReadMessage decodes one message from r. Record slices are drawn from
-// the flow batch pool and marked Pooled, so pipeline consumers can
-// recycle them once the records are copied out; callers that retain
-// the records simply never recycle.
+// ReadMessage decodes one message from r — flat or columnar framed.
+// Record slices are drawn from the flow batch pool and marked Pooled,
+// so pipeline consumers can recycle them once the records are copied
+// out; callers that retain the records simply never recycle.
 func ReadMessage(r io.Reader) (Message, error) {
+	m, _, err := readMessage(r)
+	return m, err
+}
+
+// readMessage is ReadMessage plus the frame's encoded size, which the
+// stream transport's byte counters need (a columnar frame's wire size
+// is not derivable from the decoded record count).
+func readMessage(r io.Reader) (Message, int, error) {
 	// The header reads into the pooled scratch buffer too: a local
 	// array would escape through the io.ReadFull interface call and
 	// cost one heap allocation per message.
@@ -411,9 +435,9 @@ func ReadMessage(r io.Reader) (Message, error) {
 	h := eb.sized(frameHeaderSize)
 	if _, err := io.ReadFull(r, h); err != nil {
 		if err == io.EOF {
-			return Message{}, io.EOF
+			return Message{}, 0, io.EOF
 		}
-		return Message{}, fmt.Errorf("tp: truncated frame header: %w", err)
+		return Message{}, 0, fmt.Errorf("tp: truncated frame header: %w", err)
 	}
 	m := Message{
 		Type:    MsgType(h[0]),
@@ -421,23 +445,29 @@ func ReadMessage(r io.Reader) (Message, error) {
 		Node:    int32(binary.LittleEndian.Uint32(h[2:])),
 		Arg:     int64(binary.LittleEndian.Uint64(h[6:])),
 	}
+	count := binary.LittleEndian.Uint32(h[14:])
+	if count > maxFrameRecords {
+		return Message{}, 0, fmt.Errorf("tp: oversized frame (%d records): %w", count, ErrCorruptFrame)
+	}
+	if h[0] == frameColumnar {
+		m.Type = MsgData
+		m.Control = CtlNone
+		m, bodyLen, err := readColumnarBody(r, eb, m, count)
+		return m, frameHeaderSize + columnarExtSize + bodyLen, err
+	}
 	// Malformed header fields mean the byte stream desynchronized:
 	// classify as ErrCorruptFrame so resilient readers abandon the
 	// connection (and redial) instead of treating it as fatal.
 	if m.Type >= numMsgTypes {
-		return Message{}, fmt.Errorf("tp: invalid message type %d: %w", m.Type, ErrCorruptFrame)
+		return Message{}, 0, fmt.Errorf("tp: invalid message type %d: %w", m.Type, ErrCorruptFrame)
 	}
 	if m.Control >= numControls {
-		return Message{}, fmt.Errorf("tp: invalid control %d: %w", m.Control, ErrCorruptFrame)
-	}
-	count := binary.LittleEndian.Uint32(h[14:])
-	if count > maxFrameRecords {
-		return Message{}, fmt.Errorf("tp: oversized frame (%d records): %w", count, ErrCorruptFrame)
+		return Message{}, 0, fmt.Errorf("tp: invalid control %d: %w", m.Control, ErrCorruptFrame)
 	}
 	if count > 0 {
 		body := eb.sized(int(count) * trace.RecordSize)
 		if _, err := io.ReadFull(r, body); err != nil {
-			return Message{}, fmt.Errorf("tp: truncated frame body: %w", err)
+			return Message{}, 0, fmt.Errorf("tp: truncated frame body: %w", err)
 		}
 		// Decode straight out of the pooled body buffer into a pooled
 		// record batch — no per-record staging copy.
@@ -446,11 +476,11 @@ func ReadMessage(r io.Reader) (Message, error) {
 			rs[i] = trace.GetRecord(body[i*trace.RecordSize:])
 			if !rs[i].Kind.Valid() {
 				flow.PutBatch(rs)
-				return Message{}, fmt.Errorf("tp: record %d has invalid kind: %w", i, ErrCorruptFrame)
+				return Message{}, 0, fmt.Errorf("tp: record %d has invalid kind: %w", i, ErrCorruptFrame)
 			}
 		}
 		m.Records = rs
 		m.Pooled = true
 	}
-	return m, nil
+	return m, frameHeaderSize + int(count)*trace.RecordSize, nil
 }

@@ -231,11 +231,14 @@ func TestConnMetrics(t *testing.T) {
 	}
 	snap := reg.Snapshot()
 	wantBytes := float64(frameHeaderSize + 3*trace.RecordSize)
-	if snap.Value("tp.msgs_sent") != 1 || snap.Value("tp.bytes_sent") != wantBytes {
+	if snap.Value("tp.msgs_sent") != 1 || snap.Value("tp.bytes_tx") != wantBytes {
 		t.Fatalf("send metrics %+v", snap)
 	}
-	if snap.Value("tp.msgs_recv") != 1 || snap.Value("tp.bytes_recv") != wantBytes {
+	if snap.Value("tp.msgs_recv") != 1 || snap.Value("tp.bytes_rx") != wantBytes {
 		t.Fatalf("recv metrics %+v", snap)
+	}
+	if snap.Value("tp.recs_tx") != 3 || snap.Value("tp.recs_rx") != 3 {
+		t.Fatalf("record metrics %+v", snap)
 	}
 }
 

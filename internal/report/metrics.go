@@ -10,7 +10,7 @@ import (
 
 // RenderMetrics prints a runtime metrics snapshot as a boxed table —
 // the IS reporting on itself (counters like lis.node0.captured,
-// ism.out_of_order, tp.bytes_sent). Histogram rows include their
+// ism.out_of_order, tp.bytes_tx). Histogram rows include their
 // observation count, mean and max.
 func RenderMetrics(w io.Writer, title string, snap metrics.Snapshot) error {
 	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", min(len(title), 100))); err != nil {

@@ -1,0 +1,441 @@
+package trace
+
+// Batch-column codec: the per-column encoders and decoders shared by
+// the columnar segment format (segment.go) and the transfer protocol's
+// columnar wire frames (internal/isruntime/tp). Both encode a record
+// run as seven concatenated columns:
+//
+//	0 time     delta-of-delta zigzag varints
+//	1 logical  delta-of-delta zigzag varints (ingest ticks)
+//	2 node     run-length (len uvarint, value zigzag varint)
+//	3 process  run-length (len uvarint, value zigzag varint)
+//	4 kind     dictionary (size uvarint, kinds) + RLE indexes
+//	5 tag      delta zigzag varints
+//	6 payload  delta zigzag varints
+//
+// Segments wrap the columns with a footer index (per-column offsets,
+// time ranges, per-source spans) for query skipping; wire frames ship
+// them bare behind a short header, since a frame is decoded whole or
+// not at all. Keeping one implementation means a record stream costs
+// the same bytes per record on the wire as it does at rest.
+//
+// Delta arithmetic is two's-complement wrapping in both directions, so
+// every int64/uint64 bit pattern round-trips exactly. Decoders never
+// panic on hostile input; structural failures wrap ErrBadSegment.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const numColumns = 7
+
+var colNames = [numColumns]string{"time", "logical", "node", "process", "kind", "tag", "payload"}
+
+// zigzag maps signed values to unsigned so small-magnitude deltas of
+// either sign encode in few varint bytes.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// MaxColumnsSize bounds the encoded size of AppendColumns for n
+// records: the worst case per record is two 10-byte delta-of-delta
+// varints, two singleton RLE runs (1+5 bytes each), a 2-byte kind run,
+// a 3-byte tag delta and a 10-byte payload delta, plus the kind
+// dictionary and slack. Decoders use it to reject absurd length claims
+// before buffering.
+func MaxColumnsSize(n int) int { return 48*n + 320 }
+
+// ColumnCodec encodes record batches as concatenated columns, reusing
+// its scratch across calls so steady-state encoding performs no
+// allocation beyond output growth. The zero value is ready. It is not
+// safe for concurrent use; give each goroutine its own.
+type ColumnCodec struct {
+	kinds []byte
+}
+
+// AppendColumns appends the seven-column encoding of rs to dst and
+// returns the extended slice. Decode with DecodeColumns and the same
+// record count.
+//
+// The loops are specialized per field rather than routed through the
+// closure-taking helpers segment projection uses: this is the per-batch
+// wire path, and the indirect call per record per column is what the
+// specialization removes.
+func (cc *ColumnCodec) AppendColumns(dst []byte, rs []Record) []byte {
+	var prev, prevDelta int64
+	for i := range rs {
+		v := rs[i].Time
+		delta := v - prev
+		dst = appendUvarint(dst, zigzag(delta-prevDelta))
+		prev, prevDelta = v, delta
+	}
+	prev, prevDelta = 0, 0
+	for i := range rs {
+		v := int64(rs[i].Logical)
+		delta := v - prev
+		dst = appendUvarint(dst, zigzag(delta-prevDelta))
+		prev, prevDelta = v, delta
+	}
+	for i := 0; i < len(rs); {
+		v := rs[i].Node
+		j := i + 1
+		for j < len(rs) && rs[j].Node == v {
+			j++
+		}
+		dst = appendUvarint(dst, uint64(j-i))
+		dst = appendUvarint(dst, zigzag(int64(v)))
+		i = j
+	}
+	for i := 0; i < len(rs); {
+		v := rs[i].Process
+		j := i + 1
+		for j < len(rs) && rs[j].Process == v {
+			j++
+		}
+		dst = appendUvarint(dst, uint64(j-i))
+		dst = appendUvarint(dst, zigzag(int64(v)))
+		i = j
+	}
+	dst, cc.kinds = appendKindsCol(dst, rs, cc.kinds)
+	prev = 0
+	for i := range rs {
+		v := int64(rs[i].Tag)
+		dst = appendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	prev = 0
+	for i := range rs {
+		v := rs[i].Payload
+		dst = appendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+// DecodeColumns decodes exactly len(out) records from the concatenated
+// column encoding in buf. The whole buffer must be consumed; trailing
+// bytes, truncation, and malformed runs all fail with an error wrapping
+// ErrBadSegment, and out is left in an unspecified state on failure.
+// With out sized by the caller the decode performs no allocation.
+//
+// Like AppendColumns, the loops are specialized per field: the wire
+// receive path decodes every batch through here, so the closure
+// indirection the segment projections tolerate is removed, and the
+// dominant one-byte varint case is resolved without a call (uvarint
+// itself exceeds the inlining budget).
+func DecodeColumns(buf []byte, out []Record) error {
+	var prev, prevDelta int64
+	for i := range out {
+		var u uint64
+		if len(buf) > 0 && buf[0] < 0x80 {
+			u, buf = uint64(buf[0]), buf[1:]
+		} else {
+			var err error
+			if u, buf, err = uvarintSlow(buf, colNames[0]); err != nil {
+				return err
+			}
+		}
+		delta := prevDelta + unzigzag(u)
+		v := prev + delta
+		out[i].Time = v
+		prev, prevDelta = v, delta
+	}
+	prev, prevDelta = 0, 0
+	for i := range out {
+		var u uint64
+		if len(buf) > 0 && buf[0] < 0x80 {
+			u, buf = uint64(buf[0]), buf[1:]
+		} else {
+			var err error
+			if u, buf, err = uvarintSlow(buf, colNames[1]); err != nil {
+				return err
+			}
+		}
+		delta := prevDelta + unzigzag(u)
+		v := prev + delta
+		out[i].Logical = uint64(v)
+		prev, prevDelta = v, delta
+	}
+	for i := 0; i < len(out); {
+		runLen, v, rest, err := rleRun(buf, colNames[2], len(out)-i)
+		if err != nil {
+			return err
+		}
+		buf = rest
+		n := int32(v)
+		for j := 0; j < runLen; j++ {
+			out[i+j].Node = n
+		}
+		i += runLen
+	}
+	for i := 0; i < len(out); {
+		runLen, v, rest, err := rleRun(buf, colNames[3], len(out)-i)
+		if err != nil {
+			return err
+		}
+		buf = rest
+		p := int32(v)
+		for j := 0; j < runLen; j++ {
+			out[i+j].Process = p
+		}
+		i += runLen
+	}
+	buf, err := decodeKindsCol(buf, out)
+	if err != nil {
+		return err
+	}
+	prev = 0
+	for i := range out {
+		var u uint64
+		if len(buf) > 0 && buf[0] < 0x80 {
+			u, buf = uint64(buf[0]), buf[1:]
+		} else {
+			var err error
+			if u, buf, err = uvarintSlow(buf, colNames[5]); err != nil {
+				return err
+			}
+		}
+		v := prev + unzigzag(u)
+		out[i].Tag = uint16(v)
+		prev = v
+	}
+	prev = 0
+	for i := range out {
+		var u uint64
+		if len(buf) > 0 && buf[0] < 0x80 {
+			u, buf = uint64(buf[0]), buf[1:]
+		} else {
+			var err error
+			if u, buf, err = uvarintSlow(buf, colNames[6]); err != nil {
+				return err
+			}
+		}
+		v := prev + unzigzag(u)
+		out[i].Payload = v
+		prev = v
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after columns", ErrBadSegment, len(buf))
+	}
+	return nil
+}
+
+// rleRun decodes one (runLength, value) pair, bounds-checking the run
+// against the records remaining.
+func rleRun(col []byte, name string, remaining int) (int, int64, []byte, error) {
+	runLen, rest, err := uvarint(col, name)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	u, rest, err := uvarint(rest, name)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if runLen == 0 || runLen > uint64(remaining) {
+		return 0, 0, nil, fmt.Errorf("%w: %s run of %d exceeds remaining %d records", ErrBadSegment, name, runLen, remaining)
+	}
+	return int(runLen), unzigzag(u), rest, nil
+}
+
+// appendUvarint is binary.AppendUvarint with the dominant one-byte
+// case inlined: well-shaped columns emit mostly sub-128 deltas and run
+// lengths.
+func appendUvarint(dst []byte, u uint64) []byte {
+	if u < 0x80 {
+		return append(dst, byte(u))
+	}
+	return binary.AppendUvarint(dst, u)
+}
+
+// appendDoD encodes a column as zigzag varints of second differences:
+// near-monotone sequences (timestamps, ingest ticks) have near-zero
+// curvature and cost one byte per record.
+func appendDoD(dst []byte, rs []Record, get func(*Record) int64) []byte {
+	var prev, prevDelta int64
+	for i := range rs {
+		v := get(&rs[i])
+		delta := v - prev
+		dst = appendUvarint(dst, zigzag(delta-prevDelta))
+		prev, prevDelta = v, delta
+	}
+	return dst
+}
+
+// appendDelta encodes a column as zigzag varints of first differences.
+func appendDelta(dst []byte, rs []Record, get func(*Record) int64) []byte {
+	var prev int64
+	for i := range rs {
+		v := get(&rs[i])
+		dst = appendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+// appendRLE encodes a column as (runLength uvarint, value zigzag
+// varint) pairs — constant runs of any length cost a handful of bytes.
+func appendRLE(dst []byte, rs []Record, get func(*Record) int64) []byte {
+	for i := 0; i < len(rs); {
+		v := get(&rs[i])
+		j := i + 1
+		for j < len(rs) && get(&rs[j]) == v {
+			j++
+		}
+		dst = appendUvarint(dst, uint64(j-i))
+		dst = appendUvarint(dst, zigzag(v))
+		i = j
+	}
+	return dst
+}
+
+// appendKindsCol encodes the kind column as a first-appearance
+// dictionary followed by run-length encoded dictionary indexes. The
+// scratch slice is the caller's reusable dictionary buffer; the
+// (possibly grown) slice is returned for reuse.
+func appendKindsCol(dst []byte, rs []Record, scratch []byte) ([]byte, []byte) {
+	var idx [256]int16
+	for i := range idx {
+		idx[i] = -1
+	}
+	scratch = scratch[:0]
+	for i := range rs {
+		k := byte(rs[i].Kind)
+		if idx[k] < 0 {
+			idx[k] = int16(len(scratch))
+			scratch = append(scratch, k)
+		}
+	}
+	dst = appendUvarint(dst, uint64(len(scratch)))
+	dst = append(dst, scratch...)
+	for i := 0; i < len(rs); {
+		k := rs[i].Kind
+		j := i + 1
+		for j < len(rs) && rs[j].Kind == k {
+			j++
+		}
+		dst = appendUvarint(dst, uint64(j-i))
+		dst = append(dst, byte(idx[byte(k)]))
+		i = j
+	}
+	return dst, scratch
+}
+
+// uvarint reads one varint from col, returning the remaining bytes.
+// The one-byte case is resolved inline for the same reason
+// appendUvarint special-cases it; uvarintSlow keeps the multi-byte and
+// error handling out of the inlining budget.
+func uvarint(col []byte, what string) (uint64, []byte, error) {
+	if len(col) > 0 && col[0] < 0x80 {
+		return uint64(col[0]), col[1:], nil
+	}
+	return uvarintSlow(col, what)
+}
+
+func uvarintSlow(col []byte, what string) (uint64, []byte, error) {
+	u, n := binary.Uvarint(col)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated or overlong varint in %s column", ErrBadSegment, what)
+	}
+	return u, col[n:], nil
+}
+
+// decodeDoDCol decodes len(out) delta-of-delta values from the front
+// of col, returning the remaining bytes.
+func decodeDoDCol(col []byte, name string, out []Record, set func(*Record, int64)) ([]byte, error) {
+	var prev, prevDelta int64
+	for i := range out {
+		u, rest, err := uvarint(col, name)
+		if err != nil {
+			return nil, err
+		}
+		col = rest
+		delta := prevDelta + unzigzag(u)
+		v := prev + delta
+		set(&out[i], v)
+		prev, prevDelta = v, delta
+	}
+	return col, nil
+}
+
+// decodeDeltaCol decodes len(out) first-difference values from the
+// front of col, returning the remaining bytes.
+func decodeDeltaCol(col []byte, name string, out []Record, set func(*Record, int64)) ([]byte, error) {
+	var prev int64
+	for i := range out {
+		u, rest, err := uvarint(col, name)
+		if err != nil {
+			return nil, err
+		}
+		col = rest
+		v := prev + unzigzag(u)
+		set(&out[i], v)
+		prev = v
+	}
+	return col, nil
+}
+
+// decodeRLECol decodes len(out) run-length encoded values from the
+// front of col, returning the remaining bytes.
+func decodeRLECol(col []byte, name string, out []Record, set func(*Record, int64)) ([]byte, error) {
+	i := 0
+	for i < len(out) {
+		runLen, rest, err := uvarint(col, name)
+		if err != nil {
+			return nil, err
+		}
+		u, rest, err := uvarint(rest, name)
+		if err != nil {
+			return nil, err
+		}
+		col = rest
+		if runLen == 0 || runLen > uint64(len(out)-i) {
+			return nil, fmt.Errorf("%w: %s run of %d exceeds remaining %d records", ErrBadSegment, name, runLen, len(out)-i)
+		}
+		v := unzigzag(u)
+		for j := 0; j < int(runLen); j++ {
+			set(&out[i+j], v)
+		}
+		i += int(runLen)
+	}
+	return col, nil
+}
+
+// decodeKindsCol decodes len(out) dictionary-coded kinds from the
+// front of col, returning the remaining bytes.
+func decodeKindsCol(col []byte, out []Record) ([]byte, error) {
+	dictLen, col, err := uvarint(col, "kind")
+	if err != nil {
+		return nil, err
+	}
+	if dictLen > 256 || dictLen > uint64(len(col)) {
+		return nil, fmt.Errorf("%w: kind dictionary of %d entries in %d bytes", ErrBadSegment, dictLen, len(col))
+	}
+	dict := col[:dictLen]
+	col = col[dictLen:]
+	i := 0
+	for i < len(out) {
+		runLen, rest, err := uvarint(col, "kind")
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: kind run missing dictionary index", ErrBadSegment)
+		}
+		idx := rest[0]
+		col = rest[1:]
+		if runLen == 0 || runLen > uint64(len(out)-i) {
+			return nil, fmt.Errorf("%w: kind run of %d exceeds remaining %d records", ErrBadSegment, runLen, len(out)-i)
+		}
+		if uint64(idx) >= dictLen {
+			return nil, fmt.Errorf("%w: kind dictionary index %d out of %d", ErrBadSegment, idx, dictLen)
+		}
+		k := Kind(dict[idx])
+		for j := 0; j < int(runLen); j++ {
+			out[i+j].Kind = k
+		}
+		i += int(runLen)
+	}
+	return col, nil
+}

@@ -65,8 +65,6 @@ const (
 	// MaxSegmentBytes bounds a single segment's encoded size. The
 	// stream reader refuses larger length claims before allocating.
 	MaxSegmentBytes = 1 << 30
-
-	numColumns = 7
 )
 
 // ErrBadSegment is returned for structurally invalid or corrupt
@@ -111,15 +109,10 @@ type SourceRange struct {
 	MaxTime int64
 }
 
-// zigzag maps signed values to unsigned so small-magnitude deltas of
-// either sign encode in few varint bytes.
-func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
-
-// unzigzag inverts zigzag.
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
-
 // segScratch holds the per-encoder reusable state so steady-state
-// segment encoding performs no allocation beyond output growth.
+// segment encoding performs no allocation beyond output growth. The
+// column encoders themselves live in colcodec.go, shared with the wire
+// frame codec.
 type segScratch struct {
 	sources []SourceRange
 	kinds   []byte
@@ -160,7 +153,7 @@ func appendSegment(dst []byte, rs []Record, sc *segScratch) []byte {
 	dst = appendRLE(dst, rs, func(r *Record) int64 { return int64(r.Process) })
 	// Column 4: kinds, dictionary + run-length indexes.
 	col(4)
-	dst = appendKinds(dst, rs, sc)
+	dst, sc.kinds = appendKindsCol(dst, rs, sc.kinds)
 	// Column 5: tags, delta.
 	col(5)
 	dst = appendDelta(dst, rs, func(r *Record) int64 { return int64(r.Tag) })
@@ -196,77 +189,6 @@ func appendSegment(dst []byte, rs []Record, sc *segScratch) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, segFootMagic)
 
 	binary.LittleEndian.PutUint32(dst[base+8:], uint32(len(dst)-base))
-	return dst
-}
-
-// appendDoD encodes a column as zigzag varints of second differences:
-// near-monotone sequences (timestamps, ingest ticks) have near-zero
-// curvature and cost one byte per record.
-func appendDoD(dst []byte, rs []Record, get func(*Record) int64) []byte {
-	var prev, prevDelta int64
-	for i := range rs {
-		v := get(&rs[i])
-		delta := v - prev
-		dst = binary.AppendUvarint(dst, zigzag(delta-prevDelta))
-		prev, prevDelta = v, delta
-	}
-	return dst
-}
-
-// appendDelta encodes a column as zigzag varints of first differences.
-func appendDelta(dst []byte, rs []Record, get func(*Record) int64) []byte {
-	var prev int64
-	for i := range rs {
-		v := get(&rs[i])
-		dst = binary.AppendUvarint(dst, zigzag(v-prev))
-		prev = v
-	}
-	return dst
-}
-
-// appendRLE encodes a column as (runLength uvarint, value zigzag
-// varint) pairs — constant runs of any length cost a handful of bytes.
-func appendRLE(dst []byte, rs []Record, get func(*Record) int64) []byte {
-	for i := 0; i < len(rs); {
-		v := get(&rs[i])
-		j := i + 1
-		for j < len(rs) && get(&rs[j]) == v {
-			j++
-		}
-		dst = binary.AppendUvarint(dst, uint64(j-i))
-		dst = binary.AppendUvarint(dst, zigzag(v))
-		i = j
-	}
-	return dst
-}
-
-// appendKinds encodes the kind column as a first-appearance dictionary
-// followed by run-length encoded dictionary indexes.
-func appendKinds(dst []byte, rs []Record, sc *segScratch) []byte {
-	var idx [256]int16
-	for i := range idx {
-		idx[i] = -1
-	}
-	sc.kinds = sc.kinds[:0]
-	for i := range rs {
-		k := byte(rs[i].Kind)
-		if idx[k] < 0 {
-			idx[k] = int16(len(sc.kinds))
-			sc.kinds = append(sc.kinds, k)
-		}
-	}
-	dst = binary.AppendUvarint(dst, uint64(len(sc.kinds)))
-	dst = append(dst, sc.kinds...)
-	for i := 0; i < len(rs); {
-		k := rs[i].Kind
-		j := i + 1
-		for j < len(rs) && rs[j].Kind == k {
-			j++
-		}
-		dst = binary.AppendUvarint(dst, uint64(j-i))
-		dst = append(dst, byte(idx[byte(k)]))
-		i = j
-	}
 	return dst
 }
 
@@ -529,126 +451,38 @@ func (s *Segment) AppendSource(dst []Record, node int32) ([]Record, error) {
 	return dst, nil
 }
 
-// uvarint reads one varint from col, returning the remaining bytes.
-func uvarint(col []byte, what string) (uint64, []byte, error) {
-	u, n := binary.Uvarint(col)
-	if n <= 0 {
-		return 0, nil, fmt.Errorf("%w: truncated or overlong varint in %s column", ErrBadSegment, what)
-	}
-	return u, col[n:], nil
-}
-
-func (s *Segment) decodeDoD(ci int, out []Record, set func(*Record, int64)) error {
-	col := s.column(ci)
-	name := colNames[ci]
-	var prev, prevDelta int64
-	for i := range out {
-		u, rest, err := uvarint(col, name)
-		if err != nil {
-			return err
-		}
-		col = rest
-		delta := prevDelta + unzigzag(u)
-		v := prev + delta
-		set(&out[i], v)
-		prev, prevDelta = v, delta
-	}
-	if len(col) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes in %s column", ErrBadSegment, len(col), name)
-	}
-	return nil
-}
-
-func (s *Segment) decodeDelta(ci int, out []Record, set func(*Record, int64)) error {
-	col := s.column(ci)
-	name := colNames[ci]
-	var prev int64
-	for i := range out {
-		u, rest, err := uvarint(col, name)
-		if err != nil {
-			return err
-		}
-		col = rest
-		v := prev + unzigzag(u)
-		set(&out[i], v)
-		prev = v
-	}
-	if len(col) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes in %s column", ErrBadSegment, len(col), name)
-	}
-	return nil
-}
-
-func (s *Segment) decodeRLE(ci int, out []Record, set func(*Record, int64)) error {
-	col := s.column(ci)
-	name := colNames[ci]
-	i := 0
-	for i < len(out) {
-		runLen, rest, err := uvarint(col, name)
-		if err != nil {
-			return err
-		}
-		u, rest, err := uvarint(rest, name)
-		if err != nil {
-			return err
-		}
-		col = rest
-		if runLen == 0 || runLen > uint64(len(out)-i) {
-			return fmt.Errorf("%w: %s run of %d exceeds remaining %d records", ErrBadSegment, name, runLen, len(out)-i)
-		}
-		v := unzigzag(u)
-		for j := 0; j < int(runLen); j++ {
-			set(&out[i+j], v)
-		}
-		i += int(runLen)
-	}
-	if len(col) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes in %s column", ErrBadSegment, len(col), name)
-	}
-	return nil
-}
-
-func (s *Segment) decodeKinds(out []Record) error {
-	col := s.column(4)
-	dictLen, col, err := uvarint(col, "kind")
+// consumed enforces a segment column's exact-length contract: the
+// shared stream decoders (colcodec.go) return the bytes they did not
+// consume, and a footer-framed column must be consumed exactly.
+func consumed(rest []byte, name string, err error) error {
 	if err != nil {
 		return err
 	}
-	if dictLen > 256 || dictLen > uint64(len(col)) {
-		return fmt.Errorf("%w: kind dictionary of %d entries in %d bytes", ErrBadSegment, dictLen, len(col))
-	}
-	dict := col[:dictLen]
-	col = col[dictLen:]
-	i := 0
-	for i < len(out) {
-		runLen, rest, err := uvarint(col, "kind")
-		if err != nil {
-			return err
-		}
-		if len(rest) == 0 {
-			return fmt.Errorf("%w: kind run missing dictionary index", ErrBadSegment)
-		}
-		idx := rest[0]
-		col = rest[1:]
-		if runLen == 0 || runLen > uint64(len(out)-i) {
-			return fmt.Errorf("%w: kind run of %d exceeds remaining %d records", ErrBadSegment, runLen, len(out)-i)
-		}
-		if uint64(idx) >= dictLen {
-			return fmt.Errorf("%w: kind dictionary index %d out of %d", ErrBadSegment, idx, dictLen)
-		}
-		k := Kind(dict[idx])
-		for j := 0; j < int(runLen); j++ {
-			out[i+j].Kind = k
-		}
-		i += int(runLen)
-	}
-	if len(col) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes in kind column", ErrBadSegment, len(col))
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %s column", ErrBadSegment, len(rest), name)
 	}
 	return nil
 }
 
-var colNames = [numColumns]string{"time", "logical", "node", "process", "kind", "tag", "payload"}
+func (s *Segment) decodeDoD(ci int, out []Record, set func(*Record, int64)) error {
+	rest, err := decodeDoDCol(s.column(ci), colNames[ci], out, set)
+	return consumed(rest, colNames[ci], err)
+}
+
+func (s *Segment) decodeDelta(ci int, out []Record, set func(*Record, int64)) error {
+	rest, err := decodeDeltaCol(s.column(ci), colNames[ci], out, set)
+	return consumed(rest, colNames[ci], err)
+}
+
+func (s *Segment) decodeRLE(ci int, out []Record, set func(*Record, int64)) error {
+	rest, err := decodeRLECol(s.column(ci), colNames[ci], out, set)
+	return consumed(rest, colNames[ci], err)
+}
+
+func (s *Segment) decodeKinds(out []Record) error {
+	rest, err := decodeKindsCol(s.column(4), out)
+	return consumed(rest, colNames[4], err)
+}
 
 // SegmentWriter encodes record runs as consecutive segments on an
 // io.Writer. Each WriteSegment is a single Write of one self-framed

@@ -3,16 +3,19 @@
 // and out to a subscriber. This is the throughput number the ISM work
 // is judged by — records/sec through the full decode→stage→order→
 // dispatch pipeline — alongside the per-op allocation count of the
-// steady state.
+// steady state. The TCP variants also report the achieved wire cost
+// per record, the figure that separates columnar from flat framing.
 package prism
 
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"prism/internal/isruntime/event"
 	"prism/internal/isruntime/flow"
 	"prism/internal/isruntime/ism"
+	"prism/internal/isruntime/metrics"
 	"prism/internal/isruntime/tp"
 	"prism/internal/trace"
 )
@@ -28,7 +31,9 @@ const (
 // benchPipelineThroughput drives b.N batches round-robin across
 // pipelineSources connections into an ordered ISM and waits for every
 // record to be dispatched. One op = one batch of pipelineBatch records.
-func benchPipelineThroughput(b *testing.B, mk func(m *ism.ISM) ([]tp.Conn, func())) {
+// When reg is non-nil it must carry the sender-side conn metrics, and
+// the achieved wire bytes per record are reported from it.
+func benchPipelineThroughput(b *testing.B, reg *metrics.Registry, mk func(m *ism.ISM) ([]tp.Conn, func())) {
 	var clock event.VirtualClock
 	m := ism.New(ism.Config{
 		Buffering: ism.MISO,
@@ -75,11 +80,80 @@ func benchPipelineThroughput(b *testing.B, mk func(m *ism.ISM) ([]tp.Conn, func(
 	m.Drain()
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*pipelineBatch/b.Elapsed().Seconds(), "records/s")
+	if reg != nil {
+		snap := reg.Snapshot()
+		if recs := snap.Value("tp.recs_tx"); recs > 0 {
+			b.ReportMetric(snap.Value("tp.bytes_tx")/recs, "wire-B/rec")
+		}
+	}
+}
+
+// dialPipelineConns dials pipelineSources client connections against
+// ln, keeps each drained by a discard goroutine (negotiation and any
+// server-side control traffic only advance inside Recv), and returns
+// them with a combined cleanup.
+func dialPipelineConns(b *testing.B, m *ism.ISM, ln *tp.Listener, opts ...tp.ConnOption) ([]tp.Conn, func()) {
+	b.Helper()
+	accepted := make([]tp.Conn, 0, pipelineSources)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < pipelineSources; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted = append(accepted, c)
+			m.Serve(c)
+		}
+	}()
+	conns := make([]tp.Conn, pipelineSources)
+	for i := range conns {
+		c, err := tp.Dial(ln.Addr(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns[i] = c
+		go func() {
+			for {
+				msg, err := c.Recv()
+				if err != nil {
+					return
+				}
+				tp.Recycle(&msg)
+			}
+		}()
+	}
+	<-done
+	return conns, func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, c := range accepted {
+			c.Close()
+		}
+		ln.Close()
+	}
+}
+
+// waitColumnar blocks until every conn has negotiated columnar framing
+// so the timed region measures the steady state, not the handshake.
+func waitColumnar(b *testing.B, conns []tp.Conn) {
+	b.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for _, c := range conns {
+		for !tp.ColumnarActive(c) {
+			if time.Now().After(deadline) {
+				b.Fatal("columnar framing never negotiated")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
 }
 
 func BenchmarkPipelineThroughput(b *testing.B) {
 	b.Run("pipe", func(b *testing.B) {
-		benchPipelineThroughput(b, func(m *ism.ISM) ([]tp.Conn, func()) {
+		benchPipelineThroughput(b, nil, func(m *ism.ISM) ([]tp.Conn, func()) {
 			conns := make([]tp.Conn, pipelineSources)
 			remotes := make([]tp.Conn, pipelineSources)
 			for i := range conns {
@@ -96,42 +170,26 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		})
 	})
 	b.Run("tcp", func(b *testing.B) {
-		benchPipelineThroughput(b, func(m *ism.ISM) ([]tp.Conn, func()) {
+		reg := metrics.NewRegistry()
+		benchPipelineThroughput(b, reg, func(m *ism.ISM) ([]tp.Conn, func()) {
 			ln, err := tp.Listen("127.0.0.1:0")
 			if err != nil {
 				b.Fatal(err)
 			}
-			accepted := make([]tp.Conn, 0, pipelineSources)
-			done := make(chan struct{})
-			go func() {
-				defer close(done)
-				for i := 0; i < pipelineSources; i++ {
-					c, err := ln.Accept()
-					if err != nil {
-						return
-					}
-					accepted = append(accepted, c)
-					m.Serve(c)
-				}
-			}()
-			conns := make([]tp.Conn, pipelineSources)
-			for i := range conns {
-				c, err := tp.Dial(ln.Addr())
-				if err != nil {
-					b.Fatal(err)
-				}
-				conns[i] = c
+			conns, cleanup := dialPipelineConns(b, m, ln, tp.WithConnMetrics(reg))
+			waitColumnar(b, conns)
+			return conns, cleanup
+		})
+	})
+	b.Run("tcp-flat", func(b *testing.B) {
+		reg := metrics.NewRegistry()
+		benchPipelineThroughput(b, reg, func(m *ism.ISM) ([]tp.Conn, func()) {
+			ln, err := tp.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
 			}
-			<-done
-			return conns, func() {
-				for _, c := range conns {
-					c.Close()
-				}
-				for _, c := range accepted {
-					c.Close()
-				}
-				ln.Close()
-			}
+			return dialPipelineConns(b, m, ln,
+				tp.WithConnMetrics(reg), tp.WithWireMode(tp.WireFlat))
 		})
 	})
 }
