@@ -916,6 +916,9 @@ func (r *Relay) updateFrontier() {
 	if len(lanes) == 0 || len(lanes) < r.cfg.Downstreams {
 		return
 	}
+	// This snapshot is loaded fresh, so a lane attached since the last
+	// step() may not be covered by heads/has yet.
+	r.grow(len(lanes))
 	low := int64(math.MaxInt64)
 	for i, ln := range lanes {
 		var f int64
